@@ -1,0 +1,14 @@
+//! # fb-bench — benchmark crate for the FlowBender reproduction
+//!
+//! This crate exists only to host the Criterion benchmark targets:
+//!
+//! * `benches/engine.rs` — simulator hot-path microbenchmarks (event
+//!   scheduling, ECMP hashing, queue operations, RNG, raw forwarding
+//!   throughput);
+//! * `benches/paper.rs` — one scaled-down run per paper table/figure,
+//!   acting as throughput-regression canaries for every experiment.
+//!
+//! Run them with `cargo bench`. Full-size artifact reproduction lives in
+//! the `experiments` binary.
+
+#![forbid(unsafe_code)]

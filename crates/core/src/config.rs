@@ -1,0 +1,172 @@
+//! FlowBender tuning parameters.
+//!
+//! The paper's central claim about tuning (§3.4) is that there is very
+//! little of it: one threshold `T` and, optionally, a patience parameter
+//! `N`. The remaining fields implement the optional refinements the paper
+//! sketches in §3.4 and §5 (randomized `N` for desynchronization, EWMA
+//! smoothing of the marked fraction, and a reroute cooldown against
+//! pathological path-thrashing).
+
+/// Configuration of one FlowBender instance (one instance per flow).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Config {
+    /// `T`: the congestion threshold on the per-RTT fraction of ECN-marked
+    /// ACKs. If the fraction exceeds `T`, the RTT counts as congested.
+    /// Paper default 5% (effective anywhere in 1–10%, §3.4).
+    pub t: f64,
+    /// `N`: how many *consecutive* congested RTTs trigger a reroute.
+    /// Paper default 1; `N = 2` trades response time for even less
+    /// reordering (§3.4.1).
+    pub n: u32,
+    /// Number of distinct values the flexible header field `V` may take —
+    /// the per-flow path-choice fan-out. The paper empirically settled on
+    /// 8 and notes even 2 remains extremely effective (§3.3.2, footnote 2).
+    pub v_range: u8,
+    /// §3.4.2 desynchronization: instead of rerouting after exactly `N`
+    /// congested RTTs, draw the target uniformly from {N-1, N, N+1}
+    /// (clamped to ≥ 1) after every reroute, so synchronized flows don't
+    /// cascade into a fabric-wide rerouting wave.
+    pub randomize_n: bool,
+    /// §3.4.1 footnote: exponentially average `F` across RTTs with this
+    /// gain before comparing against `T` (`None` = use the raw per-RTT
+    /// fraction, the paper's basic design).
+    pub ewma_gamma: Option<f64>,
+    /// §5.1 stability guard: after a reroute, ignore congestion signals for
+    /// this many RTT epochs, bounding the path-change rate of a flow that
+    /// keeps landing on congested paths (0 = off, the paper's basic design).
+    pub cooldown_rtts: u32,
+    /// §3.3.2: also change `V` when a retransmission timeout fires, which
+    /// is what lets FlowBender route around link failures within ~an RTO.
+    pub reroute_on_timeout: bool,
+}
+
+impl Default for Config {
+    /// The paper's evaluated defaults: `T = 5%`, `N = 1`, 8 path options,
+    /// timeout rerouting on, no optional refinements.
+    fn default() -> Self {
+        Config {
+            t: 0.05,
+            n: 1,
+            v_range: 8,
+            randomize_n: false,
+            ewma_gamma: None,
+            cooldown_rtts: 0,
+            reroute_on_timeout: true,
+        }
+    }
+}
+
+impl Config {
+    /// Validate invariants; called by [`crate::FlowBender::new`].
+    ///
+    /// # Panics
+    /// If any field is out of its meaningful range.
+    pub fn validate(&self) {
+        assert!(
+            self.t >= 0.0 && self.t <= 1.0,
+            "T must be a fraction in [0, 1], got {}",
+            self.t
+        );
+        assert!(self.n >= 1, "N must be at least 1");
+        assert!(self.v_range >= 1, "v_range must be at least 1");
+        if let Some(g) = self.ewma_gamma {
+            assert!(g > 0.0 && g <= 1.0, "EWMA gamma must be in (0, 1], got {g}");
+        }
+    }
+
+    /// Builder-style: set the congestion threshold `T`.
+    pub fn with_t(mut self, t: f64) -> Self {
+        self.t = t;
+        self
+    }
+
+    /// Builder-style: set the consecutive-RTT count `N`.
+    pub fn with_n(mut self, n: u32) -> Self {
+        self.n = n;
+        self
+    }
+
+    /// Builder-style: set the number of `V` options.
+    pub fn with_v_range(mut self, v_range: u8) -> Self {
+        self.v_range = v_range;
+        self
+    }
+
+    /// Builder-style: enable randomized `N` desynchronization.
+    pub fn with_randomized_n(mut self) -> Self {
+        self.randomize_n = true;
+        self
+    }
+
+    /// Builder-style: enable EWMA smoothing of `F` with gain `gamma`.
+    pub fn with_ewma(mut self, gamma: f64) -> Self {
+        self.ewma_gamma = Some(gamma);
+        self
+    }
+
+    /// Builder-style: set the post-reroute cooldown in RTTs.
+    pub fn with_cooldown(mut self, rtts: u32) -> Self {
+        self.cooldown_rtts = rtts;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = Config::default();
+        assert_eq!(c.t, 0.05);
+        assert_eq!(c.n, 1);
+        assert_eq!(c.v_range, 8);
+        assert!(c.reroute_on_timeout);
+        assert!(!c.randomize_n);
+        assert_eq!(c.ewma_gamma, None);
+        assert_eq!(c.cooldown_rtts, 0);
+        c.validate();
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = Config::default()
+            .with_t(0.01)
+            .with_n(2)
+            .with_v_range(2)
+            .with_randomized_n()
+            .with_ewma(0.5)
+            .with_cooldown(3);
+        assert_eq!(c.t, 0.01);
+        assert_eq!(c.n, 2);
+        assert_eq!(c.v_range, 2);
+        assert!(c.randomize_n);
+        assert_eq!(c.ewma_gamma, Some(0.5));
+        assert_eq!(c.cooldown_rtts, 3);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_t_above_one() {
+        Config::default().with_t(1.5).validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_n() {
+        Config::default().with_n(0).validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_v_range() {
+        Config::default().with_v_range(0).validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_gamma() {
+        Config::default().with_ewma(0.0).validate();
+    }
+}

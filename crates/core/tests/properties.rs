@@ -1,0 +1,173 @@
+//! Property-based tests of the FlowBender state machine invariants.
+
+use flowbender::{Config, Decision, FlowBender};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Arbitrary-but-valid configurations.
+fn config_strategy() -> impl Strategy<Value = Config> {
+    (
+        0.0f64..=0.5,          // t
+        1u32..=5,              // n
+        1u8..=16,              // v_range
+        any::<bool>(),         // randomize_n
+        prop::option::of(0.01f64..=1.0), // ewma_gamma
+        0u32..=4,              // cooldown
+        any::<bool>(),         // reroute_on_timeout
+    )
+        .prop_map(|(t, n, v_range, randomize_n, ewma_gamma, cooldown_rtts, reroute_on_timeout)| Config {
+            t,
+            n,
+            v_range,
+            randomize_n,
+            ewma_gamma,
+            cooldown_rtts,
+            reroute_on_timeout,
+        })
+}
+
+/// A scripted epoch: `marked` of `total` ACKs carry the echo.
+#[derive(Debug, Clone)]
+struct Epoch {
+    marked: u32,
+    total: u32,
+}
+
+fn epoch_strategy() -> impl Strategy<Value = Epoch> {
+    (0u32..=64).prop_flat_map(|total| {
+        (0..=total).prop_map(move |marked| Epoch { marked, total })
+    })
+}
+
+fn feed(fb: &mut FlowBender, e: &Epoch, rng: &mut StdRng) -> Decision {
+    for i in 0..e.total {
+        fb.on_ack(i < e.marked);
+    }
+    fb.on_rtt_end(rng)
+}
+
+proptest! {
+    /// V always stays within the configured range, no matter the feed.
+    #[test]
+    fn v_always_in_range(cfg in config_strategy(), epochs in prop::collection::vec(epoch_strategy(), 0..64), seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut fb = FlowBender::new(cfg, &mut rng);
+        prop_assert!(fb.vfield() < cfg.v_range);
+        for e in &epochs {
+            let d = feed(&mut fb, e, &mut rng);
+            prop_assert!(fb.vfield() < cfg.v_range);
+            if let Decision::Reroute { from, to } = d {
+                prop_assert!(from < cfg.v_range && to < cfg.v_range);
+                prop_assert_eq!(to, fb.vfield());
+                if cfg.v_range > 1 {
+                    prop_assert_ne!(from, to, "reroute must actually move when it can");
+                }
+            }
+        }
+    }
+
+    /// With marking at or below T, FlowBender never reroutes for congestion.
+    #[test]
+    fn clean_traffic_never_reroutes(seed: u64, epochs in prop::collection::vec(1u32..=100, 1..100)) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = Config::default(); // T = 5%
+        let mut fb = FlowBender::new(cfg, &mut rng);
+        for &total in &epochs {
+            // marked/total <= 5% guaranteed: mark at most total/20 ACKs.
+            let marked = total / 20;
+            let d = feed(&mut fb, &Epoch { marked, total }, &mut rng);
+            prop_assert_eq!(d, Decision::Stay);
+        }
+        prop_assert_eq!(fb.stats().total_reroutes(), 0);
+    }
+
+    /// Fully marked traffic reroutes within every window of N consecutive
+    /// epochs (basic config: no cooldown, no EWMA, fixed N).
+    #[test]
+    fn saturated_traffic_reroutes_every_n(seed: u64, n in 1u32..=5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = Config::default().with_n(n);
+        let mut fb = FlowBender::new(cfg, &mut rng);
+        let mut since_reroute = 0u32;
+        for _ in 0..50 {
+            let d = feed(&mut fb, &Epoch { marked: 10, total: 10 }, &mut rng);
+            since_reroute += 1;
+            if d.rerouted() {
+                prop_assert_eq!(since_reroute, n, "reroute cadence must be exactly N");
+                since_reroute = 0;
+            }
+        }
+        prop_assert_eq!(fb.stats().congestion_reroutes as u32, 50 / n);
+    }
+
+    /// The statistics never go backwards and stay mutually consistent.
+    #[test]
+    fn stats_are_monotone_and_consistent(cfg in config_strategy(), epochs in prop::collection::vec(epoch_strategy(), 0..50), seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut fb = FlowBender::new(cfg, &mut rng);
+        let mut prev = fb.stats();
+        for e in &epochs {
+            feed(&mut fb, e, &mut rng);
+            let s = fb.stats();
+            prop_assert!(s.rtts >= prev.rtts);
+            prop_assert!(s.congested_rtts >= prev.congested_rtts);
+            prop_assert!(s.congestion_reroutes >= prev.congestion_reroutes);
+            prop_assert!(s.congested_rtts <= s.rtts);
+            prop_assert!(s.congestion_reroutes <= s.congested_rtts);
+            prev = s;
+        }
+    }
+
+    /// A timeout reroutes exactly when configured to, from any state.
+    #[test]
+    fn timeout_behaviour_matches_config(cfg in config_strategy(), epochs in prop::collection::vec(epoch_strategy(), 0..20), seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut fb = FlowBender::new(cfg, &mut rng);
+        for e in &epochs {
+            feed(&mut fb, e, &mut rng);
+        }
+        let before = fb.stats().timeout_reroutes;
+        let d = fb.on_timeout(&mut rng);
+        prop_assert_eq!(d.rerouted(), cfg.reroute_on_timeout);
+        prop_assert_eq!(fb.stats().timeout_reroutes, before + u64::from(cfg.reroute_on_timeout));
+        // The in-progress epoch is always discarded.
+        prop_assert_eq!(fb.current_fraction(), None);
+    }
+
+    /// With a cooldown of C, two congestion reroutes are always separated
+    /// by more than C epochs.
+    #[test]
+    fn cooldown_spaces_reroutes(seed: u64, c in 1u32..=5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = Config::default().with_cooldown(c);
+        let mut fb = FlowBender::new(cfg, &mut rng);
+        let mut last_reroute: Option<u32> = None;
+        for epoch in 0..100u32 {
+            let d = feed(&mut fb, &Epoch { marked: 10, total: 10 }, &mut rng);
+            if d.rerouted() {
+                if let Some(prev) = last_reroute {
+                    prop_assert!(epoch - prev > c, "reroutes at {prev} and {epoch} violate cooldown {c}");
+                }
+                last_reroute = Some(epoch);
+            }
+        }
+        prop_assert!(last_reroute.is_some(), "saturated feed must reroute eventually");
+    }
+
+    /// Determinism: the same seed and feed produce the same trajectory.
+    #[test]
+    fn same_seed_same_trajectory(cfg in config_strategy(), epochs in prop::collection::vec(epoch_strategy(), 0..50), seed: u64) {
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut fb = FlowBender::new(cfg, &mut rng);
+            let mut vs = vec![fb.vfield()];
+            for e in &epochs {
+                feed(&mut fb, e, &mut rng);
+                vs.push(fb.vfield());
+            }
+            (vs, fb.stats())
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,139 @@
+//! Figure 5 — partition-aggregate workload: average job completion time
+//! (the last flow of each incast job) normalized to ECMP, for fan-in
+//! degrees 4–32 at 40 % load.
+//!
+//! Paper's result: FlowBender (like RPS and DeTail) completes jobs ~4×
+//! faster than ECMP at fan-in 4, degrading to ~2× at fan-in 32 where the
+//! receiver's last hop is the bottleneck and multipathing can't help.
+
+use netsim::SimTime;
+use stats::{avg_job_completion, fmt_ratio, fmt_secs, Table};
+use topology::FatTreeParams;
+use workloads::partition_aggregate;
+
+use crate::report::{Opts, Report};
+use crate::scenario::{parallel_map, run_fat_tree, Scheme, Window};
+
+/// Fan-in degrees from the paper's Figure 5.
+pub const FAN_INS: [u32; 4] = [4, 8, 16, 32];
+
+/// One (scheme, fan-in) cell.
+#[derive(Debug)]
+pub struct Cell {
+    /// Fan-in degree.
+    pub fan_in: u32,
+    /// Scheme display name.
+    pub scheme: &'static str,
+    /// Average job completion time (s).
+    pub avg_jct_s: f64,
+    /// Jobs measured.
+    pub jobs: usize,
+}
+
+/// Run the sweep over `schemes` × [`FAN_INS`].
+pub fn sweep(opts: &Opts, schemes: &[Scheme]) -> Vec<Cell> {
+    opts.validate();
+    let params = FatTreeParams::paper();
+    let duration = opts.scaled(SimTime::from_ms(60));
+    let window = Window::for_duration(duration, SimTime::from_ms(400));
+
+    let mut jobs = Vec::new();
+    for &fan_in in &FAN_INS {
+        for scheme in schemes {
+            jobs.push((fan_in, scheme.clone()));
+        }
+    }
+    parallel_map(jobs, |(fan_in, scheme)| {
+        let mut rng = netsim::DetRng::new(opts.seed, 0xF16_5 ^ fan_in as u64);
+        let specs = partition_aggregate(&params, 0.4, fan_in, 1_000_000, duration, &mut rng);
+        let out = run_fat_tree(params, &scheme, &specs, window.drain_until, opts.seed);
+        // Job completion uses all jobs whose flows all completed; trim
+        // cool-down jobs by start time like the FCT window does.
+        let in_window: Vec<_> = out
+            .flows
+            .iter()
+            .filter(|f| f.start >= window.start && f.start < window.end)
+            .cloned()
+            .collect();
+        let (avg, n) = avg_job_completion(&in_window);
+        Cell { fan_in, scheme: scheme.name(), avg_jct_s: avg, jobs: n }
+    })
+}
+
+/// Produce the Figure 5 report.
+pub fn run(opts: &Opts) -> Report {
+    let cells = sweep(opts, &Scheme::paper_set());
+    let find = |fan_in: u32, name: &str| {
+        cells
+            .iter()
+            .find(|c| c.fan_in == fan_in && c.scheme == name)
+            .unwrap_or_else(|| panic!("missing {name} at fan-in {fan_in}"))
+    };
+    let mut table = Table::new(vec![
+        "fan-in", "DeTail", "FlowBender", "RPS", "ECMP abs", "jobs",
+    ]);
+    for &n in &FAN_INS {
+        let ecmp = find(n, "ECMP");
+        let cell = |name: &str| {
+            let c = find(n, name);
+            if ecmp.avg_jct_s > 0.0 {
+                fmt_ratio(c.avg_jct_s / ecmp.avg_jct_s)
+            } else {
+                "-".to_string()
+            }
+        };
+        table.row(vec![
+            n.to_string(),
+            cell("DeTail"),
+            cell("FlowBender"),
+            cell("RPS"),
+            fmt_secs(ecmp.avg_jct_s),
+            ecmp.jobs.to_string(),
+        ]);
+    }
+    let mut r = Report::new("fig5");
+    r.section(
+        "Fig 5: partition-aggregate avg job completion time, normalized to ECMP (lower is better)",
+        table,
+    );
+    r.note("paper: FlowBender ~0.25x at fan-in 4, ~0.5x at fan-in 32; within ~2% of DeTail/RPS");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_beats_ecmp_at_low_fan_in() {
+        let opts = Opts { scale: 0.25, seed: 3 };
+        let schemes = vec![Scheme::Ecmp, Scheme::FlowBender(flowbender::Config::default())];
+        let params = FatTreeParams::paper();
+        let duration = opts.scaled(SimTime::from_ms(60));
+        let window = Window::for_duration(duration, SimTime::from_ms(400));
+        let cells = parallel_map(schemes, |scheme| {
+            let mut rng = netsim::DetRng::new(opts.seed, 0xF16_5 ^ 4);
+            let specs = partition_aggregate(&params, 0.4, 4, 1_000_000, duration, &mut rng);
+            let out = run_fat_tree(params, &scheme, &specs, window.drain_until, opts.seed);
+            let in_window: Vec<_> = out
+                .flows
+                .iter()
+                .filter(|f| f.start >= window.start && f.start < window.end)
+                .cloned()
+                .collect();
+            let (avg, n) = avg_job_completion(&in_window);
+            (scheme.name(), avg, n)
+        });
+        let (_, ecmp_jct, ecmp_jobs) = cells[0];
+        let (_, fb_jct, fb_jobs) = cells[1];
+        assert!(ecmp_jobs > 10 && fb_jobs > 10, "too few jobs measured");
+        assert!(fb_jct > 0.0 && ecmp_jct > 0.0);
+        // In this substrate the incast bottleneck — the aggregator's own
+        // downlink, which no load balancer can widen — dominates
+        // partition-aggregate jobs (deep buffers + DCTCP keep the fabric
+        // loss-free), so FlowBender's fabric-side gains are muted relative
+        // to the paper; we assert non-inferiority within reroute-churn
+        // noise. EXPERIMENTS.md discusses the deviation.
+        assert!(fb_jct <= ecmp_jct * 1.15, "fb {fb_jct} vs ecmp {ecmp_jct}");
+    }
+}

@@ -1,0 +1,62 @@
+//! # experiments — the FlowBender (CoNEXT'14) reproduction harness
+//!
+//! One module per paper artifact; each produces a [`report::Report`] whose
+//! tables mirror the rows/series the paper reports (normalized to ECMP
+//! where the paper normalizes). The `experiments` binary exposes them as
+//! subcommands; the `fb-bench` crate reuses the same entry points at
+//! reduced scale for `cargo bench`.
+//!
+//! | module | paper artifact |
+//! |--------|----------------|
+//! | [`table1`] | Table 1 (functionality microbenchmark) |
+//! | [`alltoall`] | Figures 3 & 4 + §4.2.3 out-of-order stats |
+//! | [`fig5`] | Figure 5 (partition-aggregate) |
+//! | [`sensitivity`] | Figures 6 & 7 (N and T sweeps) |
+//! | [`fig8`] | Figure 8 (testbed, simulated) |
+//! | [`hotspot`] | §4.3.1 (UDP hotspot decongestion) |
+//! | [`topo_dep`] | §4.3.3 (path-diversity dependence) |
+//! | [`link_failure`] | §1/§3.3.2 (RTO-scale failure recovery) |
+//! | [`asym`] | §4.3.1 second half (asymmetric links, WCMP, weight misconfiguration) |
+//! | [`buffers`] | substrate sensitivity: buffer depth vs the ECMP gap |
+//! | [`flowlet`] | extension: FlowBender vs LetFlow-style flowlet switching |
+//! | [`ablation`] | §3.4/§5 design refinements |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ablation;
+pub mod alltoall;
+pub mod asym;
+pub mod buffers;
+pub mod fig5;
+pub mod flowlet;
+pub mod fig8;
+pub mod hotspot;
+pub mod link_failure;
+pub mod report;
+pub mod scenario;
+pub mod sensitivity;
+pub mod table1;
+pub mod topo_dep;
+
+pub use report::{Opts, Report};
+pub use scenario::{parallel_map, run_fat_tree, run_testbed, RunOutput, Scheme, Window};
+
+/// Run every experiment and return all reports, in paper order.
+pub fn run_everything(opts: &Opts) -> Vec<Report> {
+    let mut reports = Vec::new();
+    reports.push(table1::run(opts));
+    reports.extend(alltoall::run_all(opts));
+    reports.push(fig5::run(opts));
+    reports.push(sensitivity::fig6(opts));
+    reports.push(sensitivity::fig7(opts));
+    reports.push(fig8::run(opts));
+    reports.push(hotspot::run(opts));
+    reports.push(topo_dep::run(opts));
+    reports.push(link_failure::run(opts));
+    reports.push(asym::run(opts));
+    reports.push(buffers::run(opts));
+    reports.push(flowlet::run(opts));
+    reports.push(ablation::run(opts));
+    reports
+}

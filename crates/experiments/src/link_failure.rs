@@ -1,0 +1,124 @@
+//! §1/§3.3.2 claim — failure recovery "essentially within an RTO":
+//! FlowBender treats a retransmission timeout as the failure signal and
+//! rehashes immediately, so a flow whose path dies resumes within ~RTO
+//! (10 ms) instead of waiting O(seconds) for routing to reconverge (which,
+//! in these runs, never happens at all).
+//!
+//! Setup: long ToR-to-ToR flows across pods on the paper fat-tree; at
+//! t = 5 ms one agg→core link in the source pod fails. ECMP flows whose
+//! hash lands on the dead link black-hole forever; FlowBender flows take
+//! one RTO, bend, and finish.
+
+use netsim::{Counter, SimTime, Simulator};
+use stats::{fmt_secs, Table};
+use topology::{build_fat_tree, FatTreeParams};
+use transport::install_agents;
+use workloads::microbench;
+
+use crate::report::{Opts, Report};
+use crate::scenario::{parallel_map, Scheme};
+
+/// Result of one scheme's failure run.
+#[derive(Debug)]
+pub struct FailureResult {
+    /// Scheme name.
+    pub scheme: &'static str,
+    /// Flows that completed (of `flows`).
+    pub completed: usize,
+    /// Total flows.
+    pub flows: usize,
+    /// Timeouts observed.
+    pub timeouts: u64,
+    /// FlowBender reroutes triggered by timeouts.
+    pub timeout_reroutes: u64,
+    /// Worst FCT among completed flows (s).
+    pub max_fct_s: f64,
+}
+
+/// Run the failure experiment for one scheme.
+pub fn run_scheme(scheme: &Scheme, bytes: u64, fail_at: SimTime, seed: u64) -> FailureResult {
+    let params = FatTreeParams::paper();
+    let mut sim = Simulator::new(seed);
+    let ft = build_fat_tree(&mut sim, params, scheme.switch_config());
+    // 16 flows: two per host pair between ToR0/pod0 and ToR0/pod1.
+    let specs = microbench(&params, 16, bytes);
+    install_agents(&mut sim, &specs, &scheme.tcp_config());
+    // Fail agg 0 of pod 0's first core uplink: one of the 8 inter-pod
+    // paths dies. Packets already hashed onto it black-hole.
+    let (node, port) = ft.agg_core_link(0, 0);
+    sim.schedule_link_state(node, port, false, fail_at);
+    sim.run_until(SimTime::from_secs(60));
+    let rec = sim.recorder();
+    let fcts: Vec<f64> =
+        rec.flows().iter().filter_map(|f| f.fct()).map(|t| t.as_secs_f64()).collect();
+    FailureResult {
+        scheme: scheme.name(),
+        completed: fcts.len(),
+        flows: specs.len(),
+        timeouts: rec.get(Counter::Timeouts),
+        timeout_reroutes: rec.get(Counter::TimeoutReroutes),
+        max_fct_s: fcts.iter().cloned().fold(0.0, f64::max),
+    }
+}
+
+/// Produce the report.
+pub fn run(opts: &Opts) -> Report {
+    opts.validate();
+    let bytes = (10_000_000.0 * opts.scale) as u64;
+    let fail_at = SimTime::from_ms(5);
+    let schemes = vec![Scheme::Ecmp, Scheme::FlowBender(flowbender::Config::default())];
+    let results = parallel_map(schemes, |s| run_scheme(&s, bytes, fail_at, opts.seed));
+
+    let mut table = Table::new(vec![
+        "scheme",
+        "completed",
+        "timeouts",
+        "timeout reroutes",
+        "max FCT",
+    ]);
+    for r in &results {
+        table.row(vec![
+            r.scheme.to_string(),
+            format!("{}/{}", r.completed, r.flows),
+            r.timeouts.to_string(),
+            r.timeout_reroutes.to_string(),
+            if r.completed > 0 { fmt_secs(r.max_fct_s) } else { "-".to_string() },
+        ]);
+    }
+    let mut rep = Report::new("link_failure");
+    rep.section(
+        format!(
+            "Link failure at {}: agg0->core0 in the source pod dies under 16 cross-pod flows",
+            fmt_secs(fail_at.as_secs_f64())
+        ),
+        table,
+    );
+    rep.note("paper claim: FlowBender recovers within ~an RTO (10ms); ECMP flows on the dead path stall until routing reconverges (never, here)");
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flowbender_survives_failure_ecmp_strands_flows() {
+        let bytes = 3_000_000;
+        let ecmp = run_scheme(&Scheme::Ecmp, bytes, SimTime::from_ms(2), 21);
+        let fb = run_scheme(
+            &Scheme::FlowBender(flowbender::Config::default()),
+            bytes,
+            SimTime::from_ms(2),
+            21,
+        );
+        assert_eq!(fb.completed, fb.flows, "FlowBender must complete all flows");
+        assert!(fb.timeout_reroutes > 0, "recovery must go through timeout reroutes");
+        assert!(
+            ecmp.completed < ecmp.flows,
+            "ECMP should strand the flows hashed onto the dead path"
+        );
+        // Recovery is RTO-scale: with a 10ms RTO floor the whole 3MB flow
+        // set still finishes far faster than any routing reconvergence.
+        assert!(fb.max_fct_s < 5.0, "max fct = {}", fb.max_fct_s);
+    }
+}

@@ -1,0 +1,120 @@
+//! CLI for the FlowBender reproduction harness.
+//!
+//! ```text
+//! experiments <command> [--scale F] [--seed N] [--out DIR]
+//!
+//! commands:
+//!   table1        Table 1: 250MB ToR-to-ToR microbenchmark
+//!   fig3          Fig 3: all-to-all mean latency (runs the fig3/4/ooo sweep)
+//!   fig4          Fig 4: all-to-all p99 latency (same sweep)
+//!   ooo           §4.2.3: out-of-order statistics (same sweep)
+//!   fig5          Fig 5: partition-aggregate
+//!   fig6          Fig 6: sensitivity to N
+//!   fig7          Fig 7: sensitivity to T
+//!   fig8          Fig 8: testbed (simulated)
+//!   hotspot       §4.3.1: UDP hotspot decongestion
+//!   topo-dep      §4.3.3: path-diversity dependence
+//!   link-failure  §3.3.2: RTO-scale failure recovery
+//!   asym          §4.3.1: asymmetric links, WCMP, weight misconfiguration
+//!   buffers       substrate sensitivity: buffer depth vs the ECMP gap
+//!   flowlet       extension: FlowBender vs flowlet switching
+//!   ablation      §3.4/§5 design refinements
+//!   all           everything above
+//!
+//! options:
+//!   --scale F   duration/size multiplier (default 1.0; ~10 approaches
+//!               the paper's full scale)
+//!   --seed N    master seed (default 1)
+//!   --out DIR   also write .txt/.csv reports there (default: results/)
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use experiments::{report::Opts, Report};
+
+fn usage() -> ! {
+    eprint!("{}", USAGE);
+    std::process::exit(2);
+}
+
+const USAGE: &str = "usage: experiments <command> [--scale F] [--seed N] [--out DIR]\n\
+commands: table1 fig3 fig4 ooo fig5 fig6 fig7 fig8 hotspot topo-dep link-failure asym buffers flowlet ablation all\n";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let command = args[0].clone();
+    let mut opts = Opts::default();
+    let mut out_dir = PathBuf::from("results");
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                opts.scale = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--seed" => {
+                opts.seed = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--out" => {
+                out_dir = PathBuf::from(args.get(i + 1).unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+    opts.validate();
+
+    let started = std::time::Instant::now();
+    let reports: Vec<Report> = match command.as_str() {
+        "table1" => vec![experiments::table1::run(&opts)],
+        "fig3" | "fig4" | "ooo" => {
+            let all = experiments::alltoall::run_all(&opts);
+            let want = match command.as_str() {
+                "fig3" => "fig3",
+                "fig4" => "fig4",
+                _ => "ooo",
+            };
+            all.into_iter().filter(|r| r.name == want).collect()
+        }
+        "fig5" => vec![experiments::fig5::run(&opts)],
+        "fig6" => vec![experiments::sensitivity::fig6(&opts)],
+        "fig7" => vec![experiments::sensitivity::fig7(&opts)],
+        "fig8" => vec![experiments::fig8::run(&opts)],
+        "hotspot" => vec![experiments::hotspot::run(&opts)],
+        "topo-dep" => vec![experiments::topo_dep::run(&opts)],
+        "link-failure" => vec![experiments::link_failure::run(&opts)],
+        "asym" => vec![experiments::asym::run(&opts)],
+        "buffers" => vec![experiments::buffers::run(&opts)],
+        "flowlet" => vec![experiments::flowlet::run(&opts)],
+        "ablation" => vec![experiments::ablation::run(&opts)],
+        "all" => experiments::run_everything(&opts),
+        _ => usage(),
+    };
+
+    for report in &reports {
+        println!("{}", report.render());
+        if let Err(e) = report.write_files(&out_dir) {
+            eprintln!("warning: could not write {} files: {e}", report.name);
+        }
+    }
+    eprintln!(
+        "[{} report(s) in {:.1}s; scale={}, seed={}; files under {}]",
+        reports.len(),
+        started.elapsed().as_secs_f64(),
+        opts.scale,
+        opts.seed,
+        out_dir.display()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,155 @@
+//! Experiment reports: titled tables plus notes, renderable to the
+//! terminal and to CSV files under `results/`.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use stats::Table;
+
+/// Options shared by all experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct Opts {
+    /// Scales run durations / flow sizes. `1.0` is the committed default
+    /// that finishes in minutes on a laptop; `10.0` approaches the paper's
+    /// full scale (see EXPERIMENTS.md).
+    pub scale: f64,
+    /// Master seed; every random choice in a run derives from it.
+    pub seed: u64,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts { scale: 1.0, seed: 1 }
+    }
+}
+
+impl Opts {
+    /// Validate ranges.
+    pub fn validate(&self) {
+        assert!(
+            self.scale > 0.0 && self.scale <= 100.0,
+            "scale {} out of (0, 100]",
+            self.scale
+        );
+    }
+
+    /// A duration scaled by `self.scale`.
+    pub fn scaled(&self, base: netsim::SimTime) -> netsim::SimTime {
+        netsim::SimTime::from_secs_f64(base.as_secs_f64() * self.scale)
+    }
+}
+
+/// A rendered experiment: named sections of tables plus free-form notes.
+#[derive(Debug)]
+pub struct Report {
+    /// Experiment id (e.g. "fig3").
+    pub name: String,
+    /// Titled tables, in print order.
+    pub sections: Vec<(String, Table)>,
+    /// Data-only sections: written as CSV by [`Report::write_files`] but
+    /// not rendered to the terminal (e.g. full FCT CDFs for plotting).
+    pub data_sections: Vec<(String, Table)>,
+    /// Notes printed after the tables (expected shapes, caveats).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Create an empty report.
+    pub fn new(name: impl Into<String>) -> Self {
+        Report {
+            name: name.into(),
+            sections: Vec::new(),
+            data_sections: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a titled table.
+    pub fn section(&mut self, title: impl Into<String>, table: Table) -> &mut Self {
+        self.sections.push((title.into(), table));
+        self
+    }
+
+    /// Append a data-only section (CSV file, no terminal rendering).
+    pub fn data_section(&mut self, slug: impl Into<String>, table: Table) -> &mut Self {
+        self.data_sections.push((slug.into(), table));
+        self
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, s: impl Into<String>) -> &mut Self {
+        self.notes.push(s.into());
+        self
+    }
+
+    /// Render the whole report as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.name));
+        for (title, table) in &self.sections {
+            out.push('\n');
+            out.push_str(title);
+            out.push('\n');
+            out.push_str(&table.render());
+        }
+        if !self.notes.is_empty() {
+            out.push('\n');
+            for n in &self.notes {
+                out.push_str(&format!("note: {n}\n"));
+            }
+        }
+        out
+    }
+
+    /// Write each section as `dir/<name>_<i>.csv` and the text rendering
+    /// as `dir/<name>.txt`.
+    pub fn write_files(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        fs::write(dir.join(format!("{}.txt", self.name)), self.render())?;
+        for (i, (_, table)) in self.sections.iter().enumerate() {
+            fs::write(dir.join(format!("{}_{}.csv", self.name, i)), table.to_csv())?;
+        }
+        for (slug, table) in &self.data_sections {
+            fs::write(dir.join(format!("{}_{}.csv", self.name, slug)), table.to_csv())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_sections_and_notes() {
+        let mut t = Table::new(vec!["a"]);
+        t.row(vec!["1"]);
+        let mut r = Report::new("demo");
+        r.section("First", t).note("hello");
+        let s = r.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("First"));
+        assert!(s.contains("note: hello"));
+    }
+
+    #[test]
+    fn write_files_produces_txt_and_csv() {
+        let dir = std::env::temp_dir().join(format!("fbreport_{}", std::process::id()));
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1", "2"]);
+        let mut r = Report::new("demo");
+        r.section("S", t);
+        r.write_files(&dir).unwrap();
+        assert!(dir.join("demo.txt").exists());
+        assert_eq!(std::fs::read_to_string(dir.join("demo_0.csv")).unwrap(), "a,b\n1,2\n");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn opts_scaling() {
+        let o = Opts { scale: 0.5, seed: 1 };
+        o.validate();
+        assert_eq!(o.scaled(netsim::SimTime::from_ms(100)), netsim::SimTime::from_ms(50));
+    }
+}

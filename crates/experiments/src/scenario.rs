@@ -1,0 +1,272 @@
+//! Shared experiment machinery: schemes, runners, and parallel sweeps.
+//!
+//! A [`Scheme`] bundles the fabric-side switch configuration with the
+//! host-side TCP configuration of one evaluated design, exactly as §4.2
+//! pairs them:
+//!
+//! | scheme      | switches                         | hosts                     |
+//! |-------------|----------------------------------|---------------------------|
+//! | ECMP        | 5-tuple(+V) hash                 | DCTCP                     |
+//! | FlowBender  | 5-tuple+V hash                   | DCTCP + FlowBender        |
+//! | RPS         | per-packet random spray          | DCTCP                     |
+//! | DeTail      | per-packet adaptive + PFC        | DCTCP, no fast retransmit |
+
+use flowbender as fb;
+use netsim::{
+    Counter, FlowRecord, FlowSpec, HashConfig, PortStats, Recorder, SimTime, Simulator,
+    SwitchConfig,
+};
+use topology::{build_fat_tree, build_testbed, FatTree, FatTreeParams, Testbed, TestbedParams};
+use transport::{install_agents, TcpConfig};
+
+/// One evaluated load-balancing design (fabric + host sides together).
+#[derive(Debug, Clone)]
+pub enum Scheme {
+    /// Static ECMP hashing, the baseline everything is normalized to.
+    Ecmp,
+    /// FlowBender over commodity ECMP switches with the V-field hashed.
+    FlowBender(fb::Config),
+    /// Random Packet Spraying switches.
+    Rps,
+    /// DeTail-style adaptive routing with PFC; fast retransmit disabled.
+    DeTail,
+    /// Flowlet switching (LetFlow-style) with the given inactivity gap —
+    /// a contemporary baseline beyond the paper's four schemes.
+    Flowlet(SimTime),
+}
+
+impl Scheme {
+    /// All four schemes with FlowBender at paper defaults, in the paper's
+    /// presentation order.
+    pub fn paper_set() -> Vec<Scheme> {
+        vec![Scheme::Ecmp, Scheme::FlowBender(fb::Config::default()), Scheme::Rps, Scheme::DeTail]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::Ecmp => "ECMP",
+            Scheme::FlowBender(_) => "FlowBender",
+            Scheme::Rps => "RPS",
+            Scheme::DeTail => "DeTail",
+            Scheme::Flowlet(_) => "Flowlet",
+        }
+    }
+
+    /// The switch configuration this scheme needs.
+    pub fn switch_config(&self) -> SwitchConfig {
+        match self {
+            // ECMP switches are configured with the V-field in the hash in
+            // all runs (the paper's "5 lines of switch configuration") —
+            // for plain ECMP hosts never change V, so it is inert.
+            Scheme::Ecmp => SwitchConfig::commodity(HashConfig::FiveTupleAndVField),
+            Scheme::FlowBender(_) => SwitchConfig::commodity(HashConfig::FiveTupleAndVField),
+            Scheme::Rps => SwitchConfig::rps(),
+            Scheme::DeTail => SwitchConfig::detail(),
+            Scheme::Flowlet(gap) => SwitchConfig::flowlet(*gap),
+        }
+    }
+
+    /// The host TCP configuration this scheme needs.
+    pub fn tcp_config(&self) -> TcpConfig {
+        match self {
+            Scheme::Ecmp | Scheme::Rps | Scheme::Flowlet(_) => TcpConfig::default(),
+            Scheme::FlowBender(cfg) => TcpConfig::flowbender(*cfg),
+            Scheme::DeTail => TcpConfig::detail(),
+        }
+    }
+}
+
+/// Everything a finished run hands back for analysis (thread-safe: no
+/// simulator internals).
+#[derive(Debug)]
+pub struct RunOutput {
+    /// Flow records (completed and not).
+    pub flows: Vec<FlowRecord>,
+    /// Event counters, indexable by [`Counter`].
+    counters: Vec<u64>,
+    /// Snapshots of requested ports' statistics, in request order.
+    pub port_stats: Vec<PortStats>,
+    /// Events the simulator processed (for performance reporting).
+    pub events: u64,
+}
+
+impl RunOutput {
+    /// Read one counter.
+    pub fn get(&self, c: Counter) -> u64 {
+        self.counters[c as usize]
+    }
+
+    fn from_sim(sim: Simulator, watch_ports: &[(netsim::NodeId, netsim::PortId)]) -> Self {
+        let port_stats = watch_ports.iter().map(|&(n, p)| sim.port_stats(n, p)).collect();
+        let events = sim.events_processed();
+        let recorder: Recorder = sim.into_recorder();
+        let counters = Counter::all().iter().map(|&c| recorder.get(c)).collect();
+        RunOutput { flows: recorder.into_flows(), counters, port_stats, events }
+    }
+}
+
+/// Run `specs` on a fat-tree of `params` under `scheme`, until `until`
+/// (which should cover the arrival window plus a drain period).
+pub fn run_fat_tree(
+    params: FatTreeParams,
+    scheme: &Scheme,
+    specs: &[FlowSpec],
+    until: SimTime,
+    seed: u64,
+) -> RunOutput {
+    let mut sim = Simulator::new(seed);
+    let _ft: FatTree = build_fat_tree(&mut sim, params, scheme.switch_config());
+    install_agents(&mut sim, specs, &scheme.tcp_config());
+    sim.run_until(until);
+    RunOutput::from_sim(sim, &[])
+}
+
+/// Run `specs` on a testbed of `params` under `scheme`. `watch_uplinks`
+/// selects `(tor_index, uplink_index)` ports to snapshot (for the hotspot
+/// path-throughput measurement); their stats appear in `port_stats` in
+/// order.
+pub fn run_testbed(
+    params: TestbedParams,
+    scheme: &Scheme,
+    specs: &[FlowSpec],
+    until: SimTime,
+    seed: u64,
+    watch_uplinks: &[(usize, usize)],
+) -> RunOutput {
+    let mut sim = Simulator::new(seed);
+    let tb: Testbed = build_testbed(&mut sim, params, scheme.switch_config());
+    let ports: Vec<_> = watch_uplinks
+        .iter()
+        .map(|&(t, a)| (tb.tors[t], tb.tor_uplinks[t][a]))
+        .collect();
+    install_agents(&mut sim, specs, &scheme.tcp_config());
+    sim.run_until(until);
+    RunOutput::from_sim(sim, &ports)
+}
+
+/// Map `f` over `inputs` on one thread per input (runs are single-threaded
+/// and independent; sweeps parallelize across configurations).
+pub fn parallel_map<I, T, F>(inputs: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = inputs
+            .into_iter()
+            .map(|input| scope.spawn(|| f(input)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("experiment thread panicked")).collect()
+    })
+}
+
+/// Common measurement conventions for windowed workloads.
+#[derive(Debug, Clone, Copy)]
+pub struct Window {
+    /// Ignore flows arriving before this (warm-up).
+    pub start: SimTime,
+    /// Ignore flows arriving at/after this (cool-down); also the end of
+    /// the arrival process.
+    pub end: SimTime,
+    /// Keep simulating until this, so in-window flows can finish.
+    pub drain_until: SimTime,
+}
+
+impl Window {
+    /// A window of `duration` with 10 % warm-up and a generous drain.
+    pub fn for_duration(duration: SimTime, drain: SimTime) -> Self {
+        Window {
+            start: SimTime::from_ps(duration.as_ps() / 10),
+            end: duration,
+            drain_until: duration + drain,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::Proto;
+
+    #[test]
+    fn scheme_configs_are_consistent() {
+        for s in Scheme::paper_set() {
+            let sw = s.switch_config();
+            let tcp = s.tcp_config();
+            tcp.validate();
+            match s {
+                Scheme::Ecmp | Scheme::FlowBender(_) => {
+                    assert_eq!(sw.scheme, netsim::ForwardingScheme::EcmpHash);
+                    assert!(sw.pfc.is_none());
+                }
+                Scheme::Rps => assert_eq!(sw.scheme, netsim::ForwardingScheme::Rps),
+                Scheme::Flowlet(_) => unreachable!("not in paper_set"),
+                Scheme::DeTail => {
+                    assert_eq!(sw.scheme, netsim::ForwardingScheme::Adaptive);
+                    assert!(sw.pfc.is_some());
+                    assert_eq!(tcp.dupack_threshold, None);
+                }
+            }
+            if matches!(s, Scheme::FlowBender(_)) {
+                assert!(tcp.flowbender.is_some());
+            } else {
+                assert!(tcp.flowbender.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_fat_tree_run_completes_flows() {
+        let params = FatTreeParams::tiny();
+        let specs: Vec<FlowSpec> = (0..8)
+            .map(|i| FlowSpec::tcp(i, i, 8 + i, 500_000, SimTime::ZERO))
+            .collect();
+        for scheme in Scheme::paper_set() {
+            let out = run_fat_tree(params, &scheme, &specs, SimTime::from_secs(5), 1);
+            let done = out.flows.iter().filter(|f| f.fct().is_some()).count();
+            assert_eq!(done, 8, "{} incomplete", scheme.name());
+            assert!(out.events > 0);
+            let _ = out.get(Counter::DataPktsRcvd);
+        }
+    }
+
+    #[test]
+    fn testbed_run_snapshots_requested_ports() {
+        let params = TestbedParams::tiny();
+        let specs = vec![
+            FlowSpec::tcp(0, 0, 5, 1_000_000, SimTime::ZERO),
+            FlowSpec::udp(1, 0, 5, 1_000_000_000, SimTime::ZERO),
+        ];
+        let watch: Vec<(usize, usize)> = (0..4).map(|a| (0usize, a)).collect();
+        let out = run_testbed(
+            params,
+            &Scheme::Ecmp,
+            &specs,
+            SimTime::from_ms(20),
+            7,
+            &watch,
+        );
+        assert_eq!(out.port_stats.len(), 4);
+        let tcp_total: u64 = out.port_stats.iter().map(|p| p.tx_bytes_tcp).sum();
+        let udp_total: u64 = out.port_stats.iter().map(|p| p.tx_bytes_udp).sum();
+        assert!(tcp_total > 0, "TCP crossed the uplinks");
+        assert!(udp_total > 0, "UDP crossed the uplinks");
+        assert_eq!(out.flows[1].proto, Proto::Udp);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..16).collect::<Vec<_>>(), |i| i * i);
+        assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn window_conventions() {
+        let w = Window::for_duration(SimTime::from_ms(100), SimTime::from_ms(400));
+        assert_eq!(w.start, SimTime::from_ms(10));
+        assert_eq!(w.end, SimTime::from_ms(100));
+        assert_eq!(w.drain_until, SimTime::from_ms(500));
+    }
+}

@@ -1,0 +1,103 @@
+//! Host agents: the hook where transport protocols attach to the simulator.
+//!
+//! Each host owns one boxed [`Agent`]. The simulator calls into it when the
+//! host receives a packet or one of its timers fires; the agent acts on the
+//! world exclusively through the [`Ctx`] handed to it (sending packets,
+//! arming timers, drawing randomness, recording measurements). The
+//! `transport` crate implements this trait for TCP/DCTCP/UDP endpoints.
+
+use crate::event::{EventKind, Scheduler};
+use crate::packet::{NodeId, Packet};
+use crate::record::Recorder;
+use crate::rng::DetRng;
+use crate::time::SimTime;
+
+/// A protocol stack living on one host.
+pub trait Agent {
+    /// Called once, at simulation start, before any event fires. Arm the
+    /// first timers / send the first packets here.
+    fn on_start(&mut self, ctx: &mut Ctx<'_>);
+
+    /// A packet addressed to this host arrived.
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>);
+
+    /// A timer armed via [`Ctx::set_timer`] fired. Timers cannot be
+    /// cancelled; implementations must ignore stale tokens.
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>);
+}
+
+/// The agent's window onto the simulation.
+pub struct Ctx<'a> {
+    now: SimTime,
+    host: NodeId,
+    tx_stack_delay: SimTime,
+    sched: &'a mut Scheduler,
+    rng: &'a mut DetRng,
+    recorder: &'a mut Recorder,
+}
+
+impl<'a> Ctx<'a> {
+    /// Internal constructor used by the simulator event loop.
+    pub(crate) fn new(
+        now: SimTime,
+        host: NodeId,
+        tx_stack_delay: SimTime,
+        sched: &'a mut Scheduler,
+        rng: &'a mut DetRng,
+        recorder: &'a mut Recorder,
+    ) -> Self {
+        Ctx { now, host, tx_stack_delay, sched, rng, recorder }
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The host this agent runs on.
+    #[inline]
+    pub fn host(&self) -> NodeId {
+        self.host
+    }
+
+    /// Hand a packet to the host's stack for transmission. It reaches the
+    /// NIC queue after the host's TX stack delay (the paper's 20 µs host
+    /// delay) and is serialized from there.
+    pub fn send(&mut self, pkt: Packet) {
+        self.sched.schedule(
+            self.now + self.tx_stack_delay,
+            EventKind::HostTx { host: self.host, pkt },
+        );
+    }
+
+    /// Arm a timer to fire at absolute time `at` (clamped to now if in the
+    /// past) carrying an opaque `token` back to [`Agent::on_timer`].
+    pub fn set_timer(&mut self, at: SimTime, token: u64) {
+        let at = at.max(self.now);
+        self.sched.schedule(at, EventKind::Timer { host: self.host, token });
+    }
+
+    /// Deterministic per-host random stream.
+    #[inline]
+    pub fn rng(&mut self) -> &mut DetRng {
+        self.rng
+    }
+
+    /// The run-wide measurement recorder.
+    #[inline]
+    pub fn recorder(&mut self) -> &mut Recorder {
+        self.recorder
+    }
+}
+
+/// An agent that does nothing; the default on hosts until a transport is
+/// attached, and useful as a sink in tests.
+#[derive(Debug, Default)]
+pub struct NullAgent;
+
+impl Agent for NullAgent {
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+    fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
+    fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_>) {}
+}

@@ -1,0 +1,169 @@
+//! The discrete-event core: events and the time-ordered scheduler.
+//!
+//! The simulator is a classic discrete-event loop: a binary heap of events
+//! ordered by `(time, insertion sequence)`. The insertion sequence breaks
+//! ties FIFO, which makes runs fully deterministic: two events scheduled for
+//! the same instant always fire in the order they were scheduled.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::packet::{NodeId, Packet, PortId};
+use crate::time::SimTime;
+
+/// What happens when an event fires.
+#[derive(Debug)]
+#[allow(missing_docs)] // variant fields are described in the variant docs
+pub enum EventKind {
+    /// A packet finished propagation (and ingress processing delay) and is
+    /// now at `node`, having entered through `port`.
+    Arrive { node: NodeId, port: PortId, pkt: Packet },
+    /// Serialization of `pkt` on `(node, port)` finished; the packet leaves
+    /// onto the wire and the port may start its next transmission.
+    TxDone { node: NodeId, port: PortId, pkt: Packet },
+    /// A host's protocol stack finished processing an outbound packet
+    /// (models the 20 µs host delay); enqueue it at the NIC.
+    HostTx { host: NodeId, pkt: Packet },
+    /// A timer set by a host agent fired.
+    Timer { host: NodeId, token: u64 },
+    /// A PFC pause (`pause == true`) or resume frame arrived at the egress
+    /// port `(node, port)`, sent by the downstream ingress.
+    Pfc { node: NodeId, port: PortId, pause: bool },
+    /// Administratively change the state of the link attached to
+    /// `(node, port)` (affects both directions).
+    LinkState { node: NodeId, port: PortId, up: bool },
+    /// Take one sample for the queue watcher with this index.
+    Sample { watcher: usize },
+}
+
+/// An event: a `kind` firing at `time`, with `seq` as the deterministic
+/// tie-breaker.
+#[derive(Debug)]
+pub struct Event {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Deterministic FIFO tie-breaker among same-time events.
+    pub seq: u64,
+    /// What fires.
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event on
+        // top. Compare (time, seq) descending.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Time-ordered event queue.
+#[derive(Debug, Default)]
+pub struct Scheduler {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+    scheduled: u64,
+}
+
+impl Scheduler {
+    /// Create an empty scheduler.
+    pub fn new() -> Self {
+        Scheduler::default()
+    }
+
+    /// Schedule `kind` to fire at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled += 1;
+        self.heap.push(Event { time: at, seq, kind });
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no event is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled.
+    pub fn total_scheduled(&self) -> u64 {
+        self.scheduled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_us(3), EventKind::Timer { host: 0, token: 3 });
+        s.schedule(SimTime::from_us(1), EventKind::Timer { host: 0, token: 1 });
+        s.schedule(SimTime::from_us(2), EventKind::Timer { host: 0, token: 2 });
+        let order: Vec<u64> = std::iter::from_fn(|| s.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut s = Scheduler::new();
+        let t = SimTime::from_us(5);
+        for token in 0..100 {
+            s.schedule(t, EventKind::Timer { host: 0, token });
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| s.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut s = Scheduler::new();
+        assert!(s.is_empty());
+        assert_eq!(s.peek_time(), None);
+        s.schedule(SimTime::from_ms(1), EventKind::Timer { host: 1, token: 0 });
+        s.schedule(SimTime::from_us(1), EventKind::Timer { host: 1, token: 1 });
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.peek_time(), Some(SimTime::from_us(1)));
+        assert_eq!(s.total_scheduled(), 2);
+    }
+}

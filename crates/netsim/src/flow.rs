@@ -1,0 +1,165 @@
+//! Flow descriptions, shared between workload generators and transports.
+//!
+//! A [`FlowSpec`] is the workload layer's description of one flow: who
+//! sends how many bytes to whom, starting when. The experiment layer
+//! registers all specs with the [`crate::Recorder`] up front; the
+//! `transport` crate turns each spec into a live TCP/UDP connection at its
+//! start time.
+
+use crate::packet::{FlowId, FlowKey, HostId, Proto};
+use crate::record::FlowRecord;
+use crate::time::SimTime;
+
+/// One flow to be run in an experiment.
+#[derive(Debug, Clone)]
+pub struct FlowSpec {
+    /// Globally unique, dense id (0..n, assigned by the workload).
+    pub id: FlowId,
+    /// Sending host.
+    pub src: HostId,
+    /// Receiving host.
+    pub dst: HostId,
+    /// Application bytes to transfer. For unbounded UDP sources this is the
+    /// cap (use `u64::MAX` for "until the run ends").
+    pub bytes: u64,
+    /// When the flow arrives at the sender.
+    pub start: SimTime,
+    /// Partition-aggregate job id, if this flow is part of one.
+    pub job: Option<u32>,
+    /// Transport protocol.
+    pub proto: Proto,
+    /// For UDP: the constant bit rate of the source. Ignored for TCP.
+    pub udp_rate_bps: u64,
+    /// For UDP: re-draw the V-field every this many datagrams (paper
+    /// §3.4.3, "FlowBender beyond TCP": burst-level spraying for
+    /// reorder-tolerant transports). 0 = never (pinned, the hotspot
+    /// behaviour).
+    pub udp_spray_every: u64,
+}
+
+impl FlowSpec {
+    /// A TCP flow of `bytes` from `src` to `dst` starting at `start`.
+    pub fn tcp(id: FlowId, src: HostId, dst: HostId, bytes: u64, start: SimTime) -> Self {
+        assert_ne!(src, dst, "flow {id}: src == dst");
+        assert!(bytes > 0, "flow {id}: empty flow");
+        FlowSpec {
+            id,
+            src,
+            dst,
+            bytes,
+            start,
+            job: None,
+            proto: Proto::Tcp,
+            udp_rate_bps: 0,
+            udp_spray_every: 0,
+        }
+    }
+
+    /// A rate-limited UDP flow (the §4.3.1 hotspot source).
+    pub fn udp(id: FlowId, src: HostId, dst: HostId, rate_bps: u64, start: SimTime) -> Self {
+        assert_ne!(src, dst, "flow {id}: src == dst");
+        assert!(rate_bps > 0, "flow {id}: zero-rate UDP");
+        FlowSpec {
+            id,
+            src,
+            dst,
+            bytes: u64::MAX,
+            start,
+            job: None,
+            proto: Proto::Udp,
+            udp_rate_bps: rate_bps,
+            udp_spray_every: 0,
+        }
+    }
+
+    /// Tag this flow as part of partition-aggregate job `job`.
+    pub fn with_job(mut self, job: u32) -> Self {
+        self.job = Some(job);
+        self
+    }
+
+    /// For UDP flows: re-draw the V-field every `every` datagrams
+    /// (§3.4.3's burst-level spraying; `every = 1` is per-packet).
+    pub fn with_udp_spray(mut self, every: u64) -> Self {
+        assert_eq!(self.proto, Proto::Udp, "spraying applies to UDP flows");
+        self.udp_spray_every = every;
+        self
+    }
+
+    /// The 5-tuple this flow's packets carry. Ports are derived from the
+    /// flow id so every flow gets distinct ECMP hash entropy, like distinct
+    /// ephemeral ports would in a real host.
+    pub fn key(&self) -> FlowKey {
+        FlowKey {
+            src: self.src,
+            dst: self.dst,
+            sport: 1024 + (self.id % 60_000) as u16,
+            dport: 9_000 + (self.id / 60_000) as u16,
+            proto: self.proto,
+        }
+    }
+
+    /// The initial (not-yet-finished) recorder entry for this flow.
+    pub fn record(&self) -> FlowRecord {
+        FlowRecord {
+            flow: self.id,
+            src: self.src,
+            dst: self.dst,
+            bytes: self.bytes,
+            start: self.start,
+            end: SimTime::MAX,
+            job: self.job,
+            proto: self.proto,
+        }
+    }
+}
+
+/// Register every spec with the recorder (specs must be sorted by id and
+/// dense from 0 — workload generators guarantee this).
+pub fn register_flows(recorder: &mut crate::record::Recorder, specs: &[FlowSpec]) {
+    for s in specs {
+        recorder.flow_started(s.record());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Recorder;
+
+    #[test]
+    fn tcp_spec_key_is_stable_and_distinct() {
+        let a = FlowSpec::tcp(0, 1, 2, 1000, SimTime::ZERO);
+        let b = FlowSpec::tcp(1, 1, 2, 1000, SimTime::ZERO);
+        assert_eq!(a.key(), a.key());
+        assert_ne!(a.key(), b.key());
+        assert_eq!(a.key().proto, Proto::Tcp);
+    }
+
+    #[test]
+    fn udp_spec_is_unbounded() {
+        let u = FlowSpec::udp(3, 1, 2, 6_000_000_000, SimTime::from_ms(1));
+        assert_eq!(u.bytes, u64::MAX);
+        assert_eq!(u.udp_rate_bps, 6_000_000_000);
+        assert_eq!(u.key().proto, Proto::Udp);
+    }
+
+    #[test]
+    fn register_flows_populates_recorder() {
+        let specs = vec![
+            FlowSpec::tcp(0, 1, 2, 100, SimTime::ZERO),
+            FlowSpec::tcp(1, 2, 3, 200, SimTime::from_us(5)).with_job(7),
+        ];
+        let mut rec = Recorder::new();
+        register_flows(&mut rec, &specs);
+        assert_eq!(rec.flows().len(), 2);
+        assert_eq!(rec.flows()[1].job, Some(7));
+        assert_eq!(rec.completed_count(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_flow_rejected() {
+        FlowSpec::tcp(0, 5, 5, 100, SimTime::ZERO);
+    }
+}

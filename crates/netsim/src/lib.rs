@@ -1,0 +1,71 @@
+//! # netsim — a deterministic packet-level datacenter network simulator
+//!
+//! This crate is the substrate of the FlowBender (CoNEXT'14) reproduction:
+//! an ns-3-class discrete-event simulator purpose-built for datacenter
+//! load-balancing experiments. It models:
+//!
+//! * full-duplex point-to-point links with exact (picosecond-resolution)
+//!   serialization and propagation times,
+//! * drop-tail egress queues with DCTCP-style single-threshold ECN marking,
+//! * switches running any of the paper's fabric-side schemes — static ECMP
+//!   hashing (with or without the FlowBender V-field), per-packet random
+//!   spraying (RPS), and DeTail-style per-packet adaptive routing with PFC
+//!   (combined input/output queueing, pause/resume thresholds),
+//! * hosts with the paper's 20 µs stack delays, running pluggable protocol
+//!   [`Agent`]s (TCP/DCTCP/UDP live in the `transport` crate),
+//! * administrative link failures (black-holing until "routing reconverges",
+//!   which in these experiments never happens — that is the point),
+//! * a run-wide [`Recorder`] of flow completions and event counters.
+//!
+//! Everything is deterministic: given the same build sequence and master
+//! seed, a run reproduces bit-for-bit, including every "random" choice
+//! (hash salts, RPS picks, tie-breaks) via the internal PCG streams.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use netsim::{Simulator, SwitchConfig, LinkSpec, RoutingTable, HashConfig, SimTime};
+//!
+//! let mut sim = Simulator::new(42);
+//! let h0 = sim.add_host_default();
+//! let h1 = sim.add_host_default();
+//! let sw = sim.add_switch(SwitchConfig::commodity(HashConfig::FiveTupleAndVField));
+//! sim.connect(h0, sw, LinkSpec::host_10g());
+//! sim.connect(h1, sw, LinkSpec::host_10g());
+//! let mut routes = RoutingTable::new(2);
+//! routes.set(h0, vec![0]);
+//! routes.set(h1, vec![1]);
+//! sim.set_routes(sw, routes);
+//! // ... attach agents with sim.set_agent(host, Box::new(...)) ...
+//! sim.run_until(SimTime::from_ms(10));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod agent;
+pub mod event;
+pub mod flow;
+pub mod hashing;
+pub mod packet;
+pub mod queue;
+pub mod record;
+pub mod rng;
+pub mod sim;
+pub mod switch;
+pub mod testutil;
+pub mod time;
+
+pub use agent::{Agent, Ctx, NullAgent};
+pub use flow::{register_flows, FlowSpec};
+pub use hashing::{EcmpHasher, HashConfig};
+pub use packet::{
+    FlowId, FlowKey, Flags, HostId, NodeId, Packet, PortId, Proto, ACK_BYTES, HEADER_BYTES, MSS,
+    MTU,
+};
+pub use queue::{EcnQueue, EnqueueResult, QueueStats};
+pub use record::{Counter, FlowRecord, Recorder};
+pub use rng::DetRng;
+pub use sim::{LinkSpec, PortStats, QueueSpec, Simulator, SwitchConfig};
+pub use switch::{FlowletState, ForwardingScheme, PfcConfig, RoutingTable};
+pub use time::SimTime;

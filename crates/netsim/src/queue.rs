@@ -1,0 +1,228 @@
+//! Output queues with drop-tail and DCTCP-style ECN marking.
+//!
+//! Every transmitting port owns one [`EcnQueue`]. Enqueue performs the
+//! switch's AQM decision: if the instantaneous occupancy (in bytes) exceeds
+//! the marking threshold `K`, an ECN-capable packet gets its CE bit set —
+//! this is the single-threshold marking DCTCP relies on (paper §4.2:
+//! "a congested switch marks every packet exceeding a desired queue size
+//! threshold", K = 90 KB for 10 Gbps links). Non-ECN packets (or any packet
+//! once the byte capacity is exhausted) are dropped at the tail.
+
+use std::collections::VecDeque;
+
+use crate::packet::{Flags, Packet};
+
+/// Outcome of an enqueue attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnqueueResult {
+    /// Packet accepted (possibly CE-marked).
+    Queued,
+    /// Packet dropped: the queue was at capacity.
+    Dropped,
+}
+
+/// A byte-bounded FIFO with single-threshold ECN marking.
+#[derive(Debug)]
+pub struct EcnQueue {
+    fifo: VecDeque<Packet>,
+    bytes: u64,
+    /// Maximum occupancy in bytes; arrivals beyond this are dropped.
+    capacity: u64,
+    /// ECN marking threshold `K` in bytes; `u64::MAX` disables marking.
+    mark_threshold: u64,
+    /// Lifetime statistics.
+    stats: QueueStats,
+}
+
+/// Counters maintained by each queue over its lifetime.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct QueueStats {
+    /// Packets accepted.
+    pub enqueued: u64,
+    /// Packets dropped at the tail.
+    pub dropped: u64,
+    /// Packets CE-marked on enqueue.
+    pub marked: u64,
+    /// Highest byte occupancy ever observed.
+    pub max_bytes: u64,
+}
+
+impl EcnQueue {
+    /// Create a queue with the given byte capacity and marking threshold.
+    pub fn new(capacity: u64, mark_threshold: u64) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        EcnQueue {
+            fifo: VecDeque::new(),
+            bytes: 0,
+            capacity,
+            mark_threshold,
+            stats: QueueStats::default(),
+        }
+    }
+
+    /// Create a queue that never marks (plain drop-tail).
+    pub fn drop_tail(capacity: u64) -> Self {
+        Self::new(capacity, u64::MAX)
+    }
+
+    /// Attempt to enqueue `pkt`, applying drop-tail and ECN marking.
+    ///
+    /// The marking decision uses the occupancy *before* the packet is added
+    /// (instantaneous queue length seen by the arriving packet), matching
+    /// DCTCP's specification.
+    pub fn enqueue(&mut self, mut pkt: Packet) -> EnqueueResult {
+        if self.bytes + pkt.size as u64 > self.capacity {
+            self.stats.dropped += 1;
+            return EnqueueResult::Dropped;
+        }
+        if self.bytes >= self.mark_threshold && pkt.ecn_capable() {
+            pkt.flags.set(Flags::CE);
+            self.stats.marked += 1;
+        }
+        self.bytes += pkt.size as u64;
+        self.stats.enqueued += 1;
+        if self.bytes > self.stats.max_bytes {
+            self.stats.max_bytes = self.bytes;
+        }
+        self.fifo.push_back(pkt);
+        EnqueueResult::Queued
+    }
+
+    /// Remove and return the head-of-line packet, if any.
+    pub fn dequeue(&mut self) -> Option<Packet> {
+        let pkt = self.fifo.pop_front()?;
+        self.bytes -= pkt.size as u64;
+        Some(pkt)
+    }
+
+    /// Current occupancy in bytes.
+    #[inline]
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Current occupancy in packets.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// True if no packet is queued.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.fifo.is_empty()
+    }
+
+    /// Byte capacity.
+    #[inline]
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Marking threshold `K` in bytes.
+    #[inline]
+    pub fn mark_threshold(&self) -> u64 {
+        self.mark_threshold
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+
+    /// Drop every queued packet (used when a link fails), returning how many
+    /// packets were discarded.
+    pub fn clear(&mut self) -> usize {
+        let n = self.fifo.len();
+        self.stats.dropped += n as u64;
+        self.fifo.clear();
+        self.bytes = 0;
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowKey, Proto, MSS};
+    use crate::time::SimTime;
+
+    fn pkt(size_payload: u32) -> Packet {
+        let key = FlowKey { src: 1, dst: 2, sport: 9, dport: 80, proto: Proto::Tcp };
+        Packet::data(0, key, 0, 0, size_payload, SimTime::ZERO)
+    }
+
+    #[test]
+    fn fifo_order_and_byte_accounting() {
+        let mut q = EcnQueue::drop_tail(1_000_000);
+        let mut a = pkt(100);
+        a.seq = 1;
+        let mut b = pkt(200);
+        b.seq = 2;
+        q.enqueue(a);
+        q.enqueue(b);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.bytes(), 100 + 40 + 200 + 40);
+        assert_eq!(q.dequeue().unwrap().seq, 1);
+        assert_eq!(q.bytes(), 240);
+        assert_eq!(q.dequeue().unwrap().seq, 2);
+        assert!(q.dequeue().is_none());
+        assert_eq!(q.bytes(), 0);
+    }
+
+    #[test]
+    fn drops_when_full() {
+        let mut q = EcnQueue::drop_tail(3000);
+        assert_eq!(q.enqueue(pkt(MSS)), EnqueueResult::Queued);
+        assert_eq!(q.enqueue(pkt(MSS)), EnqueueResult::Queued);
+        // Third full-size packet exceeds 3000 bytes.
+        assert_eq!(q.enqueue(pkt(MSS)), EnqueueResult::Dropped);
+        assert_eq!(q.stats().dropped, 1);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn marks_above_threshold_only() {
+        // Threshold = one full packet: the second packet sees occupancy 1500
+        // >= 1500 and is marked; the first sees 0 and is not.
+        let mut q = EcnQueue::new(1_000_000, 1500);
+        q.enqueue(pkt(MSS));
+        q.enqueue(pkt(MSS));
+        let first = q.dequeue().unwrap();
+        let second = q.dequeue().unwrap();
+        assert!(!first.flags.has(Flags::CE));
+        assert!(second.flags.has(Flags::CE));
+        assert_eq!(q.stats().marked, 1);
+    }
+
+    #[test]
+    fn non_ect_packets_are_not_marked() {
+        let mut q = EcnQueue::new(1_000_000, 0); // mark everything eligible
+        let mut p = pkt(100);
+        p.flags.clear(Flags::ECT);
+        q.enqueue(p);
+        assert!(!q.dequeue().unwrap().flags.has(Flags::CE));
+        assert_eq!(q.stats().marked, 0);
+    }
+
+    #[test]
+    fn max_bytes_high_watermark() {
+        let mut q = EcnQueue::drop_tail(1_000_000);
+        q.enqueue(pkt(MSS));
+        q.enqueue(pkt(MSS));
+        q.dequeue();
+        q.enqueue(pkt(100));
+        assert_eq!(q.stats().max_bytes, 3000);
+    }
+
+    #[test]
+    fn clear_empties_and_counts_drops() {
+        let mut q = EcnQueue::drop_tail(1_000_000);
+        q.enqueue(pkt(100));
+        q.enqueue(pkt(100));
+        assert_eq!(q.clear(), 2);
+        assert!(q.is_empty());
+        assert_eq!(q.bytes(), 0);
+        assert_eq!(q.stats().dropped, 2);
+    }
+}

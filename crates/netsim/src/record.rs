@@ -1,0 +1,241 @@
+//! Run-wide measurement collection.
+//!
+//! A single [`Recorder`] lives inside the simulator. Transports and the
+//! simulator core report into it: flow completions (the raw material for
+//! every latency figure in the paper), and global event counters
+//! (out-of-order arrivals, retransmissions, timeouts, reroutes, drops,
+//! PFC pauses, ...). The `stats` crate consumes these records after a run.
+
+use crate::packet::{FlowId, HostId, Proto};
+use crate::time::SimTime;
+
+/// One completed (or still-running, see [`Recorder::flow_started`]) flow.
+#[derive(Debug, Clone)]
+pub struct FlowRecord {
+    /// Globally unique flow id.
+    pub flow: FlowId,
+    /// Sending host.
+    pub src: HostId,
+    /// Receiving host.
+    pub dst: HostId,
+    /// Application bytes transferred.
+    pub bytes: u64,
+    /// Time the flow arrived at the sender (application hand-off).
+    pub start: SimTime,
+    /// Time the receiver held the complete data, [`SimTime::MAX`] while
+    /// still in progress.
+    pub end: SimTime,
+    /// Partition-aggregate job this flow belongs to, if any.
+    pub job: Option<u32>,
+    /// Transport protocol.
+    pub proto: Proto,
+}
+
+impl FlowRecord {
+    /// Flow completion time; `None` if the flow never finished.
+    pub fn fct(&self) -> Option<SimTime> {
+        (self.end != SimTime::MAX).then(|| self.end - self.start)
+    }
+}
+
+/// Global event counters. Extend freely; the array in [`Recorder`] sizes
+/// itself from [`Counter::COUNT`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Data packets delivered to receivers.
+    DataPktsRcvd,
+    /// Data packets that arrived out of order (seq below the highest seq
+    /// already seen for the flow).
+    OooPktsRcvd,
+    /// ACK packets delivered to senders.
+    AcksRcvd,
+    /// ACKs carrying the ECN echo.
+    MarkedAcksRcvd,
+    /// Segments retransmitted (fast retransmit or RTO).
+    Retransmits,
+    /// Retransmission timeouts fired.
+    Timeouts,
+    /// FlowBender reroutes triggered by congestion (F > T for N RTTs).
+    Reroutes,
+    /// FlowBender reroutes triggered by an RTO.
+    TimeoutReroutes,
+    /// Packets dropped at a full queue.
+    QueueDrops,
+    /// Packets black-holed on a failed link.
+    LinkDrops,
+    /// PFC pause frames sent.
+    PfcPauses,
+    /// PFC resume frames sent.
+    PfcResumes,
+    /// Duplicate ACKs observed by senders.
+    DupAcks,
+    /// Fast retransmits entered.
+    FastRetransmits,
+    /// DSACKs received by senders (spurious retransmissions detected).
+    DsacksRcvd,
+}
+
+impl Counter {
+    /// Number of counter variants.
+    pub const COUNT: usize = 15;
+
+    /// Human-readable name for report rendering.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::DataPktsRcvd => "data_pkts_rcvd",
+            Counter::OooPktsRcvd => "ooo_pkts_rcvd",
+            Counter::AcksRcvd => "acks_rcvd",
+            Counter::MarkedAcksRcvd => "marked_acks_rcvd",
+            Counter::Retransmits => "retransmits",
+            Counter::Timeouts => "timeouts",
+            Counter::Reroutes => "reroutes",
+            Counter::TimeoutReroutes => "timeout_reroutes",
+            Counter::QueueDrops => "queue_drops",
+            Counter::LinkDrops => "link_drops",
+            Counter::PfcPauses => "pfc_pauses",
+            Counter::PfcResumes => "pfc_resumes",
+            Counter::DupAcks => "dup_acks",
+            Counter::FastRetransmits => "fast_retransmits",
+            Counter::DsacksRcvd => "dsacks_rcvd",
+        }
+    }
+
+    /// All variants, for iteration in reports.
+    pub fn all() -> [Counter; Counter::COUNT] {
+        [
+            Counter::DataPktsRcvd,
+            Counter::OooPktsRcvd,
+            Counter::AcksRcvd,
+            Counter::MarkedAcksRcvd,
+            Counter::Retransmits,
+            Counter::Timeouts,
+            Counter::Reroutes,
+            Counter::TimeoutReroutes,
+            Counter::QueueDrops,
+            Counter::LinkDrops,
+            Counter::PfcPauses,
+            Counter::PfcResumes,
+            Counter::DupAcks,
+            Counter::FastRetransmits,
+            Counter::DsacksRcvd,
+        ]
+    }
+}
+
+/// Collects flow records and counters for one simulation run.
+#[derive(Debug)]
+pub struct Recorder {
+    flows: Vec<FlowRecord>,
+    counters: [u64; Counter::COUNT],
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder { flows: Vec::new(), counters: [0; Counter::COUNT] }
+    }
+}
+
+impl Recorder {
+    /// Create an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a flow at its start. Returns nothing; completion is matched
+    /// by flow id via [`Recorder::flow_completed`]. Flow ids must be dense
+    /// and unique (the workload layer assigns them 0..n).
+    pub fn flow_started(&mut self, rec: FlowRecord) {
+        debug_assert_eq!(rec.flow as usize, self.flows.len(), "flow ids must be dense");
+        self.flows.push(rec);
+    }
+
+    /// Mark a flow complete at `end` (receiver has all bytes).
+    pub fn flow_completed(&mut self, flow: FlowId, end: SimTime) {
+        let rec = &mut self.flows[flow as usize];
+        debug_assert_eq!(rec.end, SimTime::MAX, "flow {flow} completed twice");
+        rec.end = end;
+    }
+
+    /// Increment `c` by `n`.
+    #[inline]
+    pub fn add(&mut self, c: Counter, n: u64) {
+        self.counters[c as usize] += n;
+    }
+
+    /// Increment `c` by one.
+    #[inline]
+    pub fn bump(&mut self, c: Counter) {
+        self.counters[c as usize] += 1;
+    }
+
+    /// Read counter `c`.
+    pub fn get(&self, c: Counter) -> u64 {
+        self.counters[c as usize]
+    }
+
+    /// All flow records (completed and not).
+    pub fn flows(&self) -> &[FlowRecord] {
+        &self.flows
+    }
+
+    /// Consume the recorder, returning the flow records.
+    pub fn into_flows(self) -> Vec<FlowRecord> {
+        self.flows
+    }
+
+    /// Number of flows that completed.
+    pub fn completed_count(&self) -> usize {
+        self.flows.iter().filter(|f| f.end != SimTime::MAX).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(flow: FlowId) -> FlowRecord {
+        FlowRecord {
+            flow,
+            src: 0,
+            dst: 1,
+            bytes: 1000,
+            start: SimTime::from_us(10),
+            end: SimTime::MAX,
+            job: None,
+            proto: Proto::Tcp,
+        }
+    }
+
+    #[test]
+    fn flow_lifecycle() {
+        let mut r = Recorder::new();
+        r.flow_started(rec(0));
+        r.flow_started(rec(1));
+        assert_eq!(r.completed_count(), 0);
+        assert_eq!(r.flows()[0].fct(), None);
+        r.flow_completed(0, SimTime::from_us(110));
+        assert_eq!(r.completed_count(), 1);
+        assert_eq!(r.flows()[0].fct(), Some(SimTime::from_us(100)));
+        assert_eq!(r.flows()[1].fct(), None);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut r = Recorder::new();
+        r.bump(Counter::OooPktsRcvd);
+        r.add(Counter::OooPktsRcvd, 4);
+        r.bump(Counter::Timeouts);
+        assert_eq!(r.get(Counter::OooPktsRcvd), 5);
+        assert_eq!(r.get(Counter::Timeouts), 1);
+        assert_eq!(r.get(Counter::Reroutes), 0);
+    }
+
+    #[test]
+    fn counter_all_matches_count_and_names_unique() {
+        let all = Counter::all();
+        assert_eq!(all.len(), Counter::COUNT);
+        let names: std::collections::HashSet<_> = all.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), Counter::COUNT);
+    }
+}

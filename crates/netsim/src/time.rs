@@ -1,0 +1,219 @@
+//! Simulated time.
+//!
+//! Time is kept as an integer number of **picoseconds** in a [`SimTime`].
+//! Picosecond granularity makes every quantity in the simulated network
+//! exact: the serialization time of a 1500-byte frame on a 10 Gbps link is
+//! precisely 1 200 000 ps, so no rounding error can accumulate over the
+//! billions of events of a long run, and runs are bit-for-bit reproducible.
+//!
+//! A `u64` of picoseconds covers about 213 days of simulated time, far more
+//! than any experiment in this suite needs.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// Picoseconds per nanosecond.
+pub const PS_PER_NS: u64 = 1_000;
+/// Picoseconds per microsecond.
+pub const PS_PER_US: u64 = 1_000_000;
+/// Picoseconds per millisecond.
+pub const PS_PER_MS: u64 = 1_000_000_000;
+/// Picoseconds per second.
+pub const PS_PER_SEC: u64 = 1_000_000_000_000;
+
+/// An absolute instant of simulated time, in picoseconds since the start of
+/// the simulation.
+///
+/// `SimTime` is also used for durations: the difference of two instants is
+/// again a `SimTime`. Keeping a single type avoids a proliferation of
+/// conversions in hot event-handling code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero: the start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The maximum representable instant; used as an "infinitely far away"
+    /// sentinel for timers that are not armed.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// An instant/duration of `ps` picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+
+    /// An instant/duration of `ns` nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns * PS_PER_NS)
+    }
+
+    /// An instant/duration of `us` microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * PS_PER_US)
+    }
+
+    /// An instant/duration of `ms` milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * PS_PER_MS)
+    }
+
+    /// An instant/duration of `s` seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * PS_PER_SEC)
+    }
+
+    /// A duration of `s` (fractional) seconds, rounded to the nearest
+    /// picosecond. Panics on negative or non-finite input.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "invalid duration: {s}");
+        SimTime((s * PS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Raw picosecond count.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// This instant/duration expressed in fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_SEC as f64
+    }
+
+    /// This instant/duration expressed in fractional microseconds.
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_US as f64
+    }
+
+    /// This instant/duration expressed in fractional milliseconds.
+    #[inline]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_MS as f64
+    }
+
+    /// Saturating subtraction: `self - rhs`, or zero if `rhs` is later.
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition, `None` on overflow.
+    #[inline]
+    pub fn checked_add(self, rhs: SimTime) -> Option<SimTime> {
+        self.0.checked_add(rhs.0).map(SimTime)
+    }
+
+    /// The exact time needed to serialize `bytes` bytes onto a link running
+    /// at `bits_per_sec`.
+    ///
+    /// Computed as `bytes * 8 * 1e12 / bits_per_sec` in 128-bit arithmetic so
+    /// the result is exact for every realistic rate and size.
+    #[inline]
+    pub fn serialization(bytes: u64, bits_per_sec: u64) -> SimTime {
+        assert!(bits_per_sec > 0, "link rate must be positive");
+        let num = (bytes as u128) * 8 * (PS_PER_SEC as u128);
+        SimTime((num / bits_per_sec as u128) as u64)
+    }
+
+    /// Multiply a duration by an integer factor (for exponential backoff).
+    #[inline]
+    pub fn saturating_mul(self, k: u64) -> SimTime {
+        SimTime(self.0.saturating_mul(k))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps >= PS_PER_SEC {
+            write!(f, "{:.6}s", self.as_secs_f64())
+        } else if ps >= PS_PER_MS {
+            write!(f, "{:.3}ms", self.as_ms_f64())
+        } else if ps >= PS_PER_US {
+            write!(f, "{:.3}us", self.as_us_f64())
+        } else {
+            write!(f, "{}ns", ps as f64 / PS_PER_NS as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_us(90).as_ps(), 90 * PS_PER_US);
+        assert_eq!(SimTime::from_ms(10), SimTime::from_us(10_000));
+        assert_eq!(SimTime::from_secs(1).as_secs_f64(), 1.0);
+        assert_eq!(SimTime::from_secs_f64(0.5), SimTime::from_ms(500));
+    }
+
+    #[test]
+    fn serialization_time_is_exact_for_10g() {
+        // 1500 bytes on 10 Gbps = 1.2 us exactly.
+        let t = SimTime::serialization(1500, 10_000_000_000);
+        assert_eq!(t, SimTime::from_ns(1200));
+        // 64 bytes on 40 Gbps = 12.8 ns exactly.
+        let t = SimTime::serialization(64, 40_000_000_000);
+        assert_eq!(t.as_ps(), 12_800);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_us(5);
+        let b = SimTime::from_us(3);
+        assert_eq!(a + b, SimTime::from_us(8));
+        assert_eq!(a - b, SimTime::from_us(2));
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, SimTime::from_us(8));
+        assert_eq!(b.saturating_mul(4), SimTime::from_us(12));
+    }
+
+    #[test]
+    fn display_picks_reasonable_units() {
+        assert_eq!(format!("{}", SimTime::from_ns(500)), "500ns");
+        assert_eq!(format!("{}", SimTime::from_us(90)), "90.000us");
+        assert_eq!(format!("{}", SimTime::from_ms(10)), "10.000ms");
+        assert_eq!(format!("{}", SimTime::from_secs(2)), "2.000000s");
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_duration_panics() {
+        let _ = SimTime::from_secs_f64(-1.0);
+    }
+}

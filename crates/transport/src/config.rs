@@ -1,0 +1,161 @@
+//! Transport configuration.
+//!
+//! One [`TcpConfig`] describes the whole stack of a run: the base TCP
+//! New Reno parameters, the DCTCP congestion-control layer (the paper runs
+//! *every* scheme over DCTCP, §4.2), and — when evaluating FlowBender —
+//! the per-flow FlowBender configuration.
+
+use netsim::{SimTime, MSS};
+
+use crate::receiver::DelAckConfig;
+
+/// DCTCP parameters (Alizadeh et al., SIGCOMM'10), as fixed by the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DctcpConfig {
+    /// `g`, the gain of the exponentially weighted `alpha` estimate.
+    /// Paper: 1/16.
+    pub g: f64,
+}
+
+impl Default for DctcpConfig {
+    fn default() -> Self {
+        DctcpConfig { g: 1.0 / 16.0 }
+    }
+}
+
+/// Configuration of the TCP (New Reno + optional DCTCP + optional
+/// FlowBender) stack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TcpConfig {
+    /// Maximum segment size in bytes.
+    pub mss: u32,
+    /// Initial congestion window, in segments.
+    pub init_cwnd_segs: u32,
+    /// Lower bound on the retransmission timeout. Paper: 10 ms.
+    pub rto_min: SimTime,
+    /// RTO before any RTT sample exists. Datacenter stacks set this near
+    /// `rto_min`; we default to `rto_min` as the paper's testbed did.
+    pub rto_initial: SimTime,
+    /// Duplicate-ACK threshold for fast retransmit (`None` disables fast
+    /// retransmit entirely — the DeTail configuration). Linux default 3;
+    /// the §4.3 testbed re-ran with 30 as a reordering sanity check.
+    pub dupack_threshold: Option<u32>,
+    /// DCTCP layer; `None` degrades to plain New Reno over ECN-blind TCP
+    /// (marks are then ignored for congestion control, though FlowBender
+    /// still sees them).
+    pub dctcp: Option<DctcpConfig>,
+    /// FlowBender end-host load balancing; `None` for the ECMP/RPS/DeTail
+    /// baselines.
+    pub flowbender: Option<flowbender::Config>,
+    /// Delayed acknowledgments (the DCTCP paper's receiver state machine);
+    /// `None` = per-packet ACKs, the exact-echo default used throughout
+    /// the experiments.
+    pub delack: Option<DelAckConfig>,
+    /// Upper bound on the congestion window in bytes, modelling the
+    /// receiver's advertised window (Linux auto-tunes to a few MB). Keeps
+    /// in-flight data bounded even when no congestion signal arrives
+    /// (e.g. a PFC-paused lossless fabric never marks).
+    pub max_cwnd: u64,
+}
+
+impl Default for TcpConfig {
+    /// The paper's base stack: DCTCP (g = 1/16), RTO_min = 10 ms, dupack
+    /// threshold 3, no FlowBender.
+    fn default() -> Self {
+        TcpConfig {
+            mss: MSS,
+            init_cwnd_segs: 10,
+            rto_min: SimTime::from_ms(10),
+            rto_initial: SimTime::from_ms(10),
+            dupack_threshold: Some(3),
+            dctcp: Some(DctcpConfig::default()),
+            flowbender: None,
+            delack: None,
+            max_cwnd: 1_000_000,
+        }
+    }
+}
+
+impl TcpConfig {
+    /// The FlowBender stack: DCTCP plus FlowBender with the given config.
+    pub fn flowbender(fb: flowbender::Config) -> Self {
+        TcpConfig { flowbender: Some(fb), ..TcpConfig::default() }
+    }
+
+    /// The DeTail host stack: DCTCP with fast retransmit disabled (the
+    /// paper disables it because per-packet adaptive routing reorders
+    /// heavily and PFC makes the fabric lossless).
+    pub fn detail() -> Self {
+        TcpConfig { dupack_threshold: None, ..TcpConfig::default() }
+    }
+
+    /// Initial congestion window in bytes.
+    pub fn init_cwnd_bytes(&self) -> f64 {
+        (self.init_cwnd_segs * self.mss) as f64
+    }
+
+    /// Validate invariants.
+    ///
+    /// # Panics
+    /// On out-of-range values.
+    pub fn validate(&self) {
+        assert!(self.mss > 0, "MSS must be positive");
+        assert!(self.init_cwnd_segs > 0, "initial cwnd must be positive");
+        assert!(self.rto_min.as_ps() > 0, "RTO_min must be positive");
+        if let Some(th) = self.dupack_threshold {
+            assert!(th >= 1, "dupack threshold must be >= 1");
+        }
+        if let Some(d) = self.dctcp {
+            assert!(d.g > 0.0 && d.g <= 1.0, "DCTCP g must be in (0,1]");
+        }
+        if let Some(fb) = self.flowbender {
+            fb.validate();
+        }
+        if let Some(d) = self.delack {
+            assert!(d.every >= 1, "delack count must be >= 1");
+            assert!(d.timeout.as_ps() > 0, "delack timeout must be positive");
+        }
+        assert!(
+            self.max_cwnd >= 2 * self.mss as u64,
+            "max_cwnd must hold at least two segments"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = TcpConfig::default();
+        assert_eq!(c.mss, 1460);
+        assert_eq!(c.rto_min, SimTime::from_ms(10));
+        assert_eq!(c.dupack_threshold, Some(3));
+        let d = c.dctcp.unwrap();
+        assert!((d.g - 0.0625).abs() < 1e-12);
+        assert!(c.flowbender.is_none());
+        c.validate();
+    }
+
+    #[test]
+    fn detail_disables_fast_retransmit() {
+        let c = TcpConfig::detail();
+        assert_eq!(c.dupack_threshold, None);
+        assert!(c.dctcp.is_some());
+        c.validate();
+    }
+
+    #[test]
+    fn flowbender_stack_carries_config() {
+        let c = TcpConfig::flowbender(flowbender::Config::default().with_t(0.01));
+        assert_eq!(c.flowbender.unwrap().t, 0.01);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_mss_rejected() {
+        TcpConfig { mss: 0, ..TcpConfig::default() }.validate();
+    }
+}

@@ -1,0 +1,153 @@
+//! RTT estimation and RTO computation (RFC 6298 with a configurable floor).
+
+use netsim::SimTime;
+
+/// Jacobson/Karels smoothed RTT estimator.
+///
+/// `RTO = max(rto_min, SRTT + 4 * RTTVAR)`, doubled per consecutive timeout
+/// (managed by the caller via [`RttEstimator::backoff`]).
+#[derive(Debug, Clone)]
+pub struct RttEstimator {
+    srtt: Option<f64>,
+    rttvar: f64,
+    rto_min: SimTime,
+    rto_initial: SimTime,
+    backoff_exp: u32,
+}
+
+const ALPHA: f64 = 1.0 / 8.0;
+const BETA: f64 = 1.0 / 4.0;
+/// Cap on the exponential backoff (2^6 = 64x).
+const MAX_BACKOFF_EXP: u32 = 6;
+
+impl RttEstimator {
+    /// New estimator with no samples yet.
+    pub fn new(rto_min: SimTime, rto_initial: SimTime) -> Self {
+        RttEstimator { srtt: None, rttvar: 0.0, rto_min, rto_initial, backoff_exp: 0 }
+    }
+
+    /// Incorporate a fresh RTT sample (timestamp-echo based, so valid even
+    /// for retransmitted segments).
+    pub fn sample(&mut self, rtt: SimTime) {
+        let r = rtt.as_ps() as f64;
+        match self.srtt {
+            None => {
+                self.srtt = Some(r);
+                self.rttvar = r / 2.0;
+            }
+            Some(srtt) => {
+                self.rttvar = (1.0 - BETA) * self.rttvar + BETA * (srtt - r).abs();
+                self.srtt = Some((1.0 - ALPHA) * srtt + ALPHA * r);
+            }
+        }
+        // A valid sample means the path is alive: reset backoff (Karn).
+        self.backoff_exp = 0;
+    }
+
+    /// Current smoothed RTT, if any sample has been taken.
+    pub fn srtt(&self) -> Option<SimTime> {
+        self.srtt.map(|s| SimTime::from_ps(s as u64))
+    }
+
+    /// The base RTO (before backoff).
+    pub fn base_rto(&self) -> SimTime {
+        match self.srtt {
+            None => self.rto_initial.max(self.rto_min),
+            Some(srtt) => {
+                let rto = srtt + 4.0 * self.rttvar;
+                SimTime::from_ps(rto as u64).max(self.rto_min)
+            }
+        }
+    }
+
+    /// The RTO including exponential backoff.
+    pub fn rto(&self) -> SimTime {
+        self.base_rto().saturating_mul(1 << self.backoff_exp)
+    }
+
+    /// Double the RTO (called on each timeout), capped at 64x.
+    pub fn backoff(&mut self) {
+        if self.backoff_exp < MAX_BACKOFF_EXP {
+            self.backoff_exp += 1;
+        }
+    }
+
+    /// Current backoff exponent (for tests/diagnostics).
+    pub fn backoff_exp(&self) -> u32 {
+        self.backoff_exp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est() -> RttEstimator {
+        RttEstimator::new(SimTime::from_ms(10), SimTime::from_ms(10))
+    }
+
+    #[test]
+    fn initial_rto_is_floor() {
+        let e = est();
+        assert_eq!(e.rto(), SimTime::from_ms(10));
+        assert_eq!(e.srtt(), None);
+    }
+
+    #[test]
+    fn first_sample_seeds_srtt() {
+        let mut e = est();
+        e.sample(SimTime::from_us(100));
+        assert_eq!(e.srtt(), Some(SimTime::from_us(100)));
+        // 100us + 4*50us = 300us, below the 10ms floor.
+        assert_eq!(e.rto(), SimTime::from_ms(10));
+    }
+
+    #[test]
+    fn large_rtts_raise_rto_above_floor() {
+        let mut e = est();
+        e.sample(SimTime::from_ms(20));
+        // srtt=20ms, rttvar=10ms -> rto = 60ms.
+        assert_eq!(e.rto(), SimTime::from_ms(60));
+    }
+
+    #[test]
+    fn smoothing_converges() {
+        let mut e = est();
+        for _ in 0..200 {
+            e.sample(SimTime::from_us(90));
+        }
+        let srtt = e.srtt().unwrap();
+        assert!((srtt.as_us_f64() - 90.0).abs() < 1.0, "srtt = {srtt}");
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let mut e = est();
+        assert_eq!(e.rto(), SimTime::from_ms(10));
+        e.backoff();
+        assert_eq!(e.rto(), SimTime::from_ms(20));
+        e.backoff();
+        assert_eq!(e.rto(), SimTime::from_ms(40));
+        for _ in 0..20 {
+            e.backoff();
+        }
+        assert_eq!(e.rto(), SimTime::from_ms(10 * 64));
+        // A good sample resets the backoff.
+        e.sample(SimTime::from_us(90));
+        assert_eq!(e.rto(), SimTime::from_ms(10));
+        assert_eq!(e.backoff_exp(), 0);
+    }
+
+    #[test]
+    fn variance_tracks_jitter() {
+        let mut e = est();
+        e.sample(SimTime::from_ms(10));
+        for _ in 0..50 {
+            e.sample(SimTime::from_ms(5));
+            e.sample(SimTime::from_ms(15));
+        }
+        // With +-5ms jitter around 10ms, RTO must be well above
+        // srtt: at least srtt + 4 * (a few ms).
+        assert!(e.rto() > SimTime::from_ms(20));
+    }
+}

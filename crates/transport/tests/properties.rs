@@ -1,0 +1,160 @@
+//! Property-based tests of the transport's pure components: the receiver's
+//! reassembly (against a bitmap reference model) and the RTT estimator.
+
+use proptest::prelude::*;
+
+use netsim::{
+    FlowKey, HashConfig, LinkSpec, Packet, Proto, RoutingTable, SimTime, Simulator,
+    SwitchConfig,
+};
+use transport::{Receiver, RttEstimator};
+
+/// Drive a real `Receiver` inside a minimal simulation so it has a `Ctx`:
+/// one host delivers a scripted segment arrival order to another.
+struct Replay {
+    segments: Vec<(u64, u32)>, // (seq, len) in arrival order
+    rx: Option<Receiver>,
+    size: u64,
+    /// Echo of receiver state after each delivery: (expected, complete).
+    pub log: std::rc::Rc<std::cell::RefCell<Vec<(u64, bool, bool)>>>,
+}
+
+impl netsim::Agent for Replay {
+    fn on_start(&mut self, ctx: &mut netsim::Ctx<'_>) {
+        // Feed all scripted segments directly to the receiver.
+        let mut rx = self.rx.take().expect("receiver present");
+        let key = FlowKey { src: 1, dst: 0, sport: 5, dport: 6, proto: Proto::Tcp };
+        for &(seq, len) in &self.segments {
+            let pkt = Packet::data(0, key, 0, seq, len, ctx.now());
+            rx.on_data(&pkt, ctx);
+            self.log.borrow_mut().push((rx.expected(), rx.is_complete(), false));
+        }
+        let _ = self.size;
+        self.rx = Some(rx);
+    }
+    fn on_packet(&mut self, _pkt: Packet, _ctx: &mut netsim::Ctx<'_>) {}
+    fn on_timer(&mut self, _token: u64, _ctx: &mut netsim::Ctx<'_>) {}
+}
+
+/// Run a scripted arrival order through a real Receiver; returns the state
+/// log and the number of ACKs emitted (captured by the peer).
+fn replay(size: u64, segments: Vec<(u64, u32)>) -> (Vec<(u64, bool, bool)>, usize) {
+    let mut sim = Simulator::new(1);
+    let h0 = sim.add_host(SimTime::ZERO, SimTime::ZERO);
+    let h1 = sim.add_host(SimTime::ZERO, SimTime::ZERO);
+    let sw = sim.add_switch(SwitchConfig::commodity(HashConfig::FiveTuple));
+    sim.connect(h0, sw, LinkSpec::host_10g());
+    sim.connect(h1, sw, LinkSpec::host_10g());
+    let mut rt = RoutingTable::new(2);
+    rt.set(0, vec![0]);
+    rt.set(1, vec![1]);
+    sim.set_routes(sw, rt);
+    // Register the flow so completion can be recorded.
+    sim.recorder_mut().flow_started(netsim::FlowRecord {
+        flow: 0,
+        src: 1,
+        dst: 0,
+        bytes: size,
+        start: SimTime::ZERO,
+        end: SimTime::MAX,
+        job: None,
+        proto: Proto::Tcp,
+    });
+    let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    let replay = Replay {
+        segments,
+        rx: Some(Receiver::new(0, size)),
+        size,
+        log: log.clone(),
+    };
+    // Count ACKs at the peer.
+    let acks = netsim::testutil::RxLog::shared();
+    sim.set_agent(h0, Box::new(replay));
+    sim.set_agent(h1, Box::new(netsim::testutil::CountingSink { log: acks.clone() }));
+    sim.run_to_quiescence();
+    let n_acks = acks.borrow().arrivals.len();
+    let out = log.borrow().clone();
+    (out, n_acks)
+}
+
+/// Segment a flow of `n_segs` MSS-sized pieces, then permute/duplicate.
+fn arrival_orders(max_segs: usize) -> impl Strategy<Value = (u64, Vec<(u64, u32)>)> {
+    (1usize..max_segs).prop_flat_map(|n| {
+        let size = n as u64 * 1000;
+        let base: Vec<(u64, u32)> = (0..n).map(|i| (i as u64 * 1000, 1000u32)).collect();
+        // A shuffled copy plus some duplicated segments.
+        (
+            Just(size),
+            proptest::sample::subsequence(base.clone(), 0..=n).prop_flat_map(move |dups| {
+                let mut all = base.clone();
+                all.extend(dups);
+                Just(all).prop_shuffle()
+            }),
+        )
+    })
+}
+
+proptest! {
+    /// Whatever the arrival order (including duplicates):
+    /// * `expected` is monotone non-decreasing,
+    /// * one cumulative ACK is emitted per arriving segment,
+    /// * the flow completes exactly once every byte has arrived.
+    #[test]
+    fn reassembly_matches_bitmap_model((size, order) in arrival_orders(40)) {
+        let (log, n_acks) = replay(size, order.clone());
+        prop_assert_eq!(n_acks, order.len(), "one ACK per data segment");
+        let mut covered = vec![false; (size / 1000) as usize];
+        let mut prev_expected = 0;
+        for (i, &(seq, len)) in order.iter().enumerate() {
+            for b in (seq / 1000)..((seq + len as u64) / 1000) {
+                covered[b as usize] = true;
+            }
+            // Model: expected = first uncovered byte.
+            let model_expected = covered
+                .iter()
+                .position(|&c| !c)
+                .map(|p| p as u64 * 1000)
+                .unwrap_or(size);
+            let (expected, complete, _) = log[i];
+            prop_assert_eq!(expected, model_expected, "at arrival {}", i);
+            prop_assert!(expected >= prev_expected, "ACK went backwards");
+            prev_expected = expected;
+            prop_assert_eq!(complete, model_expected >= size);
+        }
+        // All segments present at least once -> must be complete.
+        prop_assert!(log.last().unwrap().1, "flow never completed");
+    }
+
+    /// RTO is always >= the floor, and SRTT stays within the sample range.
+    #[test]
+    fn rtt_estimator_bounds(samples in prop::collection::vec(1u64..1_000_000, 1..200)) {
+        let floor = SimTime::from_ms(10);
+        let mut est = RttEstimator::new(floor, floor);
+        let mut lo = u64::MAX;
+        let mut hi = 0;
+        for &s in &samples {
+            est.sample(SimTime::from_ns(s));
+            lo = lo.min(s);
+            hi = hi.max(s);
+            prop_assert!(est.rto() >= floor);
+            let srtt = est.srtt().unwrap().as_ps();
+            prop_assert!(srtt >= SimTime::from_ns(lo).as_ps());
+            prop_assert!(srtt <= SimTime::from_ns(hi).as_ps());
+        }
+    }
+
+    /// Backoff multiplies the RTO monotonically and caps.
+    #[test]
+    fn rtt_backoff_is_monotone(n_backoffs in 0u32..12) {
+        let floor = SimTime::from_ms(10);
+        let mut est = RttEstimator::new(floor, floor);
+        let mut prev = est.rto();
+        for _ in 0..n_backoffs {
+            est.backoff();
+            let now = est.rto();
+            prop_assert!(now >= prev);
+            prop_assert!(now <= floor.saturating_mul(64));
+            prev = now;
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! §3.4.3 extension ("FlowBender beyond TCP"): a UDP source that re-draws
+//! its V-field spreads across all equal-cost paths, while a default UDP
+//! source stays pinned to one.
+
+use netsim::{FlowSpec, HashConfig, SimTime, Simulator, SwitchConfig};
+use topology::{build_testbed, TestbedParams};
+use transport::{install_agents, TcpConfig};
+
+/// Run one 4 Gbps UDP flow across the tiny testbed's 4 paths; return the
+/// per-uplink UDP byte counts at the sending ToR.
+fn uplink_udp_bytes(spray_every: u64) -> Vec<u64> {
+    let mut sim = Simulator::new(77);
+    let tb = build_testbed(
+        &mut sim,
+        TestbedParams::tiny(),
+        SwitchConfig::commodity(HashConfig::FiveTupleAndVField),
+    );
+    let dst = tb.hosts_of_tor(1).start as u32;
+    let mut spec = FlowSpec::udp(0, 0, dst, 4_000_000_000, SimTime::ZERO);
+    if spray_every > 0 {
+        spec = spec.with_udp_spray(spray_every);
+    }
+    install_agents(&mut sim, &[spec], &TcpConfig::default());
+    sim.run_until(SimTime::from_ms(20));
+    (0..4)
+        .map(|a| sim.port_stats(tb.tors[0], tb.tor_uplinks[0][a]).tx_bytes_udp)
+        .collect()
+}
+
+#[test]
+fn pinned_udp_uses_exactly_one_path() {
+    let bytes = uplink_udp_bytes(0);
+    let used = bytes.iter().filter(|&&b| b > 0).count();
+    assert_eq!(used, 1, "pinned UDP must stay on one path: {bytes:?}");
+}
+
+#[test]
+fn sprayed_udp_spreads_over_all_paths() {
+    // Re-draw V every 16 datagrams: with 8 V values over 4 paths and
+    // ~1600 packets in 20ms, every path must carry a meaningful share.
+    let bytes = uplink_udp_bytes(16);
+    let total: u64 = bytes.iter().sum();
+    assert!(total > 5_000_000, "too little traffic: {total}");
+    for (i, &b) in bytes.iter().enumerate() {
+        let share = b as f64 / total as f64;
+        assert!(
+            share > 0.10,
+            "path {i} starved under spraying: {share:.3} of {bytes:?}"
+        );
+    }
+}
+
+#[test]
+fn per_packet_spray_balances_most_evenly() {
+    let burst = uplink_udp_bytes(64);
+    let per_pkt = uplink_udp_bytes(1);
+    let imbalance = |v: &[u64]| {
+        let total: u64 = v.iter().sum();
+        let max = *v.iter().max().unwrap() as f64;
+        max / (total as f64 / v.len() as f64)
+    };
+    assert!(
+        imbalance(&per_pkt) <= imbalance(&burst) * 1.05,
+        "per-packet {:?} should balance at least as well as burst-64 {:?}",
+        per_pkt,
+        burst
+    );
+}

@@ -1,0 +1,25 @@
+//! # workloads — traffic generators for the FlowBender evaluation
+//!
+//! Deterministic generators for every traffic pattern in the paper's §4:
+//!
+//! * [`gen::microbench`] — Table 1's simultaneous 250 MB ToR-to-ToR flows;
+//! * [`gen::all_to_all`] — Figures 3/4/6/7's Poisson all-to-all with the
+//!   heavy-tailed [`dist::FlowSizeDist::web_search`] sizes;
+//! * [`gen::partition_aggregate`] — Figure 5's synchronized incast jobs;
+//! * [`gen::testbed_one_tor`] — Figure 8's one-ToR-sources workload;
+//! * [`gen::hotspot`] — §4.3.1's 14 Gbps TCP shuffle + 6 Gbps UDP pin;
+//! * [`gen::permutation`] / [`gen::stride`] — classic synthetic matrices
+//!   for load-balancer stress tests beyond the paper's workloads.
+//!
+//! The [`load`] module converts the paper's "% of bisection bandwidth"
+//! into per-host arrival rates.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dist;
+pub mod gen;
+pub mod load;
+
+pub use dist::FlowSizeDist;
+pub use gen::{all_to_all, hotspot, microbench, partition_aggregate, permutation, stride, testbed_one_tor};

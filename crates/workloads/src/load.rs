@@ -1,0 +1,114 @@
+//! Load calibration: translating the paper's "X % of bisection bandwidth"
+//! into per-host Poisson arrival rates.
+//!
+//! The paper reports load "relative to the bisectional bandwidth". For the
+//! fat-tree, the natural reading (and the one that makes 60 % load
+//! stressful but stable, as in the paper) is that the *pod uplinks* — the
+//! fabric's narrowest shared tier — run at the stated utilization. With
+//! uniformly random destinations a fraction `(n - hosts_per_pod)/(n - 1)`
+//! of traffic crosses pods, so the per-host offered rate follows from the
+//! pod uplink capacity. The testbed experiments state their load directly
+//! against the sending ToR's 4 × 10 Gbps uplinks.
+
+use topology::{FatTreeParams, TestbedParams};
+
+/// Fraction of uniformly-random traffic that leaves the source pod.
+pub fn inter_pod_fraction(p: &FatTreeParams) -> f64 {
+    let n = p.n_hosts() as f64;
+    let pod = (p.tors_per_pod * p.hosts_per_tor) as f64;
+    (n - pod) / (n - 1.0)
+}
+
+/// Offered bits/s per host so that pod uplinks average `load` utilization
+/// under uniform all-to-all traffic.
+pub fn fat_tree_per_host_bps(p: &FatTreeParams, load: f64) -> f64 {
+    assert!((0.0..=1.5).contains(&load), "load {load} out of range");
+    let hosts_per_pod = (p.tors_per_pod * p.hosts_per_tor) as f64;
+    load * p.pod_uplink_bps() as f64 / (hosts_per_pod * inter_pod_fraction(p))
+}
+
+/// Total offered bits/s across the whole fat-tree at `load`.
+pub fn fat_tree_offered_bps(p: &FatTreeParams, load: f64) -> f64 {
+    fat_tree_per_host_bps(p, load) * p.n_hosts() as f64
+}
+
+/// Per-host flow arrival rate (flows/s) for the fat-tree at `load` with
+/// mean flow size `mean_bytes`.
+pub fn fat_tree_flow_rate_per_host(p: &FatTreeParams, load: f64, mean_bytes: f64) -> f64 {
+    assert!(mean_bytes > 0.0);
+    fat_tree_per_host_bps(p, load) / (mean_bytes * 8.0)
+}
+
+/// Per-sender flow arrival rate (flows/s) for the §4.3 testbed experiment:
+/// the hosts of one ToR cumulatively offer `load` of that ToR's uplink
+/// capacity, in flows of `mean_bytes`.
+pub fn testbed_flow_rate_per_sender(
+    p: &TestbedParams,
+    senders: usize,
+    load: f64,
+    mean_bytes: f64,
+) -> f64 {
+    assert!(senders > 0);
+    assert!((0.0..=1.5).contains(&load), "load {load} out of range");
+    assert!(mean_bytes > 0.0);
+    load * p.tor_uplink_bps() as f64 / (senders as f64 * mean_bytes * 8.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fat_tree_inter_pod_fraction() {
+        let p = FatTreeParams::paper();
+        let f = inter_pod_fraction(&p);
+        // (128-32)/127
+        assert!((f - 96.0 / 127.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_host_rate_scales_linearly_with_load() {
+        let p = FatTreeParams::paper();
+        let r20 = fat_tree_per_host_bps(&p, 0.2);
+        let r60 = fat_tree_per_host_bps(&p, 0.6);
+        assert!((r60 / r20 - 3.0).abs() < 1e-9);
+        // At 60% load each host offers ~2 Gbps:
+        // 0.6 * 80e9 / (32 * 0.7559) = 1.98e9.
+        assert!((r60 - 1.984e9).abs() < 0.01e9, "r60 = {r60}");
+    }
+
+    #[test]
+    fn offered_load_recovers_uplink_utilization() {
+        // Sanity: offered * inter_pod_frac spread over all pods' uplinks
+        // equals the requested utilization.
+        let p = FatTreeParams::paper();
+        let load = 0.4;
+        let offered = fat_tree_offered_bps(&p, load);
+        let core_bits = offered * inter_pod_fraction(&p);
+        let capacity = (p.pods as f64) * p.pod_uplink_bps() as f64;
+        assert!((core_bits / capacity - load).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flow_rate_uses_mean_size() {
+        let p = FatTreeParams::paper();
+        let r = fat_tree_flow_rate_per_host(&p, 0.6, 1_000_000.0);
+        // ~1.98 Gbps / 8 Mbit = ~248 flows/s.
+        assert!((r - 248.0).abs() < 2.0, "r = {r}");
+    }
+
+    #[test]
+    fn testbed_rate_matches_hand_calc() {
+        let p = TestbedParams::paper();
+        // 40 Gbps uplinks, 12 senders, 1MB flows, 60% load:
+        // 0.6*40e9/(12*8e6) = 250 flows/s/sender.
+        let r = testbed_flow_rate_per_sender(&p, 12, 0.6, 1_000_000.0);
+        assert!((r - 250.0).abs() < 1e-9, "r = {r}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn absurd_load_rejected() {
+        fat_tree_per_host_bps(&FatTreeParams::paper(), 7.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Storage-style incast: partition-aggregate jobs (the paper's §4.2.4
+//! motivation — "storage-type workloads which generate incast").
+//!
+//! A client host fans a 1 MB read out to `n` storage servers; all respond
+//! at once; the job completes when the **last** response arrives. This
+//! example sweeps the fan-in degree and compares average job completion
+//! time under ECMP and FlowBender, showing where multipathing helps (the
+//! fabric) and where it cannot (the client's own last-hop link).
+//!
+//! ```text
+//! cargo run --release --example incast_storage
+//! ```
+
+use flowbender::Config;
+use netsim::{DetRng, SimTime};
+use stats::avg_job_completion;
+use topology::FatTreeParams;
+use transport::TcpConfig;
+use workloads::partition_aggregate;
+
+fn run(fan_in: u32, tcp: &TcpConfig, seed: u64) -> (f64, usize) {
+    let params = FatTreeParams::paper();
+    let duration = SimTime::from_ms(20);
+    let mut rng = DetRng::new(seed, fan_in as u64);
+    let specs = partition_aggregate(&params, 0.4, fan_in, 1_000_000, duration, &mut rng);
+
+    let mut sim = netsim::Simulator::new(seed);
+    let scheme_cfg = netsim::SwitchConfig::commodity(netsim::HashConfig::FiveTupleAndVField);
+    topology::build_fat_tree(&mut sim, params, scheme_cfg);
+    transport::install_agents(&mut sim, &specs, tcp);
+    sim.run_until(duration + SimTime::from_ms(300));
+    avg_job_completion(sim.recorder().flows())
+}
+
+fn main() {
+    println!("partition-aggregate: 1MB jobs at 40% load on the paper fat-tree\n");
+    println!("fan-in  ECMP avg JCT   FlowBender avg JCT   ratio   jobs");
+    println!("------------------------------------------------------------");
+    for fan_in in [4u32, 8, 16, 32] {
+        let (ecmp, jobs) = run(fan_in, &TcpConfig::default(), 7);
+        let (fb, _) = run(fan_in, &TcpConfig::flowbender(Config::default()), 7);
+        println!(
+            "{fan_in:6}  {:10.3} ms  {:15.3} ms  {:6.2}  {jobs:5}",
+            ecmp * 1e3,
+            fb * 1e3,
+            fb / ecmp
+        );
+    }
+    println!("\nThe aggregator's own last-hop link serializes every job, and no");
+    println!("load balancer can widen it. In this lossless, deep-buffered");
+    println!("substrate that bottleneck dominates, so FlowBender sits within a");
+    println!("few percent of ECMP here; its fabric-side wins show up in the");
+    println!("all-to-all and microbenchmark examples instead (the paper's");
+    println!("drop-prone testbed saw larger incast gains — see EXPERIMENTS.md).");
+}

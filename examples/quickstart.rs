@@ -1,0 +1,57 @@
+//! Quickstart: build a small fat-tree, run colliding flows under plain
+//! ECMP and under FlowBender, and print what changed.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use flowbender::Config;
+use netsim::{Counter, FlowSpec, SimTime, Simulator};
+use topology::{build_fat_tree, FatTreeParams};
+use transport::{install_agents, TcpConfig};
+
+fn run(label: &str, tcp: TcpConfig) {
+    // A 2-pod, 16-host fat-tree with commodity ECMP switches whose hash
+    // covers the FlowBender V-field (inert unless hosts use it).
+    let mut sim = Simulator::new(42);
+    let params = FatTreeParams::tiny();
+    let ft = build_fat_tree(
+        &mut sim,
+        params,
+        netsim::SwitchConfig::commodity(netsim::HashConfig::FiveTupleAndVField),
+    );
+
+    // Eight 10 MB flows from pod-0 hosts to pod-1 hosts, all at t=0.
+    // Static hashing will collide some of them onto the same core links.
+    let pod1 = ft.hosts_of_tor(params.tors_per_pod).start as u32; // first host of pod 1
+    let specs: Vec<FlowSpec> = (0..8)
+        .map(|i| FlowSpec::tcp(i, i % 8, pod1 + (i % 8), 10_000_000, SimTime::ZERO))
+        .collect();
+
+    // Attach the DCTCP (+ optional FlowBender) stack to every host and run.
+    install_agents(&mut sim, &specs, &tcp);
+    sim.run_until(SimTime::from_secs(30));
+
+    let rec = sim.recorder();
+    let fcts: Vec<f64> =
+        rec.flows().iter().filter_map(|f| f.fct()).map(|t| t.as_secs_f64()).collect();
+    let mean = fcts.iter().sum::<f64>() / fcts.len() as f64;
+    let max = fcts.iter().cloned().fold(0.0, f64::max);
+    println!(
+        "{label:12} completed {}/8  mean FCT {:6.2} ms  worst {:6.2} ms  reroutes {:3}  ooo pkts {}",
+        fcts.len(),
+        mean * 1e3,
+        max * 1e3,
+        rec.get(Counter::Reroutes),
+        rec.get(Counter::OooPktsRcvd),
+    );
+}
+
+fn main() {
+    println!("8 x 10MB cross-pod flows on a tiny fat-tree (4 inter-pod paths):\n");
+    run("ECMP", TcpConfig::default());
+    run("FlowBender", TcpConfig::flowbender(Config::default()));
+    println!("\nFlowBender senders re-hash congested flows onto new paths (the");
+    println!("reroute count) at the price of a small amount of reordering, and");
+    println!("the worst flow finishes far closer to the mean.");
+}

@@ -1,0 +1,29 @@
+//! # flowbender-suite — the FlowBender (CoNEXT'14) reproduction, in one place
+//!
+//! This facade crate re-exports the whole workspace so downstream users can
+//! depend on a single crate:
+//!
+//! * [`flowbender`] — the paper's contribution: the per-flow adaptive
+//!   rerouting state machine (`F`/`T`/`N`/`V`), transport-agnostic;
+//! * [`netsim`] — the deterministic packet-level datacenter simulator
+//!   (links, ECN queues, ECMP/RPS/DeTail switches, PFC, failures);
+//! * [`topology`] — the paper's fat-tree and testbed fabrics;
+//! * [`transport`] — TCP New Reno + DCTCP + UDP endpoints, with FlowBender
+//!   attached per flow when configured;
+//! * [`workloads`] — the paper's traffic generators (all-to-all,
+//!   partition-aggregate, microbenchmarks, hotspots);
+//! * [`stats`] — FCT reduction, percentiles, size bins, table rendering;
+//! * [`experiments`] — one harness per paper table/figure.
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and the
+//! `experiments` binary for the paper reproduction harness.
+
+#![forbid(unsafe_code)]
+
+pub use experiments;
+pub use flowbender;
+pub use netsim;
+pub use stats;
+pub use topology;
+pub use transport;
+pub use workloads;
