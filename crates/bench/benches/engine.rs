@@ -2,127 +2,120 @@
 //! on (event scheduling, ECMP hashing, queue operations, RNG, and raw
 //! packet-forwarding throughput through the full simulator).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
 
+use fb_bench::Harness;
 use netsim::testutil::{Blaster, CountingSink, RxLog};
 use netsim::{
     DetRng, EcmpHasher, EcnQueue, FlowKey, HashConfig, LinkSpec, Packet, Proto, RoutingTable,
     SimTime, Simulator, SwitchConfig, MSS,
 };
 
-fn bench_scheduler(c: &mut Criterion) {
-    let mut g = c.benchmark_group("scheduler");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("push_pop_10k", |b| {
-        b.iter_batched(
-            netsim::event::Scheduler::new,
-            |mut s| {
-                let mut rng = DetRng::new(1, 1);
-                for i in 0..10_000u64 {
-                    let t = SimTime::from_ns(rng.gen_range(1_000_000) as u64);
-                    s.schedule(t, netsim::event::EventKind::Timer { host: 0, token: i });
-                }
-                while let Some(e) = s.pop() {
-                    black_box(e.time);
-                }
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
-}
-
-fn bench_hashing(c: &mut Criterion) {
-    let hasher = EcmpHasher::new(HashConfig::FiveTupleAndVField, 0xDEADBEEF);
-    let key = FlowKey { src: 17, dst: 99, sport: 5555, dport: 80, proto: Proto::Tcp };
-    let pkt = Packet::data(0, key, 3, 0, MSS, SimTime::ZERO);
-    let mut g = c.benchmark_group("hashing");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("ecmp_select_8way", |b| {
-        b.iter(|| black_box(hasher.select(black_box(&pkt), 8)))
-    });
-    g.finish();
-}
-
-fn bench_queue(c: &mut Criterion) {
-    let key = FlowKey { src: 1, dst: 2, sport: 3, dport: 4, proto: Proto::Tcp };
-    let mut g = c.benchmark_group("queue");
-    g.throughput(Throughput::Elements(1_000));
-    g.bench_function("enqueue_dequeue_1k", |b| {
-        b.iter_batched(
-            || EcnQueue::new(10_000_000, 90_000),
-            |mut q| {
-                for i in 0..1_000u64 {
-                    let pkt = Packet::data(0, key, 0, i * MSS as u64, MSS, SimTime::ZERO);
-                    q.enqueue(pkt);
-                }
-                while let Some(p) = q.dequeue() {
-                    black_box(p.seq);
-                }
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
-}
-
-fn bench_rng(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rng");
-    g.throughput(Throughput::Elements(1_000));
-    g.bench_function("detrng_u64_1k", |b| {
-        let mut rng = DetRng::new(7, 7);
-        b.iter(|| {
-            let mut acc = 0u64;
-            for _ in 0..1_000 {
-                acc ^= rng.next_u64();
+fn bench_scheduler(h: &Harness) {
+    h.bench_with_setup(
+        "scheduler/push_pop_10k",
+        10_000,
+        netsim::event::Scheduler::new,
+        |mut s| {
+            let mut rng = DetRng::new(1, 1);
+            for i in 0..10_000u64 {
+                let t = SimTime::from_ns(rng.gen_range(1_000_000) as u64);
+                s.schedule(t, netsim::event::EventKind::Timer { host: 0, token: i });
             }
-            black_box(acc)
-        })
-    });
-    g.finish();
+            while let Some(e) = s.pop() {
+                black_box(e.time);
+            }
+        },
+    );
 }
 
-/// Raw forwarding throughput: blast 5 000 packets through one switch and
-/// report events per second via Criterion's element throughput.
-fn bench_forwarding(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulator");
-    g.sample_size(20);
-    g.throughput(Throughput::Elements(5_000));
-    g.bench_function("blast_5k_packets_through_switch", |b| {
-        b.iter_batched(
-            || {
-                let mut sim = Simulator::new(1);
-                let h0 = sim.add_host(SimTime::ZERO, SimTime::ZERO);
-                let h1 = sim.add_host(SimTime::ZERO, SimTime::ZERO);
-                let sw = sim.add_switch(SwitchConfig::commodity(HashConfig::FiveTuple));
-                sim.connect(h0, sw, LinkSpec::host_10g());
-                sim.connect(h1, sw, LinkSpec::host_10g());
-                let mut rt = RoutingTable::new(2);
-                rt.set(0, vec![0]);
-                rt.set(1, vec![1]);
-                sim.set_routes(sw, rt);
-                let log = RxLog::shared();
-                sim.set_agent(h0, Box::new(Blaster::new(1, 5_000, log.clone())));
-                sim.set_agent(h1, Box::new(CountingSink { log }));
-                sim
-            },
-            |mut sim| {
-                sim.run_to_quiescence();
-                black_box(sim.events_processed())
-            },
-            BatchSize::SmallInput,
-        )
+fn bench_hashing(h: &Harness) {
+    let hasher = EcmpHasher::new(HashConfig::FiveTupleAndVField, 0xDEADBEEF);
+    let key = FlowKey {
+        src: 17,
+        dst: 99,
+        sport: 5555,
+        dport: 80,
+        proto: Proto::Tcp,
+    };
+    let pkt = Packet::data(0, key, 3, 0, MSS, SimTime::ZERO);
+    h.bench("hashing/ecmp_select_8way_1k", 1_000, || {
+        let mut acc = 0usize;
+        for _ in 0..1_000 {
+            acc ^= hasher.select(black_box(&pkt), 8);
+        }
+        black_box(acc)
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_scheduler,
-    bench_hashing,
-    bench_queue,
-    bench_rng,
-    bench_forwarding
-);
-criterion_main!(benches);
+fn bench_queue(h: &Harness) {
+    let key = FlowKey {
+        src: 1,
+        dst: 2,
+        sport: 3,
+        dport: 4,
+        proto: Proto::Tcp,
+    };
+    h.bench_with_setup(
+        "queue/enqueue_dequeue_1k",
+        1_000,
+        || EcnQueue::new(10_000_000, 90_000),
+        |mut q| {
+            for i in 0..1_000u64 {
+                let pkt = Packet::data(0, key, 0, i * MSS as u64, MSS, SimTime::ZERO);
+                q.enqueue(pkt);
+            }
+            while let Some(p) = q.dequeue() {
+                black_box(p.seq);
+            }
+        },
+    );
+}
+
+fn bench_rng(h: &Harness) {
+    let mut rng = DetRng::new(7, 7);
+    h.bench("rng/detrng_u64_1k", 1_000, || {
+        let mut acc = 0u64;
+        for _ in 0..1_000 {
+            acc ^= rng.next_u64();
+        }
+        black_box(acc)
+    });
+}
+
+/// Raw forwarding throughput: blast 5 000 packets through one switch.
+fn bench_forwarding(h: &Harness) {
+    h.bench_with_setup(
+        "simulator/blast_5k_packets_through_switch",
+        5_000,
+        || {
+            let mut sim = Simulator::new(1);
+            let h0 = sim.add_host(SimTime::ZERO, SimTime::ZERO);
+            let h1 = sim.add_host(SimTime::ZERO, SimTime::ZERO);
+            let sw = sim.add_switch(SwitchConfig::commodity(HashConfig::FiveTuple));
+            sim.connect(h0, sw, LinkSpec::host_10g());
+            sim.connect(h1, sw, LinkSpec::host_10g());
+            let mut rt = RoutingTable::new(2);
+            rt.set(0, vec![0]);
+            rt.set(1, vec![1]);
+            sim.set_routes(sw, rt);
+            let log = RxLog::shared();
+            sim.set_agent(h0, Box::new(Blaster::new(1, 5_000, log.clone())));
+            sim.set_agent(h1, Box::new(CountingSink { log }));
+            sim
+        },
+        |mut sim| {
+            sim.run_to_quiescence();
+            black_box(sim.events_processed())
+        },
+    );
+}
+
+fn main() {
+    let h = Harness::from_args();
+    bench_scheduler(&h);
+    bench_hashing(&h);
+    bench_queue(&h);
+    bench_rng(&h);
+    bench_forwarding(&h);
+}

@@ -4,250 +4,235 @@
 //! every artifact; the full-size numbers come from the `experiments`
 //! binary (see EXPERIMENTS.md).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use experiments::{run_fat_tree, run_testbed, Scheme, Window};
+use fb_bench::Harness;
 use netsim::{DetRng, SimTime, Simulator};
 use topology::{build_fat_tree, FatTreeParams, TestbedParams};
 use transport::install_agents;
-use workloads::{all_to_all, hotspot, microbench, partition_aggregate, testbed_one_tor, FlowSizeDist};
+use workloads::{
+    all_to_all, hotspot, microbench, partition_aggregate, testbed_one_tor, FlowSizeDist,
+};
 
 fn fb() -> Scheme {
     Scheme::FlowBender(flowbender::Config::default())
 }
 
 /// Table 1 miniature: 8 x 1 MB ToR-to-ToR flows under FlowBender.
-fn bench_table1(c: &mut Criterion) {
-    let mut g = c.benchmark_group("paper");
-    g.sample_size(10);
-    g.bench_function("table1_microbench", |b| {
-        let params = FatTreeParams::paper();
-        let specs = microbench(&params, 8, 1_000_000);
-        b.iter(|| {
-            black_box(run_fat_tree(params, &fb(), &specs, SimTime::from_secs(5), 1).events)
-        })
+fn bench_table1(h: &Harness) {
+    let params = FatTreeParams::paper();
+    let specs = microbench(&params, 8, 1_000_000);
+    h.bench("paper/table1_microbench", 0, || {
+        black_box(run_fat_tree(params, &fb(), &specs, SimTime::from_secs(5), 1).events)
     });
-    g.finish();
 }
 
-/// Figures 3/4 miniature: a 3 ms all-to-all slice at 40 % under FlowBender
-/// (the mean and the p99 of the same run feed Fig 3 and Fig 4).
-fn bench_fig3_fig4(c: &mut Criterion) {
-    let mut g = c.benchmark_group("paper");
-    g.sample_size(10);
+/// Figures 3/4 miniature: a 3 ms all-to-all slice at 40 % (the mean and
+/// the p99 of the same run feed Fig 3 and Fig 4).
+fn bench_fig3_fig4(h: &Harness) {
     let params = FatTreeParams::paper();
     let duration = SimTime::from_ms(3);
     let window = Window::for_duration(duration, SimTime::from_ms(100));
     let mut rng = DetRng::new(1, 1);
-    let specs = all_to_all(&params, 0.4, duration, &FlowSizeDist::web_search(), &mut rng);
+    let specs = all_to_all(
+        &params,
+        0.4,
+        duration,
+        &FlowSizeDist::web_search(),
+        &mut rng,
+    );
     for (name, scheme) in [
-        ("fig3_alltoall_mean_flowbender", fb()),
-        ("fig4_alltoall_tail_ecmp", Scheme::Ecmp),
+        ("paper/fig3_alltoall_mean_flowbender", fb()),
+        ("paper/fig4_alltoall_tail_ecmp", Scheme::Ecmp),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let out = run_fat_tree(params, &scheme, &specs, window.drain_until, 1);
-                let s = stats::samples(&out.flows, window.start, window.end);
-                let fcts: Vec<f64> = s.iter().map(|x| x.fct_s).collect();
-                black_box((stats::mean(&fcts), stats::percentile(&fcts, 0.99)))
-            })
+        h.bench(name, 0, || {
+            let out = run_fat_tree(params, &scheme, &specs, window.drain_until, 1);
+            let s = stats::samples(&out.flows, window.start, window.end);
+            let fcts: Vec<f64> = s.iter().map(|x| x.fct_s).collect();
+            black_box((stats::mean(&fcts), stats::percentile(&fcts, 0.99)))
         });
     }
-    g.finish();
 }
 
 /// Figure 5 miniature: partition-aggregate jobs at fan-in 8 for 3 ms.
-fn bench_fig5(c: &mut Criterion) {
-    let mut g = c.benchmark_group("paper");
-    g.sample_size(10);
-    g.bench_function("fig5_incast", |b| {
-        let params = FatTreeParams::paper();
-        let mut rng = DetRng::new(1, 2);
-        let specs =
-            partition_aggregate(&params, 0.4, 8, 1_000_000, SimTime::from_ms(3), &mut rng);
-        b.iter(|| {
-            let out = run_fat_tree(params, &fb(), &specs, SimTime::from_ms(200), 1);
-            black_box(stats::avg_job_completion(&out.flows))
-        })
+fn bench_fig5(h: &Harness) {
+    let params = FatTreeParams::paper();
+    let mut rng = DetRng::new(1, 2);
+    let specs = partition_aggregate(&params, 0.4, 8, 1_000_000, SimTime::from_ms(3), &mut rng);
+    h.bench("paper/fig5_incast", 0, || {
+        let out = run_fat_tree(params, &fb(), &specs, SimTime::from_ms(200), 1);
+        black_box(stats::avg_job_completion(&out.flows))
     });
-    g.finish();
 }
 
 /// Figures 6/7 miniature: one non-default knob each (N = 3, T = 1 %).
-fn bench_fig6_fig7(c: &mut Criterion) {
-    let mut g = c.benchmark_group("paper");
-    g.sample_size(10);
+fn bench_fig6_fig7(h: &Harness) {
     let params = FatTreeParams::paper();
     let duration = SimTime::from_ms(3);
     let mut rng = DetRng::new(1, 3);
-    let specs = all_to_all(&params, 0.4, duration, &FlowSizeDist::web_search(), &mut rng);
+    let specs = all_to_all(
+        &params,
+        0.4,
+        duration,
+        &FlowSizeDist::web_search(),
+        &mut rng,
+    );
     for (name, cfg) in [
-        ("fig6_sensitivity_n", flowbender::Config::default().with_n(3)),
-        ("fig7_sensitivity_t", flowbender::Config::default().with_t(0.01)),
+        (
+            "paper/fig6_sensitivity_n",
+            flowbender::Config::default().with_n(3),
+        ),
+        (
+            "paper/fig7_sensitivity_t",
+            flowbender::Config::default().with_t(0.01),
+        ),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                black_box(
-                    run_fat_tree(
-                        params,
-                        &Scheme::FlowBender(cfg),
-                        &specs,
-                        SimTime::from_ms(200),
-                        1,
-                    )
-                    .events,
+        h.bench(name, 0, || {
+            black_box(
+                run_fat_tree(
+                    params,
+                    &Scheme::FlowBender(cfg),
+                    &specs,
+                    SimTime::from_ms(200),
+                    1,
                 )
-            })
+                .events,
+            )
         });
     }
-    g.finish();
 }
 
 /// Figure 8 miniature: 10 ms of the one-ToR testbed workload at 40 %.
-fn bench_fig8(c: &mut Criterion) {
-    let mut g = c.benchmark_group("paper");
-    g.sample_size(10);
-    g.bench_function("fig8_testbed", |b| {
-        let params = TestbedParams::paper();
-        let mut rng = DetRng::new(1, 4);
-        let specs = testbed_one_tor(
-            &params,
-            0..params.servers_per_tor[0],
-            params.n_hosts(),
-            0.4,
-            1_000_000,
-            SimTime::from_ms(10),
-            &mut rng,
-        );
-        b.iter(|| {
-            black_box(
-                run_testbed(params.clone(), &fb(), &specs, SimTime::from_ms(300), 1, &[]).events,
-            )
-        })
+fn bench_fig8(h: &Harness) {
+    let params = TestbedParams::paper();
+    let mut rng = DetRng::new(1, 4);
+    let specs = testbed_one_tor(
+        &params,
+        0..params.servers_per_tor[0],
+        params.n_hosts(),
+        0.4,
+        1_000_000,
+        SimTime::from_ms(10),
+        &mut rng,
+    );
+    h.bench("paper/fig8_testbed", 0, || {
+        black_box(run_testbed(params.clone(), &fb(), &specs, SimTime::from_ms(300), 1, &[]).events)
     });
-    g.finish();
 }
 
 /// §4.3.1 miniature: 5 ms of the 14 Gbps TCP + 6 Gbps UDP hotspot.
-fn bench_hotspot(c: &mut Criterion) {
-    let mut g = c.benchmark_group("paper");
-    g.sample_size(10);
-    g.bench_function("hotspot_decongest", |b| {
-        let params = TestbedParams::paper();
-        let duration = SimTime::from_ms(5);
-        let mut rng = DetRng::new(1, 5);
-        let s0 = params.servers_per_tor[0];
-        let specs = hotspot(0..s0, s0..s0 + params.servers_per_tor[1], 14e9, 6_000_000_000, 1_000_000, duration, &mut rng);
-        let watch: Vec<(usize, usize)> = (0..params.aggs).map(|a| (0usize, a)).collect();
-        b.iter(|| {
-            let out = run_testbed(params.clone(), &fb(), &specs, duration, 1, &watch);
-            black_box(out.port_stats.iter().map(|p| p.tx_bytes_tcp).sum::<u64>())
-        })
+fn bench_hotspot(h: &Harness) {
+    let params = TestbedParams::paper();
+    let duration = SimTime::from_ms(5);
+    let mut rng = DetRng::new(1, 5);
+    let s0 = params.servers_per_tor[0];
+    let specs = hotspot(
+        0..s0,
+        s0..s0 + params.servers_per_tor[1],
+        14e9,
+        6_000_000_000,
+        1_000_000,
+        duration,
+        &mut rng,
+    );
+    let watch: Vec<(usize, usize)> = (0..params.aggs).map(|a| (0usize, a)).collect();
+    h.bench("paper/hotspot_decongest", 0, || {
+        let out = run_testbed(params.clone(), &fb(), &specs, duration, 1, &watch);
+        black_box(out.port_stats.iter().map(|p| p.tx_bytes_tcp).sum::<u64>())
     });
-    g.finish();
 }
 
 /// §3.3.2 miniature: link failure under 8 x 1 MB flows.
-fn bench_link_failure(c: &mut Criterion) {
-    let mut g = c.benchmark_group("paper");
-    g.sample_size(10);
-    g.bench_function("link_failure_recovery", |b| {
-        let params = FatTreeParams::paper();
-        let specs = microbench(&params, 8, 1_000_000);
-        b.iter(|| {
-            let mut sim = Simulator::new(9);
-            let ft = build_fat_tree(
-                &mut sim,
-                params,
-                fb().switch_config(),
-            );
-            install_agents(&mut sim, &specs, &fb().tcp_config());
-            let (node, port) = ft.agg_core_link(0, 0);
-            sim.schedule_link_state(node, port, false, SimTime::from_us(200));
-            sim.run_until(SimTime::from_secs(5));
-            black_box(sim.recorder().completed_count())
-        })
+fn bench_link_failure(h: &Harness) {
+    let params = FatTreeParams::paper();
+    let specs = microbench(&params, 8, 1_000_000);
+    h.bench("paper/link_failure_recovery", 0, || {
+        let mut sim = Simulator::new(9);
+        let ft = build_fat_tree(&mut sim, params, fb().switch_config());
+        install_agents(&mut sim, &specs, &fb().tcp_config());
+        let (node, port) = ft.agg_core_link(0, 0);
+        sim.schedule_link_state(node, port, false, SimTime::from_us(200));
+        sim.run_until(SimTime::from_secs(5));
+        black_box(sim.recorder().completed_count())
     });
-    g.finish();
 }
 
 /// Ablation miniature: two FlowBender variants on the same 3 ms slice
 /// (paper default vs the §5.1 cooldown guard).
-fn bench_ablation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("paper");
-    g.sample_size(10);
+fn bench_ablation(h: &Harness) {
     let params = FatTreeParams::paper();
     let mut rng = DetRng::new(1, 6);
-    let specs = all_to_all(&params, 0.4, SimTime::from_ms(3), &FlowSizeDist::web_search(), &mut rng);
+    let specs = all_to_all(
+        &params,
+        0.4,
+        SimTime::from_ms(3),
+        &FlowSizeDist::web_search(),
+        &mut rng,
+    );
     for (name, cfg) in [
-        ("ablation_default", flowbender::Config::default()),
-        ("ablation_cooldown", flowbender::Config::default().with_cooldown(3)),
+        ("paper/ablation_default", flowbender::Config::default()),
+        (
+            "paper/ablation_cooldown",
+            flowbender::Config::default().with_cooldown(3),
+        ),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                black_box(
-                    run_fat_tree(
-                        params,
-                        &Scheme::FlowBender(cfg),
-                        &specs,
-                        SimTime::from_ms(200),
-                        1,
-                    )
-                    .events,
+        h.bench(name, 0, || {
+            black_box(
+                run_fat_tree(
+                    params,
+                    &Scheme::FlowBender(cfg),
+                    &specs,
+                    SimTime::from_ms(200),
+                    1,
                 )
-            })
+                .events,
+            )
         });
     }
-    g.finish();
 }
 
 /// §4.3.1 asymmetry miniature: one degraded agg->core link under the
 /// microbenchmark with FlowBender compensating.
-fn bench_asym(c: &mut Criterion) {
-    let mut g = c.benchmark_group("paper");
-    g.sample_size(10);
-    g.bench_function("asym_wcmp_compensation", |b| {
-        b.iter(|| {
-            black_box(experiments::asym::run_config(
-                &fb(),
-                false,
-                1_000_000,
-                5_000_000_000,
-                1,
-            ))
-        })
+fn bench_asym(h: &Harness) {
+    h.bench("paper/asym_wcmp_compensation", 0, || {
+        black_box(experiments::asym::run_config(
+            &fb(),
+            false,
+            1_000_000,
+            5_000_000_000,
+            1,
+        ))
     });
-    g.finish();
 }
 
 /// §4.3.3 miniature: the same slice on the tiny fabric (path-diversity
 /// scaling uses `paper_wide` in the full experiment; benches stay small).
-fn bench_topo_dep(c: &mut Criterion) {
-    let mut g = c.benchmark_group("paper");
-    g.sample_size(10);
-    g.bench_function("topo_dep_tiny_fabric", |b| {
-        let params = FatTreeParams::tiny();
-        let mut rng = DetRng::new(1, 7);
-        let specs = all_to_all(&params, 0.4, SimTime::from_ms(5), &FlowSizeDist::web_search(), &mut rng);
-        b.iter(|| {
-            black_box(run_fat_tree(params, &fb(), &specs, SimTime::from_ms(300), 1).events)
-        })
+fn bench_topo_dep(h: &Harness) {
+    let params = FatTreeParams::tiny();
+    let mut rng = DetRng::new(1, 7);
+    let specs = all_to_all(
+        &params,
+        0.4,
+        SimTime::from_ms(5),
+        &FlowSizeDist::web_search(),
+        &mut rng,
+    );
+    h.bench("paper/topo_dep_tiny_fabric", 0, || {
+        black_box(run_fat_tree(params, &fb(), &specs, SimTime::from_ms(300), 1).events)
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_table1,
-    bench_fig3_fig4,
-    bench_fig5,
-    bench_fig6_fig7,
-    bench_fig8,
-    bench_hotspot,
-    bench_link_failure,
-    bench_ablation,
-    bench_asym,
-    bench_topo_dep
-);
-criterion_main!(benches);
+fn main() {
+    let h = Harness::from_args();
+    bench_table1(&h);
+    bench_fig3_fig4(&h);
+    bench_fig5(&h);
+    bench_fig6_fig7(&h);
+    bench_fig8(&h);
+    bench_hotspot(&h);
+    bench_link_failure(&h);
+    bench_ablation(&h);
+    bench_asym(&h);
+    bench_topo_dep(&h);
+}

@@ -22,9 +22,8 @@
 
 use std::collections::VecDeque;
 
-use rand::Rng;
-
 use crate::config::Config;
+use crate::rng::Rng;
 
 /// How many closed epochs [`FlowBender::history`] retains.
 pub const HISTORY_CAP: usize = 64;
@@ -117,7 +116,7 @@ impl FlowBender {
     /// concurrent flows between the same host pair start spread out.
     pub fn new<R: Rng + ?Sized>(cfg: Config, rng: &mut R) -> Self {
         cfg.validate();
-        let v = rng.random_range(0..cfg.v_range as u32) as u8;
+        let v = rng.gen_range(cfg.v_range as u32) as u8;
         Self::with_initial_v(cfg, v)
     }
 
@@ -125,7 +124,11 @@ impl FlowBender {
     /// `cfg.v_range`).
     pub fn with_initial_v(cfg: Config, v: u8) -> Self {
         cfg.validate();
-        assert!(v < cfg.v_range, "initial V {v} out of range {}", cfg.v_range);
+        assert!(
+            v < cfg.v_range,
+            "initial V {v} out of range {}",
+            cfg.v_range
+        );
         FlowBender {
             cfg,
             v,
@@ -168,7 +171,11 @@ impl FlowBender {
         if self.history.len() == HISTORY_CAP {
             self.history.pop_front();
         }
-        self.history.push_back(EpochRecord { f, rerouted, v_after: self.v });
+        self.history.push_back(EpochRecord {
+            f,
+            rerouted,
+            v_after: self.v,
+        });
     }
 
     /// Count one received ACK (and whether it carried the ECN echo) into
@@ -263,7 +270,7 @@ impl FlowBender {
             // Draw the next countdown target from {N-1, N, N+1}, floor 1.
             let lo = self.cfg.n.saturating_sub(1).max(1);
             let hi = self.cfg.n + 1;
-            self.n_target = rng.random_range(lo..=hi);
+            self.n_target = rng.gen_range_incl(lo, hi);
         }
         Decision::Reroute { from, to }
     }
@@ -276,7 +283,7 @@ impl FlowBender {
         if range == 1 {
             return self.v;
         }
-        let step = 1 + rng.random_range(0..range - 1);
+        let step = 1 + rng.gen_range(range - 1);
         ((self.v as u32 + step) % range) as u8
     }
 }
@@ -293,19 +300,11 @@ mod tests {
             FixedRng(vals, 0)
         }
     }
-    impl rand::RngCore for FixedRng {
+    impl Rng for FixedRng {
         fn next_u32(&mut self) -> u32 {
-            self.next_u64() as u32
-        }
-        fn next_u64(&mut self) -> u64 {
             let v = self.0[self.1 % self.0.len()];
             self.1 += 1;
-            v
-        }
-        fn fill_bytes(&mut self, dest: &mut [u8]) {
-            for b in dest {
-                *b = self.next_u64() as u8;
-            }
+            v as u32
         }
     }
 
@@ -394,7 +393,10 @@ mod tests {
     #[test]
     fn timeout_reroute_can_be_disabled() {
         let mut rng = det_rng();
-        let cfg = Config { reroute_on_timeout: false, ..Config::default() };
+        let cfg = Config {
+            reroute_on_timeout: false,
+            ..Config::default()
+        };
         let mut fb = FlowBender::with_initial_v(cfg, 0);
         assert_eq!(fb.on_timeout(&mut rng), Decision::Stay);
         assert_eq!(fb.stats().total_reroutes(), 0);
@@ -461,7 +463,10 @@ mod tests {
                 break;
             }
         }
-        assert!(rerouted, "sustained congestion must still trigger under EWMA");
+        assert!(
+            rerouted,
+            "sustained congestion must still trigger under EWMA"
+        );
     }
 
     #[test]

@@ -37,8 +37,8 @@
 //! crates provide fabrics whose ECMP hash covers the V-field.
 //!
 //! ```
-//! use flowbender::{Config, Decision, FlowBender};
-//! let mut rng = rand::rng();
+//! use flowbender::{Config, Decision, FlowBender, SplitMix64};
+//! let mut rng = SplitMix64::new(42);
 //! let mut fb = FlowBender::new(Config::default(), &mut rng);
 //!
 //! // Each RTT, report ACKs as they arrive...
@@ -60,6 +60,8 @@
 
 mod bender;
 mod config;
+mod rng;
 
 pub use bender::{BenderStats, Decision, EpochRecord, FlowBender, HISTORY_CAP};
 pub use config::Config;
+pub use rng::{Rng, SplitMix64};

@@ -1,0 +1,132 @@
+//! The randomness interface FlowBender draws from.
+//!
+//! The state machine needs only a handful of small uniform draws (the
+//! initial `V`, each replacement `V`, and the randomized-`N` target), so
+//! instead of depending on an external RNG ecosystem this crate defines the
+//! minimal trait it consumes. Simulation substrates implement [`Rng`] for
+//! their own deterministic generators (the `netsim` crate implements it for
+//! its PCG stream type); [`SplitMix64`] is a tiny self-contained generator
+//! for tests, doctests, and standalone use.
+
+/// A source of uniform randomness, as consumed by
+/// [`FlowBender`](crate::FlowBender).
+///
+/// Implementors supply [`Rng::next_u32`]; the range helpers are provided
+/// and use Lemire's multiply-shift rejection method, so any implementor
+/// gets unbiased bounded draws for free.
+pub trait Rng {
+    /// The next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    /// If `bound == 0`.
+    fn gen_range(&mut self, bound: u32) -> u32 {
+        assert!(bound > 0, "gen_range bound must be positive");
+        let mut x = self.next_u32();
+        let mut m = (x as u64) * (bound as u64);
+        let mut lo = m as u32;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u32();
+                m = (x as u64) * (bound as u64);
+                lo = m as u32;
+            }
+        }
+        (m >> 32) as u32
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive on both ends).
+    ///
+    /// # Panics
+    /// If `lo > hi`.
+    fn gen_range_incl(&mut self, lo: u32, hi: u32) -> u32 {
+        assert!(lo <= hi, "empty range [{lo}, {hi}]");
+        if lo == 0 && hi == u32::MAX {
+            return self.next_u32();
+        }
+        lo + self.gen_range(hi - lo + 1)
+    }
+}
+
+/// A tiny, self-contained splitmix64 generator.
+///
+/// Statistically solid for the small draws this crate makes, stable
+/// forever (no external dependency whose internals could shift), and
+/// cheap enough for doctests. Not cryptographic.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(1);
+        let mut c = SplitMix64::new(2);
+        let va: Vec<u64> = (0..10).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..10).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..10).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn gen_range_in_bounds_and_covers() {
+        let mut rng = SplitMix64::new(7);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            let x = rng.gen_range(8);
+            assert!(x < 8);
+            seen[x as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn gen_range_incl_hits_both_ends() {
+        let mut rng = SplitMix64::new(3);
+        let (mut lo_seen, mut hi_seen) = (false, false);
+        for _ in 0..200 {
+            let x = rng.gen_range_incl(2, 4);
+            assert!((2..=4).contains(&x));
+            lo_seen |= x == 2;
+            hi_seen |= x == 4;
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bound_panics() {
+        SplitMix64::new(1).gen_range(0);
+    }
+}

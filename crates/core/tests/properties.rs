@@ -1,173 +1,223 @@
-//! Property-based tests of the FlowBender state machine invariants.
+//! Randomized invariant tests of the FlowBender state machine. Each test
+//! sweeps many seeded configurations drawn from [`SplitMix64`], so every
+//! failure reproduces exactly (the seed is part of the assertion message).
 
-use flowbender::{Config, Decision, FlowBender};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use flowbender::{Config, Decision, FlowBender, Rng, SplitMix64};
 
-/// Arbitrary-but-valid configurations.
-fn config_strategy() -> impl Strategy<Value = Config> {
-    (
-        0.0f64..=0.5,          // t
-        1u32..=5,              // n
-        1u8..=16,              // v_range
-        any::<bool>(),         // randomize_n
-        prop::option::of(0.01f64..=1.0), // ewma_gamma
-        0u32..=4,              // cooldown
-        any::<bool>(),         // reroute_on_timeout
-    )
-        .prop_map(|(t, n, v_range, randomize_n, ewma_gamma, cooldown_rtts, reroute_on_timeout)| Config {
-            t,
-            n,
-            v_range,
-            randomize_n,
-            ewma_gamma,
-            cooldown_rtts,
-            reroute_on_timeout,
-        })
+/// A random-but-valid configuration drawn from `rng`.
+fn random_config(rng: &mut SplitMix64) -> Config {
+    Config {
+        t: rng.gen_range(501) as f64 / 1000.0, // 0.0..=0.5
+        n: 1 + rng.gen_range(5),
+        v_range: (1 + rng.gen_range(16)) as u8,
+        randomize_n: rng.gen_range(2) == 1,
+        ewma_gamma: if rng.gen_range(2) == 1 {
+            Some((1 + rng.gen_range(100)) as f64 / 100.0) // 0.01..=1.0
+        } else {
+            None
+        },
+        cooldown_rtts: rng.gen_range(5),
+        reroute_on_timeout: rng.gen_range(2) == 1,
+    }
 }
 
 /// A scripted epoch: `marked` of `total` ACKs carry the echo.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct Epoch {
     marked: u32,
     total: u32,
 }
 
-fn epoch_strategy() -> impl Strategy<Value = Epoch> {
-    (0u32..=64).prop_flat_map(|total| {
-        (0..=total).prop_map(move |marked| Epoch { marked, total })
-    })
+fn random_epoch(rng: &mut SplitMix64) -> Epoch {
+    let total = rng.gen_range(65);
+    let marked = if total == 0 {
+        0
+    } else {
+        rng.gen_range(total + 1)
+    };
+    Epoch { marked, total }
 }
 
-fn feed(fb: &mut FlowBender, e: &Epoch, rng: &mut StdRng) -> Decision {
+fn feed(fb: &mut FlowBender, e: Epoch, rng: &mut SplitMix64) -> Decision {
     for i in 0..e.total {
         fb.on_ack(i < e.marked);
     }
     fb.on_rtt_end(rng)
 }
 
-proptest! {
-    /// V always stays within the configured range, no matter the feed.
-    #[test]
-    fn v_always_in_range(cfg in config_strategy(), epochs in prop::collection::vec(epoch_strategy(), 0..64), seed: u64) {
-        let mut rng = StdRng::seed_from_u64(seed);
+/// V always stays within the configured range, no matter the feed.
+#[test]
+fn v_always_in_range() {
+    for seed in 0..200u64 {
+        let mut rng = SplitMix64::new(seed);
+        let cfg = random_config(&mut rng);
         let mut fb = FlowBender::new(cfg, &mut rng);
-        prop_assert!(fb.vfield() < cfg.v_range);
-        for e in &epochs {
+        assert!(fb.vfield() < cfg.v_range, "seed {seed}");
+        for _ in 0..64 {
+            let e = random_epoch(&mut rng);
             let d = feed(&mut fb, e, &mut rng);
-            prop_assert!(fb.vfield() < cfg.v_range);
+            assert!(fb.vfield() < cfg.v_range, "seed {seed}: {cfg:?}");
             if let Decision::Reroute { from, to } = d {
-                prop_assert!(from < cfg.v_range && to < cfg.v_range);
-                prop_assert_eq!(to, fb.vfield());
+                assert!(from < cfg.v_range && to < cfg.v_range, "seed {seed}");
+                assert_eq!(to, fb.vfield(), "seed {seed}");
                 if cfg.v_range > 1 {
-                    prop_assert_ne!(from, to, "reroute must actually move when it can");
+                    assert_ne!(from, to, "seed {seed}: reroute must actually move");
                 }
             }
         }
     }
+}
 
-    /// With marking at or below T, FlowBender never reroutes for congestion.
-    #[test]
-    fn clean_traffic_never_reroutes(seed: u64, epochs in prop::collection::vec(1u32..=100, 1..100)) {
-        let mut rng = StdRng::seed_from_u64(seed);
+/// With marking at or below T, FlowBender never reroutes for congestion.
+#[test]
+fn clean_traffic_never_reroutes() {
+    for seed in 0..100u64 {
+        let mut rng = SplitMix64::new(seed);
         let cfg = Config::default(); // T = 5%
         let mut fb = FlowBender::new(cfg, &mut rng);
-        for &total in &epochs {
+        for _ in 0..100 {
             // marked/total <= 5% guaranteed: mark at most total/20 ACKs.
+            let total = 1 + rng.gen_range(100);
             let marked = total / 20;
-            let d = feed(&mut fb, &Epoch { marked, total }, &mut rng);
-            prop_assert_eq!(d, Decision::Stay);
+            let d = feed(&mut fb, Epoch { marked, total }, &mut rng);
+            assert_eq!(d, Decision::Stay, "seed {seed}");
         }
-        prop_assert_eq!(fb.stats().total_reroutes(), 0);
+        assert_eq!(fb.stats().total_reroutes(), 0, "seed {seed}");
     }
+}
 
-    /// Fully marked traffic reroutes within every window of N consecutive
-    /// epochs (basic config: no cooldown, no EWMA, fixed N).
-    #[test]
-    fn saturated_traffic_reroutes_every_n(seed: u64, n in 1u32..=5) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let cfg = Config::default().with_n(n);
-        let mut fb = FlowBender::new(cfg, &mut rng);
-        let mut since_reroute = 0u32;
-        for _ in 0..50 {
-            let d = feed(&mut fb, &Epoch { marked: 10, total: 10 }, &mut rng);
-            since_reroute += 1;
-            if d.rerouted() {
-                prop_assert_eq!(since_reroute, n, "reroute cadence must be exactly N");
-                since_reroute = 0;
+/// Fully marked traffic reroutes within every window of N consecutive
+/// epochs (basic config: no cooldown, no EWMA, fixed N).
+#[test]
+fn saturated_traffic_reroutes_every_n() {
+    for seed in 0..50u64 {
+        for n in 1..=5u32 {
+            let mut rng = SplitMix64::new(seed);
+            let cfg = Config::default().with_n(n);
+            let mut fb = FlowBender::new(cfg, &mut rng);
+            let mut since_reroute = 0u32;
+            for _ in 0..50 {
+                let d = feed(
+                    &mut fb,
+                    Epoch {
+                        marked: 10,
+                        total: 10,
+                    },
+                    &mut rng,
+                );
+                since_reroute += 1;
+                if d.rerouted() {
+                    assert_eq!(since_reroute, n, "seed {seed}: cadence must be exactly N");
+                    since_reroute = 0;
+                }
             }
+            assert_eq!(fb.stats().congestion_reroutes as u32, 50 / n, "seed {seed}");
         }
-        prop_assert_eq!(fb.stats().congestion_reroutes as u32, 50 / n);
     }
+}
 
-    /// The statistics never go backwards and stay mutually consistent.
-    #[test]
-    fn stats_are_monotone_and_consistent(cfg in config_strategy(), epochs in prop::collection::vec(epoch_strategy(), 0..50), seed: u64) {
-        let mut rng = StdRng::seed_from_u64(seed);
+/// The statistics never go backwards and stay mutually consistent.
+#[test]
+fn stats_are_monotone_and_consistent() {
+    for seed in 0..200u64 {
+        let mut rng = SplitMix64::new(seed);
+        let cfg = random_config(&mut rng);
         let mut fb = FlowBender::new(cfg, &mut rng);
         let mut prev = fb.stats();
-        for e in &epochs {
+        for _ in 0..50 {
+            let e = random_epoch(&mut rng);
             feed(&mut fb, e, &mut rng);
             let s = fb.stats();
-            prop_assert!(s.rtts >= prev.rtts);
-            prop_assert!(s.congested_rtts >= prev.congested_rtts);
-            prop_assert!(s.congestion_reroutes >= prev.congestion_reroutes);
-            prop_assert!(s.congested_rtts <= s.rtts);
-            prop_assert!(s.congestion_reroutes <= s.congested_rtts);
+            assert!(s.rtts >= prev.rtts, "seed {seed}");
+            assert!(s.congested_rtts >= prev.congested_rtts, "seed {seed}");
+            assert!(
+                s.congestion_reroutes >= prev.congestion_reroutes,
+                "seed {seed}"
+            );
+            assert!(s.congested_rtts <= s.rtts, "seed {seed}");
+            assert!(s.congestion_reroutes <= s.congested_rtts, "seed {seed}");
             prev = s;
         }
     }
+}
 
-    /// A timeout reroutes exactly when configured to, from any state.
-    #[test]
-    fn timeout_behaviour_matches_config(cfg in config_strategy(), epochs in prop::collection::vec(epoch_strategy(), 0..20), seed: u64) {
-        let mut rng = StdRng::seed_from_u64(seed);
+/// A timeout reroutes exactly when configured to, from any state.
+#[test]
+fn timeout_behaviour_matches_config() {
+    for seed in 0..200u64 {
+        let mut rng = SplitMix64::new(seed);
+        let cfg = random_config(&mut rng);
         let mut fb = FlowBender::new(cfg, &mut rng);
-        for e in &epochs {
+        for _ in 0..20 {
+            let e = random_epoch(&mut rng);
             feed(&mut fb, e, &mut rng);
         }
         let before = fb.stats().timeout_reroutes;
         let d = fb.on_timeout(&mut rng);
-        prop_assert_eq!(d.rerouted(), cfg.reroute_on_timeout);
-        prop_assert_eq!(fb.stats().timeout_reroutes, before + u64::from(cfg.reroute_on_timeout));
+        assert_eq!(d.rerouted(), cfg.reroute_on_timeout, "seed {seed}: {cfg:?}");
+        assert_eq!(
+            fb.stats().timeout_reroutes,
+            before + u64::from(cfg.reroute_on_timeout),
+            "seed {seed}"
+        );
         // The in-progress epoch is always discarded.
-        prop_assert_eq!(fb.current_fraction(), None);
+        assert_eq!(fb.current_fraction(), None, "seed {seed}");
     }
+}
 
-    /// With a cooldown of C, two congestion reroutes are always separated
-    /// by more than C epochs.
-    #[test]
-    fn cooldown_spaces_reroutes(seed: u64, c in 1u32..=5) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let cfg = Config::default().with_cooldown(c);
-        let mut fb = FlowBender::new(cfg, &mut rng);
-        let mut last_reroute: Option<u32> = None;
-        for epoch in 0..100u32 {
-            let d = feed(&mut fb, &Epoch { marked: 10, total: 10 }, &mut rng);
-            if d.rerouted() {
-                if let Some(prev) = last_reroute {
-                    prop_assert!(epoch - prev > c, "reroutes at {prev} and {epoch} violate cooldown {c}");
+/// With a cooldown of C, two congestion reroutes are always separated
+/// by more than C epochs.
+#[test]
+fn cooldown_spaces_reroutes() {
+    for seed in 0..50u64 {
+        for c in 1..=5u32 {
+            let mut rng = SplitMix64::new(seed);
+            let cfg = Config::default().with_cooldown(c);
+            let mut fb = FlowBender::new(cfg, &mut rng);
+            let mut last_reroute: Option<u32> = None;
+            for epoch in 0..100u32 {
+                let d = feed(
+                    &mut fb,
+                    Epoch {
+                        marked: 10,
+                        total: 10,
+                    },
+                    &mut rng,
+                );
+                if d.rerouted() {
+                    if let Some(prev) = last_reroute {
+                        assert!(
+                            epoch - prev > c,
+                            "seed {seed}: reroutes at {prev} and {epoch} violate cooldown {c}"
+                        );
+                    }
+                    last_reroute = Some(epoch);
                 }
-                last_reroute = Some(epoch);
             }
+            assert!(
+                last_reroute.is_some(),
+                "seed {seed}: saturated feed must reroute"
+            );
         }
-        prop_assert!(last_reroute.is_some(), "saturated feed must reroute eventually");
     }
+}
 
-    /// Determinism: the same seed and feed produce the same trajectory.
-    #[test]
-    fn same_seed_same_trajectory(cfg in config_strategy(), epochs in prop::collection::vec(epoch_strategy(), 0..50), seed: u64) {
+/// Determinism: the same seed and feed produce the same trajectory.
+#[test]
+fn same_seed_same_trajectory() {
+    for seed in 0..100u64 {
         let run = || {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = SplitMix64::new(seed);
+            let cfg = random_config(&mut rng);
             let mut fb = FlowBender::new(cfg, &mut rng);
             let mut vs = vec![fb.vfield()];
-            for e in &epochs {
+            for _ in 0..50 {
+                let e = random_epoch(&mut rng);
                 feed(&mut fb, e, &mut rng);
                 vs.push(fb.vfield());
             }
             (vs, fb.stats())
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run(), "seed {seed}");
     }
 }

@@ -30,15 +30,36 @@ pub struct Variant {
 pub fn variants() -> Vec<Variant> {
     let base = flowbender::Config::default();
     vec![
-        Variant { name: "default (T=5%,N=1,V=8)", cfg: base },
-        Variant { name: "N=2", cfg: base.with_n(2) },
-        Variant { name: "randomized N (N=2±1)", cfg: base.with_n(2).with_randomized_n() },
-        Variant { name: "EWMA F (gamma=0.25)", cfg: base.with_ewma(0.25) },
-        Variant { name: "cooldown 3 RTTs", cfg: base.with_cooldown(3) },
-        Variant { name: "V range 2", cfg: base.with_v_range(2) },
+        Variant {
+            name: "default (T=5%,N=1,V=8)",
+            cfg: base,
+        },
+        Variant {
+            name: "N=2",
+            cfg: base.with_n(2),
+        },
+        Variant {
+            name: "randomized N (N=2±1)",
+            cfg: base.with_n(2).with_randomized_n(),
+        },
+        Variant {
+            name: "EWMA F (gamma=0.25)",
+            cfg: base.with_ewma(0.25),
+        },
+        Variant {
+            name: "cooldown 3 RTTs",
+            cfg: base.with_cooldown(3),
+        },
+        Variant {
+            name: "V range 2",
+            cfg: base.with_v_range(2),
+        },
         Variant {
             name: "no timeout reroute",
-            cfg: flowbender::Config { reroute_on_timeout: false, ..base },
+            cfg: flowbender::Config {
+                reroute_on_timeout: false,
+                ..base
+            },
         },
     ]
 }
@@ -69,7 +90,13 @@ pub fn sweep(opts: &Opts) -> Vec<Cell> {
     parallel_map(variants(), |v| {
         let mut rng = netsim::DetRng::new(opts.seed, 0xAB1A);
         let specs = all_to_all(&params, 0.4, duration, &dist, &mut rng);
-        let out = run_fat_tree(params, &Scheme::FlowBender(v.cfg), &specs, window.drain_until, opts.seed);
+        let out = run_fat_tree(
+            params,
+            &Scheme::FlowBender(v.cfg),
+            &specs,
+            window.drain_until,
+            opts.seed,
+        );
         let s = samples(&out.flows, window.start, window.end);
         let fcts: Vec<f64> = s.iter().map(|x| x.fct_s).collect();
         let data = out.get(Counter::DataPktsRcvd).max(1);
@@ -106,7 +133,10 @@ pub fn run(opts: &Opts) -> Report {
         ]);
     }
     let mut r = Report::new("ablation");
-    r.section("Ablations: FlowBender variants on 40% all-to-all (normalized to default)", table);
+    r.section(
+        "Ablations: FlowBender variants on 40% all-to-all (normalized to default)",
+        table,
+    );
     r.note("paper: N=2 'very similar'; V range 2 still 'extremely effective'; refinements trade reroute count vs reaction time");
     r
 }

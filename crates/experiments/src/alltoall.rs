@@ -89,15 +89,28 @@ fn find<'a>(results: &'a [A2AResult], load: f64, scheme: &str) -> &'a A2AResult 
 /// Build the Figure 3 (mean) or Figure 4 (p99) normalized-latency table.
 fn normalized_table(results: &[A2AResult], loads: &[f64], tail: bool) -> Table {
     let mut table = Table::new(vec![
-        "load", "flow size", "DeTail", "FlowBender", "RPS", "ECMP abs",
+        "load",
+        "flow size",
+        "DeTail",
+        "FlowBender",
+        "RPS",
+        "ECMP abs",
     ]);
     for &load in loads {
         let ecmp = find(results, load, "ECMP");
         for (bi, bin) in paper_bins().iter().enumerate() {
-            let base = if tail { ecmp.bins[bi].p99_s } else { ecmp.bins[bi].mean_s };
+            let base = if tail {
+                ecmp.bins[bi].p99_s
+            } else {
+                ecmp.bins[bi].mean_s
+            };
             let cell = |name: &str| {
                 let r = find(results, load, name);
-                let v = if tail { r.bins[bi].p99_s } else { r.bins[bi].mean_s };
+                let v = if tail {
+                    r.bins[bi].p99_s
+                } else {
+                    r.bins[bi].mean_s
+                };
                 if base > 0.0 {
                     fmt_ratio(v / base)
                 } else {
@@ -138,7 +151,9 @@ pub fn fig3_report(results: &[A2AResult], loads: &[f64]) -> Report {
     }
     r.data_section("fct_cdf", cdf);
     completion_note(&mut r, results);
-    r.note("paper: DeTail/FlowBender/RPS all well below 1.0 for >=10KB bins, within ~2% of each other");
+    r.note(
+        "paper: DeTail/FlowBender/RPS all well below 1.0 for >=10KB bins, within ~2% of each other",
+    );
     r
 }
 
@@ -212,12 +227,23 @@ mod tests {
     /// A fast, small sweep: one load, ECMP + FlowBender only.
     #[test]
     fn small_sweep_produces_consistent_results() {
-        let opts = Opts { scale: 0.2, seed: 5 };
-        let schemes = vec![Scheme::Ecmp, Scheme::FlowBender(flowbender::Config::default())];
+        let opts = Opts {
+            scale: 0.2,
+            seed: 5,
+        };
+        let schemes = vec![
+            Scheme::Ecmp,
+            Scheme::FlowBender(flowbender::Config::default()),
+        ];
         let results = sweep(&opts, &schemes, &[0.4]);
         assert_eq!(results.len(), 2);
         for r in &results {
-            assert!(r.completion > 0.95, "{}: completion {}", r.scheme, r.completion);
+            assert!(
+                r.completion > 0.95,
+                "{}: completion {}",
+                r.scheme,
+                r.completion
+            );
             assert!(r.mean_s > 0.0);
             assert!(r.p99_s >= r.mean_s);
         }
@@ -226,12 +252,20 @@ mod tests {
         assert_eq!(ecmp.reroutes, 0);
         assert!(fb.reroutes > 0, "FlowBender should reroute under 40% load");
         // FlowBender should not be slower overall.
-        assert!(fb.mean_s <= ecmp.mean_s * 1.05, "fb {} vs ecmp {}", fb.mean_s, ecmp.mean_s);
+        assert!(
+            fb.mean_s <= ecmp.mean_s * 1.05,
+            "fb {} vs ecmp {}",
+            fb.mean_s,
+            ecmp.mean_s
+        );
     }
 
     #[test]
     fn report_tables_have_all_rows() {
-        let opts = Opts { scale: 0.05, seed: 5 };
+        let opts = Opts {
+            scale: 0.05,
+            seed: 5,
+        };
         let results = sweep(&opts, &Scheme::paper_set(), &[0.2]);
         let fig3 = fig3_report(&results, &[0.2]);
         assert_eq!(fig3.sections[0].1.len(), 4); // 1 load x 4 bins

@@ -42,8 +42,16 @@ fn configs() -> Vec<(&'static str, Scheme, bool)> {
         ("ECMP (oblivious)", Scheme::Ecmp, false),
         ("RPS", Scheme::Rps, false),
         ("WCMP (correct weights)", Scheme::Ecmp, true),
-        ("FlowBender (no weights)", Scheme::FlowBender(flowbender::Config::default()), false),
-        ("FlowBender + WCMP", Scheme::FlowBender(flowbender::Config::default()), true),
+        (
+            "FlowBender (no weights)",
+            Scheme::FlowBender(flowbender::Config::default()),
+            false,
+        ),
+        (
+            "FlowBender + WCMP",
+            Scheme::FlowBender(flowbender::Config::default()),
+            true,
+        ),
     ]
 }
 
@@ -75,12 +83,20 @@ pub fn run_config(
     let (node, port) = ft.agg_core_link(0, 0);
     let slow = sim.port_stats(node, port);
     let rec = sim.recorder();
-    let fcts: Vec<f64> =
-        rec.flows().iter().filter_map(|f| f.fct()).map(|t| t.as_secs_f64()).collect();
+    let fcts: Vec<f64> = rec
+        .flows()
+        .iter()
+        .filter_map(|f| f.fct())
+        .map(|t| t.as_secs_f64())
+        .collect();
     (
         stats::mean(&fcts).unwrap_or(0.0),
         fcts.iter().cloned().fold(0.0, f64::max),
-        if elapsed > 0.0 { slow.tx_bytes_tcp as f64 * 8.0 / elapsed } else { 0.0 },
+        if elapsed > 0.0 {
+            slow.tx_bytes_tcp as f64 * 8.0 / elapsed
+        } else {
+            0.0
+        },
         fcts.len(),
         rec.get(Counter::Reroutes) + rec.get(Counter::TimeoutReroutes),
     )
@@ -94,7 +110,14 @@ pub fn sweep(opts: &Opts) -> Vec<Cell> {
     parallel_map(configs(), |(label, scheme, wcmp)| {
         let (mean_s, max_s, slow_link_bps, completed, reroutes) =
             run_config(&scheme, wcmp, bytes, slow_rate, opts.seed);
-        Cell { label, mean_s, max_s, slow_link_bps, completed, reroutes }
+        Cell {
+            label,
+            mean_s,
+            max_s,
+            slow_link_bps,
+            completed,
+            reroutes,
+        }
     })
 }
 

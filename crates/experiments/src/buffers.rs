@@ -43,8 +43,11 @@ pub fn sweep(opts: &Opts) -> Vec<Cell> {
     let duration = opts.scaled(SimTime::from_ms(60));
     let window = Window::for_duration(duration, SimTime::from_ms(400));
     let dist = FlowSizeDist::web_search();
-    let schemes =
-        [Scheme::Ecmp, Scheme::FlowBender(flowbender::Config::default()), Scheme::Rps];
+    let schemes = [
+        Scheme::Ecmp,
+        Scheme::FlowBender(flowbender::Config::default()),
+        Scheme::Rps,
+    ];
 
     let mut jobs = Vec::new();
     for &capacity in &CAPACITIES {
@@ -54,7 +57,10 @@ pub fn sweep(opts: &Opts) -> Vec<Cell> {
     }
     parallel_map(jobs, |(capacity, scheme)| {
         let mut params = FatTreeParams::paper();
-        params.fabric_queue = QueueSpec { capacity, mark_threshold: 90_000 };
+        params.fabric_queue = QueueSpec {
+            capacity,
+            mark_threshold: 90_000,
+        };
         let mut rng = netsim::DetRng::new(opts.seed, 0xB0FF);
         let specs = all_to_all(&params, 0.6, duration, &dist, &mut rng);
         let out = run_fat_tree(params, &scheme, &specs, window.drain_until, opts.seed);
@@ -124,7 +130,10 @@ mod tests {
 
     #[test]
     fn shallow_buffers_drop_and_deep_buffers_do_not() {
-        let opts = Opts { scale: 0.25, seed: 2 };
+        let opts = Opts {
+            scale: 0.25,
+            seed: 2,
+        };
         let cells = sweep(&opts);
         let ecmp_shallow = cells
             .iter()
@@ -134,11 +143,20 @@ mod tests {
             .iter()
             .find(|c| c.capacity == CAPACITIES[2] && c.scheme == "ECMP")
             .unwrap();
-        assert!(ecmp_shallow.drops > 0, "150KB buffers must overflow at 60% load");
+        assert!(
+            ecmp_shallow.drops > 0,
+            "150KB buffers must overflow at 60% load"
+        );
         assert_eq!(ecmp_deep.drops, 0, "2MB buffers should absorb 60% load");
         // Everything still completes (retransmission works).
         for c in &cells {
-            assert!(c.completion > 0.99, "{} at {}: {}", c.scheme, c.capacity, c.completion);
+            assert!(
+                c.completion > 0.99,
+                "{} at {}: {}",
+                c.scheme,
+                c.capacity,
+                c.completion
+            );
         }
     }
 }

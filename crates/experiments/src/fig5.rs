@@ -44,7 +44,7 @@ pub fn sweep(opts: &Opts, schemes: &[Scheme]) -> Vec<Cell> {
         }
     }
     parallel_map(jobs, |(fan_in, scheme)| {
-        let mut rng = netsim::DetRng::new(opts.seed, 0xF16_5 ^ fan_in as u64);
+        let mut rng = netsim::DetRng::new(opts.seed, 0xF165 ^ fan_in as u64);
         let specs = partition_aggregate(&params, 0.4, fan_in, 1_000_000, duration, &mut rng);
         let out = run_fat_tree(params, &scheme, &specs, window.drain_until, opts.seed);
         // Job completion uses all jobs whose flows all completed; trim
@@ -56,7 +56,12 @@ pub fn sweep(opts: &Opts, schemes: &[Scheme]) -> Vec<Cell> {
             .cloned()
             .collect();
         let (avg, n) = avg_job_completion(&in_window);
-        Cell { fan_in, scheme: scheme.name(), avg_jct_s: avg, jobs: n }
+        Cell {
+            fan_in,
+            scheme: scheme.name(),
+            avg_jct_s: avg,
+            jobs: n,
+        }
     })
 }
 
@@ -70,7 +75,12 @@ pub fn run(opts: &Opts) -> Report {
             .unwrap_or_else(|| panic!("missing {name} at fan-in {fan_in}"))
     };
     let mut table = Table::new(vec![
-        "fan-in", "DeTail", "FlowBender", "RPS", "ECMP abs", "jobs",
+        "fan-in",
+        "DeTail",
+        "FlowBender",
+        "RPS",
+        "ECMP abs",
+        "jobs",
     ]);
     for &n in &FAN_INS {
         let ecmp = find(n, "ECMP");
@@ -106,13 +116,19 @@ mod tests {
 
     #[test]
     fn small_sweep_beats_ecmp_at_low_fan_in() {
-        let opts = Opts { scale: 0.25, seed: 3 };
-        let schemes = vec![Scheme::Ecmp, Scheme::FlowBender(flowbender::Config::default())];
+        let opts = Opts {
+            scale: 0.25,
+            seed: 3,
+        };
+        let schemes = vec![
+            Scheme::Ecmp,
+            Scheme::FlowBender(flowbender::Config::default()),
+        ];
         let params = FatTreeParams::paper();
         let duration = opts.scaled(SimTime::from_ms(60));
         let window = Window::for_duration(duration, SimTime::from_ms(400));
         let cells = parallel_map(schemes, |scheme| {
-            let mut rng = netsim::DetRng::new(opts.seed, 0xF16_5 ^ 4);
+            let mut rng = netsim::DetRng::new(opts.seed, 0xF165 ^ 4);
             let specs = partition_aggregate(&params, 0.4, 4, 1_000_000, duration, &mut rng);
             let out = run_fat_tree(params, &scheme, &specs, window.drain_until, opts.seed);
             let in_window: Vec<_> = out

@@ -62,7 +62,14 @@ pub fn sweep(opts: &Opts, schemes: &[Scheme]) -> Vec<Cell> {
             duration,
             &mut rng,
         );
-        let out = run_testbed(params.clone(), &scheme, &specs, window.drain_until, opts.seed, &[]);
+        let out = run_testbed(
+            params.clone(),
+            &scheme,
+            &specs,
+            window.drain_until,
+            opts.seed,
+            &[],
+        );
         let s = samples(&out.flows, window.start, window.end);
         let fcts: Vec<f64> = s.iter().map(|x| x.fct_s).collect();
         Cell {
@@ -80,7 +87,10 @@ pub fn sweep(opts: &Opts, schemes: &[Scheme]) -> Vec<Cell> {
 pub fn run(opts: &Opts) -> Report {
     let cells = sweep(
         opts,
-        &[Scheme::Ecmp, Scheme::FlowBender(flowbender::Config::default())],
+        &[
+            Scheme::Ecmp,
+            Scheme::FlowBender(flowbender::Config::default()),
+        ],
     );
     let find = |load: f64, name: &str| {
         cells
@@ -128,7 +138,10 @@ mod tests {
 
     #[test]
     fn single_load_cells_are_sane() {
-        let opts = Opts { scale: 0.1, seed: 2 };
+        let opts = Opts {
+            scale: 0.1,
+            seed: 2,
+        };
         let params = TestbedParams::paper();
         let duration = opts.scaled(SimTime::from_ms(800));
         let window = Window::for_duration(duration, SimTime::from_ms(400));

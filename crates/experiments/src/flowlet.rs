@@ -37,10 +37,16 @@ pub struct Cell {
 fn schemes() -> Vec<(String, Scheme)> {
     let mut v = vec![
         ("ECMP".to_string(), Scheme::Ecmp),
-        ("FlowBender".to_string(), Scheme::FlowBender(flowbender::Config::default())),
+        (
+            "FlowBender".to_string(),
+            Scheme::FlowBender(flowbender::Config::default()),
+        ),
     ];
     for gap in GAPS_US {
-        v.push((format!("Flowlet {gap}us"), Scheme::Flowlet(SimTime::from_us(gap))));
+        v.push((
+            format!("Flowlet {gap}us"),
+            Scheme::Flowlet(SimTime::from_us(gap)),
+        ));
     }
     v
 }
@@ -85,7 +91,13 @@ pub fn run(opts: &Opts) -> Report {
             .find(|c| c.load == load && c.label == label)
             .unwrap_or_else(|| panic!("missing {label} at {load}"))
     };
-    let mut table = Table::new(vec!["load", "scheme", "mean vs ECMP", "p99 vs ECMP", "ooo %"]);
+    let mut table = Table::new(vec![
+        "load",
+        "scheme",
+        "mean vs ECMP",
+        "p99 vs ECMP",
+        "ooo %",
+    ]);
     for &load in &[0.4f64, 0.6] {
         let ecmp = find(load, "ECMP");
         for (label, _) in schemes() {
@@ -106,9 +118,17 @@ pub fn run(opts: &Opts) -> Report {
         let params = FatTreeParams::paper();
         let specs = microbench(&params, 16, bytes);
         let out = run_fat_tree(params, &scheme, &specs, SimTime::from_secs(120), opts.seed);
-        let fcts: Vec<f64> =
-            out.flows.iter().filter_map(|f| f.fct()).map(|t| t.as_secs_f64()).collect();
-        (label, stats::mean(&fcts).unwrap_or(0.0), fcts.iter().cloned().fold(0.0, f64::max))
+        let fcts: Vec<f64> = out
+            .flows
+            .iter()
+            .filter_map(|f| f.fct())
+            .map(|t| t.as_secs_f64())
+            .collect();
+        (
+            label,
+            stats::mean(&fcts).unwrap_or(0.0),
+            fcts.iter().cloned().fold(0.0, f64::max),
+        )
     });
     let mut mtable = Table::new(vec!["scheme", "mean FCT", "max FCT"]);
     for (label, mean, max) in &micro {
@@ -116,9 +136,15 @@ pub fn run(opts: &Opts) -> Report {
     }
 
     let mut r = Report::new("flowlet");
-    r.section("Extension: FlowBender vs flowlet switching, all-to-all", table);
     r.section(
-        format!("Extension: 16 x {} MB ToR-to-ToR microbenchmark", bytes / 1_000_000),
+        "Extension: FlowBender vs flowlet switching, all-to-all",
+        table,
+    );
+    r.section(
+        format!(
+            "Extension: 16 x {} MB ToR-to-ToR microbenchmark",
+            bytes / 1_000_000
+        ),
         mtable,
     );
     r.note("small gaps (~RTT/2) rival FlowBender with even less reordering; large gaps degrade to ECMP — DCTCP's ack-clocked windows leave just enough idle gaps for flowlets to move");
@@ -132,12 +158,21 @@ mod tests {
 
     #[test]
     fn flowlet_scheme_runs_and_reorders_moderately() {
-        let opts = Opts { scale: 0.2, seed: 6 };
+        let opts = Opts {
+            scale: 0.2,
+            seed: 6,
+        };
         let params = FatTreeParams::paper();
         let duration = opts.scaled(SimTime::from_ms(60));
         let window = Window::for_duration(duration, SimTime::from_ms(400));
         let mut rng = netsim::DetRng::new(opts.seed, 1);
-        let specs = all_to_all(&params, 0.4, duration, &FlowSizeDist::web_search(), &mut rng);
+        let specs = all_to_all(
+            &params,
+            0.4,
+            duration,
+            &FlowSizeDist::web_search(),
+            &mut rng,
+        );
         let out = run_fat_tree(
             params,
             &Scheme::Flowlet(SimTime::from_us(100)),
@@ -146,9 +181,13 @@ mod tests {
             opts.seed,
         );
         let done = out.flows.iter().filter(|f| f.fct().is_some()).count();
-        assert_eq!(done, out.flows.len(), "all flows must complete under flowlets");
-        let ooo = out.get(Counter::OooPktsRcvd) as f64
-            / out.get(Counter::DataPktsRcvd).max(1) as f64;
+        assert_eq!(
+            done,
+            out.flows.len(),
+            "all flows must complete under flowlets"
+        );
+        let ooo =
+            out.get(Counter::OooPktsRcvd) as f64 / out.get(Counter::DataPktsRcvd).max(1) as f64;
         // Flowlets reorder less than per-packet spraying (>10%) but are
         // not reorder-free.
         assert!(ooo < 0.10, "flowlet ooo unexpectedly high: {ooo}");

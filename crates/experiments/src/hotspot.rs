@@ -69,8 +69,16 @@ pub fn sweep(opts: &Opts, schemes: &[Scheme]) -> Vec<PathLoads> {
         let secs = duration.as_secs_f64();
         PathLoads {
             scheme: scheme.name(),
-            tcp_gbps: out.port_stats.iter().map(|p| p.tx_bytes_tcp as f64 * 8.0 / secs / 1e9).collect(),
-            udp_gbps: out.port_stats.iter().map(|p| p.tx_bytes_udp as f64 * 8.0 / secs / 1e9).collect(),
+            tcp_gbps: out
+                .port_stats
+                .iter()
+                .map(|p| p.tx_bytes_tcp as f64 * 8.0 / secs / 1e9)
+                .collect(),
+            udp_gbps: out
+                .port_stats
+                .iter()
+                .map(|p| p.tx_bytes_udp as f64 * 8.0 / secs / 1e9)
+                .collect(),
         }
     })
 }
@@ -79,7 +87,10 @@ pub fn sweep(opts: &Opts, schemes: &[Scheme]) -> Vec<PathLoads> {
 pub fn run(opts: &Opts) -> Report {
     let loads = sweep(
         opts,
-        &[Scheme::Ecmp, Scheme::FlowBender(flowbender::Config::default())],
+        &[
+            Scheme::Ecmp,
+            Scheme::FlowBender(flowbender::Config::default()),
+        ],
     );
     let mut table = Table::new(vec!["scheme", "path", "TCP", "UDP", "total", "hotspot?"]);
     for pl in &loads {
@@ -91,14 +102,25 @@ pub fn run(opts: &Opts) -> Report {
                 fmt_gbps(t * 1e9),
                 fmt_gbps(u * 1e9),
                 fmt_gbps((t + u) * 1e9),
-                if i == hot { "U".to_string() } else { String::new() },
+                if i == hot {
+                    "U".to_string()
+                } else {
+                    String::new()
+                },
             ]);
         }
     }
     let mut r = Report::new("hotspot");
-    r.section("§4.3.1: TCP/UDP throughput per path (UDP pinned to path U)", table);
+    r.section(
+        "§4.3.1: TCP/UDP throughput per path (UDP pinned to path U)",
+        table,
+    );
     for pl in &loads {
-        r.note(format!("{}: TCP on hotspot path U = {:.2} Gbps", pl.scheme, pl.tcp_on_hotspot()));
+        r.note(format!(
+            "{}: TCP on hotspot path U = {:.2} Gbps",
+            pl.scheme,
+            pl.tcp_on_hotspot()
+        ));
     }
     r.note("paper: ECMP leaves ~3.5 Gbps of TCP on U (~9.5 Gbps total); FlowBender ~1.5 Gbps");
     r
@@ -110,10 +132,16 @@ mod tests {
 
     #[test]
     fn flowbender_moves_tcp_off_the_hotspot() {
-        let opts = Opts { scale: 0.5, seed: 4 };
+        let opts = Opts {
+            scale: 0.5,
+            seed: 4,
+        };
         let loads = sweep(
             &opts,
-            &[Scheme::Ecmp, Scheme::FlowBender(flowbender::Config::default())],
+            &[
+                Scheme::Ecmp,
+                Scheme::FlowBender(flowbender::Config::default()),
+            ],
         );
         let ecmp = &loads[0];
         let fb = &loads[1];
@@ -122,7 +150,10 @@ mod tests {
             let udp_total: f64 = pl.udp_gbps.iter().sum();
             assert!((5.0..6.5).contains(&udp_total), "udp total {udp_total}");
             let hot = pl.hotspot_path();
-            assert!(pl.udp_gbps[hot] > 0.9 * udp_total, "UDP not pinned to one path");
+            assert!(
+                pl.udp_gbps[hot] > 0.9 * udp_total,
+                "UDP not pinned to one path"
+            );
         }
         // ECMP keeps roughly a fair quarter of TCP on U; FlowBender
         // substantially less.

@@ -29,34 +29,41 @@ pub mod alltoall;
 pub mod asym;
 pub mod buffers;
 pub mod fig5;
-pub mod flowlet;
 pub mod fig8;
+pub mod flowlet;
 pub mod hotspot;
 pub mod link_failure;
+pub mod registry;
 pub mod report;
 pub mod scenario;
 pub mod sensitivity;
 pub mod table1;
 pub mod topo_dep;
 
-pub use report::{Opts, Report};
+pub use registry::{find, registry, Experiment};
+pub use report::{Opts, Report, RunSummary};
 pub use scenario::{parallel_map, run_fat_tree, run_testbed, RunOutput, Scheme, Window};
 
-/// Run every experiment and return all reports, in paper order.
+/// Run every experiment and return all reports, in registry (paper) order.
+///
+/// The fig3/fig4/ooo entries share one all-to-all sweep; running them
+/// through [`Experiment::run`] individually would repeat that sweep three
+/// times, so this memoizes the sweep and pulls each report out by name.
 pub fn run_everything(opts: &Opts) -> Vec<Report> {
+    let mut sweep: Vec<Report> = Vec::new();
     let mut reports = Vec::new();
-    reports.push(table1::run(opts));
-    reports.extend(alltoall::run_all(opts));
-    reports.push(fig5::run(opts));
-    reports.push(sensitivity::fig6(opts));
-    reports.push(sensitivity::fig7(opts));
-    reports.push(fig8::run(opts));
-    reports.push(hotspot::run(opts));
-    reports.push(topo_dep::run(opts));
-    reports.push(link_failure::run(opts));
-    reports.push(asym::run(opts));
-    reports.push(buffers::run(opts));
-    reports.push(flowlet::run(opts));
-    reports.push(ablation::run(opts));
+    for exp in registry() {
+        match exp.name() {
+            "fig3" | "fig4" | "ooo" => {
+                if sweep.is_empty() {
+                    sweep = alltoall::run_all(opts);
+                }
+                if let Some(pos) = sweep.iter().position(|r| r.name == exp.name()) {
+                    reports.push(sweep.remove(pos));
+                }
+            }
+            _ => reports.extend(exp.run(opts)),
+        }
+    }
     reports
 }

@@ -49,8 +49,12 @@ pub fn run_scheme(scheme: &Scheme, bytes: u64, fail_at: SimTime, seed: u64) -> F
     sim.schedule_link_state(node, port, false, fail_at);
     sim.run_until(SimTime::from_secs(60));
     let rec = sim.recorder();
-    let fcts: Vec<f64> =
-        rec.flows().iter().filter_map(|f| f.fct()).map(|t| t.as_secs_f64()).collect();
+    let fcts: Vec<f64> = rec
+        .flows()
+        .iter()
+        .filter_map(|f| f.fct())
+        .map(|t| t.as_secs_f64())
+        .collect();
     FailureResult {
         scheme: scheme.name(),
         completed: fcts.len(),
@@ -66,7 +70,10 @@ pub fn run(opts: &Opts) -> Report {
     opts.validate();
     let bytes = (10_000_000.0 * opts.scale) as u64;
     let fail_at = SimTime::from_ms(5);
-    let schemes = vec![Scheme::Ecmp, Scheme::FlowBender(flowbender::Config::default())];
+    let schemes = vec![
+        Scheme::Ecmp,
+        Scheme::FlowBender(flowbender::Config::default()),
+    ];
     let results = parallel_map(schemes, |s| run_scheme(&s, bytes, fail_at, opts.seed));
 
     let mut table = Table::new(vec![
@@ -82,7 +89,11 @@ pub fn run(opts: &Opts) -> Report {
             format!("{}/{}", r.completed, r.flows),
             r.timeouts.to_string(),
             r.timeout_reroutes.to_string(),
-            if r.completed > 0 { fmt_secs(r.max_fct_s) } else { "-".to_string() },
+            if r.completed > 0 {
+                fmt_secs(r.max_fct_s)
+            } else {
+                "-".to_string()
+            },
         ]);
     }
     let mut rep = Report::new("link_failure");
@@ -112,7 +123,10 @@ mod tests {
             21,
         );
         assert_eq!(fb.completed, fb.flows, "FlowBender must complete all flows");
-        assert!(fb.timeout_reroutes > 0, "recovery must go through timeout reroutes");
+        assert!(
+            fb.timeout_reroutes > 0,
+            "recovery must go through timeout reroutes"
+        );
         assert!(
             ecmp.completed < ecmp.flows,
             "ECMP should strand the flows hashed onto the dead path"

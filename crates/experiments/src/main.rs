@@ -1,45 +1,38 @@
 //! CLI for the FlowBender reproduction harness.
 //!
 //! ```text
-//! experiments <command> [--scale F] [--seed N] [--out DIR]
-//!
-//! commands:
-//!   table1        Table 1: 250MB ToR-to-ToR microbenchmark
-//!   fig3          Fig 3: all-to-all mean latency (runs the fig3/4/ooo sweep)
-//!   fig4          Fig 4: all-to-all p99 latency (same sweep)
-//!   ooo           §4.2.3: out-of-order statistics (same sweep)
-//!   fig5          Fig 5: partition-aggregate
-//!   fig6          Fig 6: sensitivity to N
-//!   fig7          Fig 7: sensitivity to T
-//!   fig8          Fig 8: testbed (simulated)
-//!   hotspot       §4.3.1: UDP hotspot decongestion
-//!   topo-dep      §4.3.3: path-diversity dependence
-//!   link-failure  §3.3.2: RTO-scale failure recovery
-//!   asym          §4.3.1: asymmetric links, WCMP, weight misconfiguration
-//!   buffers       substrate sensitivity: buffer depth vs the ECMP gap
-//!   flowlet       extension: FlowBender vs flowlet switching
-//!   ablation      §3.4/§5 design refinements
-//!   all           everything above
-//!
-//! options:
-//!   --scale F   duration/size multiplier (default 1.0; ~10 approaches
-//!               the paper's full scale)
-//!   --seed N    master seed (default 1)
-//!   --out DIR   also write .txt/.csv reports there (default: results/)
+//! experiments <command> [--scale F] [--seed N] [--out DIR] [--json DIR]
 //! ```
+//!
+//! The command list and descriptions come from the experiment registry
+//! ([`experiments::registry`]); run with no arguments to see it. Besides
+//! the rendered tables (`--out`), `--json DIR` writes one deterministic
+//! machine-readable JSON file per instrumented run plus a
+//! `BENCH_run.json` wall-clock record for the whole invocation.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use experiments::{report::Opts, Report};
+use stats::Json;
 
 fn usage() -> ! {
-    eprint!("{}", USAGE);
+    eprintln!("usage: experiments <command> [--scale F] [--seed N] [--out DIR] [--json DIR]");
+    eprintln!();
+    eprintln!("commands:");
+    for e in experiments::registry() {
+        eprintln!("  {:<13} {}", e.name(), e.describe());
+    }
+    eprintln!("  {:<13} everything above", "all");
+    eprintln!();
+    eprintln!("options:");
+    eprintln!("  --scale F   duration/size multiplier (default 1.0; ~10 approaches");
+    eprintln!("              the paper's full scale)");
+    eprintln!("  --seed N    master seed (default 1)");
+    eprintln!("  --out DIR   also write .txt/.csv reports there (default: results/)");
+    eprintln!("  --json DIR  write per-run JSON summaries and BENCH_run.json there");
     std::process::exit(2);
 }
-
-const USAGE: &str = "usage: experiments <command> [--scale F] [--seed N] [--out DIR]\n\
-commands: table1 fig3 fig4 ooo fig5 fig6 fig7 fig8 hotspot topo-dep link-failure asym buffers flowlet ablation all\n";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -49,6 +42,7 @@ fn main() -> ExitCode {
     let command = args[0].clone();
     let mut opts = Opts::default();
     let mut out_dir = PathBuf::from("results");
+    let mut json_dir: Option<PathBuf> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -70,36 +64,23 @@ fn main() -> ExitCode {
                 out_dir = PathBuf::from(args.get(i + 1).unwrap_or_else(|| usage()));
                 i += 2;
             }
+            "--json" => {
+                json_dir = Some(PathBuf::from(args.get(i + 1).unwrap_or_else(|| usage())));
+                i += 2;
+            }
             _ => usage(),
         }
     }
     opts.validate();
 
     let started = std::time::Instant::now();
-    let reports: Vec<Report> = match command.as_str() {
-        "table1" => vec![experiments::table1::run(&opts)],
-        "fig3" | "fig4" | "ooo" => {
-            let all = experiments::alltoall::run_all(&opts);
-            let want = match command.as_str() {
-                "fig3" => "fig3",
-                "fig4" => "fig4",
-                _ => "ooo",
-            };
-            all.into_iter().filter(|r| r.name == want).collect()
+    let reports: Vec<Report> = if command == "all" {
+        experiments::run_everything(&opts)
+    } else {
+        match experiments::find(&command) {
+            Some(exp) => exp.run(&opts),
+            None => usage(),
         }
-        "fig5" => vec![experiments::fig5::run(&opts)],
-        "fig6" => vec![experiments::sensitivity::fig6(&opts)],
-        "fig7" => vec![experiments::sensitivity::fig7(&opts)],
-        "fig8" => vec![experiments::fig8::run(&opts)],
-        "hotspot" => vec![experiments::hotspot::run(&opts)],
-        "topo-dep" => vec![experiments::topo_dep::run(&opts)],
-        "link-failure" => vec![experiments::link_failure::run(&opts)],
-        "asym" => vec![experiments::asym::run(&opts)],
-        "buffers" => vec![experiments::buffers::run(&opts)],
-        "flowlet" => vec![experiments::flowlet::run(&opts)],
-        "ablation" => vec![experiments::ablation::run(&opts)],
-        "all" => experiments::run_everything(&opts),
-        _ => usage(),
     };
 
     for report in &reports {
@@ -107,6 +88,44 @@ fn main() -> ExitCode {
         if let Err(e) = report.write_files(&out_dir) {
             eprintln!("warning: could not write {} files: {e}", report.name);
         }
+    }
+    if let Some(dir) = &json_dir {
+        let mut written = 0usize;
+        for report in &reports {
+            match report.write_json(dir) {
+                Ok(files) => written += files.len(),
+                Err(e) => eprintln!("warning: could not write {} JSON: {e}", report.name),
+            }
+        }
+        let wall_s = started.elapsed().as_secs_f64();
+        let total_events: u64 = reports
+            .iter()
+            .flat_map(|r| r.runs.iter())
+            .map(|s| s.events)
+            .sum();
+        let mut bench = Json::obj();
+        bench.set("command", Json::str(&command));
+        bench.set("scale", Json::Num(opts.scale));
+        bench.set("seed", Json::U64(opts.seed));
+        bench.set("wall_s", Json::Num(wall_s));
+        bench.set("total_events", Json::U64(total_events));
+        bench.set(
+            "events_per_sec",
+            Json::Num(if wall_s > 0.0 {
+                total_events as f64 / wall_s
+            } else {
+                0.0
+            }),
+        );
+        bench.set("runs_written", Json::U64(written as u64));
+        if let Err(e) = std::fs::write(dir.join("BENCH_run.json"), bench.to_string_pretty()) {
+            eprintln!("warning: could not write BENCH_run.json: {e}");
+        }
+        eprintln!(
+            "[{} run summaries + BENCH_run.json under {}]",
+            written,
+            dir.display()
+        );
     }
     eprintln!(
         "[{} report(s) in {:.1}s; scale={}, seed={}; files under {}]",

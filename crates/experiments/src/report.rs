@@ -1,11 +1,15 @@
 //! Experiment reports: titled tables plus notes, renderable to the
-//! terminal and to CSV files under `results/`.
+//! terminal and to CSV files under `results/`, plus machine-readable
+//! per-run JSON summaries (`--json DIR`).
 
 use std::fs;
 use std::io;
 use std::path::Path;
 
-use stats::Table;
+use netsim::Counter;
+use stats::{Json, Table};
+
+use crate::scenario::RunOutput;
 
 /// Options shared by all experiments.
 #[derive(Debug, Clone, Copy)]
@@ -20,7 +24,10 @@ pub struct Opts {
 
 impl Default for Opts {
     fn default() -> Self {
-        Opts { scale: 1.0, seed: 1 }
+        Opts {
+            scale: 1.0,
+            seed: 1,
+        }
     }
 }
 
@@ -40,7 +47,136 @@ impl Opts {
     }
 }
 
-/// A rendered experiment: named sections of tables plus free-form notes.
+/// The machine-readable summary of one simulation run: identifying
+/// metadata, every counter, FCT percentiles over completed flows, the
+/// collected telemetry series, and the event count.
+///
+/// Serialization is fully deterministic (insertion-ordered keys, exact
+/// integers, shortest-round-trip floats): two runs with the same seed
+/// produce byte-identical JSON. Deliberately excluded: anything
+/// wall-clock-dependent (that goes in the separate `BENCH_run.json`).
+#[derive(Debug)]
+pub struct RunSummary {
+    /// Distinguishes runs within one experiment (e.g. "flows8_seed3").
+    pub label: String,
+    /// Scheme display name.
+    pub scheme: String,
+    /// Scale factor the run was generated at.
+    pub scale: f64,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Every [`Counter`], as `(name, value)` in canonical order.
+    pub counters: Vec<(String, u64)>,
+    /// FCT statistics in seconds over completed flows, as
+    /// `(name, value)`: completed/total counts and mean/p50/p90/p99/max.
+    pub fct_percentiles: Vec<(String, f64)>,
+    /// Telemetry series: `(name, points)` with times in seconds.
+    pub series: Vec<(String, Vec<(f64, f64)>)>,
+    /// Events the simulator processed.
+    pub events: u64,
+}
+
+impl RunSummary {
+    /// Summarize a finished run.
+    pub fn from_run(
+        label: impl Into<String>,
+        scheme: &str,
+        opts: &Opts,
+        seed: u64,
+        out: &RunOutput,
+    ) -> Self {
+        let counters = Counter::all()
+            .iter()
+            .map(|&c| (c.name().to_string(), out.get(c)))
+            .collect();
+        let fcts: Vec<f64> = out
+            .flows
+            .iter()
+            .filter_map(|f| f.fct())
+            .map(|t| t.as_secs_f64())
+            .collect();
+        let mut fct_percentiles = vec![
+            ("completed".to_string(), fcts.len() as f64),
+            ("total".to_string(), out.flows.len() as f64),
+        ];
+        for (name, value) in [
+            ("mean_s", stats::mean(&fcts)),
+            ("p50_s", stats::percentile(&fcts, 0.5)),
+            ("p90_s", stats::percentile(&fcts, 0.9)),
+            ("p99_s", stats::percentile(&fcts, 0.99)),
+            ("max_s", stats::percentile(&fcts, 1.0)),
+        ] {
+            if let Some(v) = value {
+                fct_percentiles.push((name.to_string(), v));
+            }
+        }
+        let series = out
+            .series()
+            .iter()
+            .map(|s| {
+                let pts = s
+                    .points()
+                    .iter()
+                    .map(|&(t, v)| (t.as_secs_f64(), v))
+                    .collect::<Vec<_>>();
+                (s.name().to_string(), pts)
+            })
+            .collect();
+        RunSummary {
+            label: label.into(),
+            scheme: scheme.to_string(),
+            scale: opts.scale,
+            seed,
+            counters,
+            fct_percentiles,
+            series,
+            events: out.events,
+        }
+    }
+
+    /// Build the JSON tree: `{meta, events, counters, fct_percentiles,
+    /// series}`.
+    pub fn to_json(&self, experiment: &str) -> Json {
+        let mut meta = Json::obj();
+        meta.set("experiment", Json::str(experiment));
+        meta.set("label", Json::str(&self.label));
+        meta.set("scheme", Json::str(&self.scheme));
+        meta.set("scale", Json::Num(self.scale));
+        meta.set("seed", Json::U64(self.seed));
+        let mut counters = Json::obj();
+        for (name, value) in &self.counters {
+            counters.set(name.clone(), Json::U64(*value));
+        }
+        let mut fct = Json::obj();
+        for (name, value) in &self.fct_percentiles {
+            fct.set(name.clone(), Json::Num(*value));
+        }
+        let mut series = Json::arr();
+        for (name, points) in &self.series {
+            let mut pts = Json::arr();
+            for &(t, v) in points {
+                let mut pair = Json::arr();
+                pair.push(Json::Num(t));
+                pair.push(Json::Num(v));
+                pts.push(pair);
+            }
+            let mut s = Json::obj();
+            s.set("name", Json::str(name.clone()));
+            s.set("points", pts);
+            series.push(s);
+        }
+        let mut root = Json::obj();
+        root.set("meta", meta);
+        root.set("events", Json::U64(self.events));
+        root.set("counters", counters);
+        root.set("fct_percentiles", fct);
+        root.set("series", series);
+        root
+    }
+}
+
+/// A rendered experiment: named sections of tables plus free-form notes
+/// and per-run machine-readable summaries.
 #[derive(Debug)]
 pub struct Report {
     /// Experiment id (e.g. "fig3").
@@ -52,6 +188,8 @@ pub struct Report {
     pub data_sections: Vec<(String, Table)>,
     /// Notes printed after the tables (expected shapes, caveats).
     pub notes: Vec<String>,
+    /// Per-run summaries, written as JSON by [`Report::write_json`].
+    pub runs: Vec<RunSummary>,
 }
 
 impl Report {
@@ -62,7 +200,14 @@ impl Report {
             sections: Vec::new(),
             data_sections: Vec::new(),
             notes: Vec::new(),
+            runs: Vec::new(),
         }
+    }
+
+    /// Append a per-run summary.
+    pub fn run_summary(&mut self, run: RunSummary) -> &mut Self {
+        self.runs.push(run);
+        self
     }
 
     /// Append a titled table.
@@ -111,9 +256,25 @@ impl Report {
             fs::write(dir.join(format!("{}_{}.csv", self.name, i)), table.to_csv())?;
         }
         for (slug, table) in &self.data_sections {
-            fs::write(dir.join(format!("{}_{}.csv", self.name, slug)), table.to_csv())?;
+            fs::write(
+                dir.join(format!("{}_{}.csv", self.name, slug)),
+                table.to_csv(),
+            )?;
         }
         Ok(())
+    }
+
+    /// Write one `dir/<name>_<label>.json` per run summary; returns the
+    /// file names written.
+    pub fn write_json(&self, dir: &Path) -> io::Result<Vec<String>> {
+        fs::create_dir_all(dir)?;
+        let mut written = Vec::new();
+        for run in &self.runs {
+            let file = format!("{}_{}.json", self.name, run.label);
+            fs::write(dir.join(&file), run.to_json(&self.name).to_string_pretty())?;
+            written.push(file);
+        }
+        Ok(written)
     }
 }
 
@@ -142,14 +303,51 @@ mod tests {
         r.section("S", t);
         r.write_files(&dir).unwrap();
         assert!(dir.join("demo.txt").exists());
-        assert_eq!(std::fs::read_to_string(dir.join("demo_0.csv")).unwrap(), "a,b\n1,2\n");
+        assert_eq!(
+            std::fs::read_to_string(dir.join("demo_0.csv")).unwrap(),
+            "a,b\n1,2\n"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn run_summary_json_layout_is_stable() {
+        let rs = RunSummary {
+            label: "flows8_seed3".into(),
+            scheme: "ECMP".into(),
+            scale: 1.0,
+            seed: 3,
+            counters: vec![("reroutes".into(), 2)],
+            fct_percentiles: vec![("mean_s".into(), 0.5)],
+            series: vec![("vfield.f0".into(), vec![(0.0, 3.0)])],
+            events: 10,
+        };
+        let j = rs.to_json("demo").to_string();
+        assert_eq!(
+            j,
+            r#"{"meta":{"experiment":"demo","label":"flows8_seed3","scheme":"ECMP","scale":1,"seed":3},"events":10,"counters":{"reroutes":2},"fct_percentiles":{"mean_s":0.5},"series":[{"name":"vfield.f0","points":[[0,3]]}]}"#
+        );
+        let mut r = Report::new("demo");
+        r.run_summary(rs);
+        let dir = std::env::temp_dir().join(format!("fbjson_{}", std::process::id()));
+        let files = r.write_json(&dir).unwrap();
+        assert_eq!(files, ["demo_flows8_seed3.json"]);
+        let text = std::fs::read_to_string(dir.join(&files[0])).unwrap();
+        assert!(text.starts_with("{\n  \"meta\""));
+        assert!(text.ends_with("}\n"));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn opts_scaling() {
-        let o = Opts { scale: 0.5, seed: 1 };
+        let o = Opts {
+            scale: 0.5,
+            seed: 1,
+        };
         o.validate();
-        assert_eq!(o.scaled(netsim::SimTime::from_ms(100)), netsim::SimTime::from_ms(50));
+        assert_eq!(
+            o.scaled(netsim::SimTime::from_ms(100)),
+            netsim::SimTime::from_ms(50)
+        );
     }
 }

@@ -11,10 +11,11 @@
 //! | RPS         | per-packet random spray          | DCTCP                     |
 //! | DeTail      | per-packet adaptive + PFC        | DCTCP, no fast retransmit |
 
+use std::ops::Deref;
+
 use flowbender as fb;
 use netsim::{
-    Counter, FlowRecord, FlowSpec, HashConfig, PortStats, Recorder, SimTime, Simulator,
-    SwitchConfig,
+    FlowSpec, HashConfig, PortStats, RunResults, SimTime, Simulator, SwitchConfig, TelemetryConfig,
 };
 use topology::{build_fat_tree, build_testbed, FatTree, FatTreeParams, Testbed, TestbedParams};
 use transport::{install_agents, TcpConfig};
@@ -39,7 +40,12 @@ impl Scheme {
     /// All four schemes with FlowBender at paper defaults, in the paper's
     /// presentation order.
     pub fn paper_set() -> Vec<Scheme> {
-        vec![Scheme::Ecmp, Scheme::FlowBender(fb::Config::default()), Scheme::Rps, Scheme::DeTail]
+        vec![
+            Scheme::Ecmp,
+            Scheme::FlowBender(fb::Config::default()),
+            Scheme::Rps,
+            Scheme::DeTail,
+        ]
     }
 
     /// Display name.
@@ -78,31 +84,38 @@ impl Scheme {
 }
 
 /// Everything a finished run hands back for analysis (thread-safe: no
-/// simulator internals).
+/// simulator internals). Dereferences to [`RunResults`], so flow records,
+/// counters, and telemetry series read directly (`out.flows`,
+/// `out.get(c)`, `out.series()`).
 #[derive(Debug)]
 pub struct RunOutput {
-    /// Flow records (completed and not).
-    pub flows: Vec<FlowRecord>,
-    /// Event counters, indexable by [`Counter`].
-    counters: Vec<u64>,
+    /// The read-side view of the run: flows, counters, telemetry series.
+    pub results: RunResults,
     /// Snapshots of requested ports' statistics, in request order.
     pub port_stats: Vec<PortStats>,
     /// Events the simulator processed (for performance reporting).
     pub events: u64,
 }
 
-impl RunOutput {
-    /// Read one counter.
-    pub fn get(&self, c: Counter) -> u64 {
-        self.counters[c as usize]
+impl Deref for RunOutput {
+    type Target = RunResults;
+    fn deref(&self) -> &RunResults {
+        &self.results
     }
+}
 
+impl RunOutput {
     fn from_sim(sim: Simulator, watch_ports: &[(netsim::NodeId, netsim::PortId)]) -> Self {
-        let port_stats = watch_ports.iter().map(|&(n, p)| sim.port_stats(n, p)).collect();
+        let port_stats = watch_ports
+            .iter()
+            .map(|&(n, p)| sim.port_stats(n, p))
+            .collect();
         let events = sim.events_processed();
-        let recorder: Recorder = sim.into_recorder();
-        let counters = Counter::all().iter().map(|&c| recorder.get(c)).collect();
-        RunOutput { flows: recorder.into_flows(), counters, port_stats, events }
+        RunOutput {
+            results: sim.into_results(),
+            port_stats,
+            events,
+        }
     }
 }
 
@@ -115,7 +128,20 @@ pub fn run_fat_tree(
     until: SimTime,
     seed: u64,
 ) -> RunOutput {
+    run_fat_tree_with(params, scheme, specs, until, seed, TelemetryConfig::off())
+}
+
+/// [`run_fat_tree`] with an explicit telemetry configuration.
+pub fn run_fat_tree_with(
+    params: FatTreeParams,
+    scheme: &Scheme,
+    specs: &[FlowSpec],
+    until: SimTime,
+    seed: u64,
+    telemetry: TelemetryConfig,
+) -> RunOutput {
     let mut sim = Simulator::new(seed);
+    sim.set_telemetry(telemetry);
     let _ft: FatTree = build_fat_tree(&mut sim, params, scheme.switch_config());
     install_agents(&mut sim, specs, &scheme.tcp_config());
     sim.run_until(until);
@@ -134,7 +160,30 @@ pub fn run_testbed(
     seed: u64,
     watch_uplinks: &[(usize, usize)],
 ) -> RunOutput {
+    run_testbed_with(
+        params,
+        scheme,
+        specs,
+        until,
+        seed,
+        watch_uplinks,
+        TelemetryConfig::off(),
+    )
+}
+
+/// [`run_testbed`] with an explicit telemetry configuration.
+#[allow(clippy::too_many_arguments)]
+pub fn run_testbed_with(
+    params: TestbedParams,
+    scheme: &Scheme,
+    specs: &[FlowSpec],
+    until: SimTime,
+    seed: u64,
+    watch_uplinks: &[(usize, usize)],
+    telemetry: TelemetryConfig,
+) -> RunOutput {
     let mut sim = Simulator::new(seed);
+    sim.set_telemetry(telemetry);
     let tb: Testbed = build_testbed(&mut sim, params, scheme.switch_config());
     let ports: Vec<_> = watch_uplinks
         .iter()
@@ -145,21 +194,51 @@ pub fn run_testbed(
     RunOutput::from_sim(sim, &ports)
 }
 
-/// Map `f` over `inputs` on one thread per input (runs are single-threaded
-/// and independent; sweeps parallelize across configurations).
+/// Map `f` over `inputs` on a bounded worker pool (runs are
+/// single-threaded and independent; sweeps parallelize across
+/// configurations). Workers are capped at the machine's available
+/// parallelism and pull indices from a shared queue, so a sweep of any
+/// size never oversubscribes the host. Output order matches input order;
+/// a panic in `f` propagates.
 pub fn parallel_map<I, T, F>(inputs: Vec<I>, f: F) -> Vec<T>
 where
     I: Send,
     T: Send,
     F: Fn(I) -> T + Sync,
 {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let n = inputs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map_or(1, |p| p.get())
+        .min(n);
+    let next = AtomicUsize::new(0);
+    let inputs: Vec<Mutex<Option<I>>> = inputs.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        let handles: Vec<_> = inputs
-            .into_iter()
-            .map(|input| scope.spawn(|| f(input)))
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("experiment thread panicked")).collect()
-    })
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let input = inputs[i].lock().unwrap().take().expect("input taken once");
+                *results[i].lock().unwrap() = Some(f(input));
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap()
+                .expect("worker finished every claimed index")
+        })
+        .collect()
 }
 
 /// Common measurement conventions for windowed workloads.
@@ -188,7 +267,7 @@ impl Window {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netsim::Proto;
+    use netsim::{Counter, Proto};
 
     #[test]
     fn scheme_configs_are_consistent() {
@@ -260,6 +339,57 @@ mod tests {
     fn parallel_map_preserves_order() {
         let out = parallel_map((0..16).collect::<Vec<_>>(), |i| i * i);
         assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_far_more_inputs_than_cores() {
+        // The old implementation spawned one thread per input; this must
+        // stay bounded and still produce every result in order.
+        let out = parallel_map((0..1_000).collect::<Vec<_>>(), |i| i + 1);
+        assert_eq!(out, (1..=1_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_empty_input() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn telemetry_run_collects_queue_and_reroute_series() {
+        let params = FatTreeParams::tiny();
+        let specs: Vec<FlowSpec> = (0..8)
+            .map(|i| FlowSpec::tcp(i, i, 8 + i, 500_000, SimTime::ZERO))
+            .collect();
+        let scheme = Scheme::FlowBender(fb::Config::default());
+        let out = run_fat_tree_with(
+            params,
+            &scheme,
+            &specs,
+            SimTime::from_secs(5),
+            1,
+            TelemetryConfig::all(SimTime::from_us(100)),
+        );
+        assert!(
+            out.series()
+                .iter()
+                .any(|s| s.name().starts_with("queue_depth.")),
+            "queue-depth series collected"
+        );
+        assert!(
+            out.series().iter().any(|s| s.name().starts_with("vfield.")),
+            "V-field traces collected (at least the start anchor)"
+        );
+        // The same run without telemetry behaves identically flow-wise.
+        let plain = run_fat_tree(params, &scheme, &specs, SimTime::from_secs(5), 1);
+        assert!(plain.series().is_empty());
+        assert_eq!(
+            plain.events, out.events,
+            "telemetry must not perturb the simulation"
+        );
+        let fcts_a: Vec<_> = out.flows.iter().filter_map(|f| f.fct()).collect();
+        let fcts_b: Vec<_> = plain.flows.iter().filter_map(|f| f.fct()).collect();
+        assert_eq!(fcts_a, fcts_b);
     }
 
     #[test]

@@ -29,7 +29,13 @@ fn run_variant(opts: &Opts, cfg: flowbender::Config) -> f64 {
     let dist = FlowSizeDist::web_search();
     let mut rng = netsim::DetRng::new(opts.seed, 0x5E45);
     let specs = all_to_all(&params, 0.4, duration, &dist, &mut rng);
-    let out = run_fat_tree(params, &Scheme::FlowBender(cfg), &specs, window.drain_until, opts.seed);
+    let out = run_fat_tree(
+        params,
+        &Scheme::FlowBender(cfg),
+        &specs,
+        window.drain_until,
+        opts.seed,
+    );
     let s = samples(&out.flows, window.start, window.end);
     let fcts: Vec<f64> = s.iter().map(|x| x.fct_s).collect();
     stats::mean(&fcts).unwrap_or(0.0)
@@ -39,12 +45,19 @@ fn run_variant(opts: &Opts, cfg: flowbender::Config) -> f64 {
 pub fn fig6(opts: &Opts) -> Report {
     opts.validate();
     let means = parallel_map(N_VALUES.to_vec(), |n| {
-        (n, run_variant(opts, flowbender::Config::default().with_n(n)))
+        (
+            n,
+            run_variant(opts, flowbender::Config::default().with_n(n)),
+        )
     });
     let base = means.iter().find(|(n, _)| *n == 1).expect("N=1 present").1;
     let mut table = Table::new(vec!["N", "mean latency (norm. to N=1)", "mean abs"]);
     for (n, m) in &means {
-        table.row(vec![n.to_string(), format!("{:.3}", m / base), fmt_secs(*m)]);
+        table.row(vec![
+            n.to_string(),
+            format!("{:.3}", m / base),
+            fmt_secs(*m),
+        ]);
     }
     let mut r = Report::new("fig6");
     r.section("Fig 6: FlowBender sensitivity to N (40% all-to-all)", table);
@@ -56,9 +69,16 @@ pub fn fig6(opts: &Opts) -> Report {
 pub fn fig7(opts: &Opts) -> Report {
     opts.validate();
     let means = parallel_map(T_VALUES.to_vec(), |t| {
-        (t, run_variant(opts, flowbender::Config::default().with_t(t)))
+        (
+            t,
+            run_variant(opts, flowbender::Config::default().with_t(t)),
+        )
     });
-    let base = means.iter().find(|(t, _)| *t == 0.05).expect("T=5% present").1;
+    let base = means
+        .iter()
+        .find(|(t, _)| *t == 0.05)
+        .expect("T=5% present")
+        .1;
     let mut table = Table::new(vec!["T", "mean latency (norm. to T=5%)", "mean abs"]);
     for (t, m) in &means {
         table.row(vec![
@@ -79,7 +99,10 @@ mod tests {
 
     #[test]
     fn sensitivity_is_mild_between_n1_and_n3() {
-        let opts = Opts { scale: 0.15, seed: 11 };
+        let opts = Opts {
+            scale: 0.15,
+            seed: 11,
+        };
         let m1 = run_variant(&opts, flowbender::Config::default().with_n(1));
         let m3 = run_variant(&opts, flowbender::Config::default().with_n(3));
         assert!(m1 > 0.0 && m3 > 0.0);

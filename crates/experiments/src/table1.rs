@@ -9,13 +9,13 @@
 //! 250 MB) so the experiment runs in seconds; the load-balancing dynamics
 //! are unchanged because all flows still span thousands of RTTs.
 
-use netsim::SimTime;
+use netsim::{SimTime, TelemetryConfig};
 use stats::{fmt_ratio, fmt_secs, Table};
 use topology::FatTreeParams;
 use workloads::microbench;
 
-use crate::report::{Opts, Report};
-use crate::scenario::{parallel_map, run_fat_tree, Scheme};
+use crate::report::{Opts, Report, RunSummary};
+use crate::scenario::{parallel_map, run_fat_tree_with, Scheme};
 
 /// Flow counts evaluated by the paper (1, 2, 3 flows per route on average).
 pub const FLOW_COUNTS: [u32; 3] = [8, 16, 24];
@@ -33,20 +33,65 @@ pub struct Cell {
     pub completed: usize,
 }
 
+/// Telemetry collected for the JSON summaries: egress queue depths plus
+/// V-field reroute traces. The sampling period is coarse (10 ms) because
+/// these runs simulate minutes of traffic — fine-grained queue series
+/// belong to purpose-built probes, not a table experiment.
+fn telemetry() -> TelemetryConfig {
+    TelemetryConfig {
+        enabled: true,
+        sample_every: SimTime::from_ms(10),
+        queue_depth: true,
+        reroutes: true,
+        ..TelemetryConfig::off()
+    }
+}
+
 /// Run the microbenchmark for one scheme across all flow counts.
 pub fn run_scheme(scheme: &Scheme, bytes: u64, seed: u64) -> Vec<Cell> {
+    let opts = Opts { scale: 1.0, seed };
+    run_scheme_with(scheme, bytes, seed, TelemetryConfig::off(), &opts)
+        .into_iter()
+        .map(|(cell, _)| cell)
+        .collect()
+}
+
+/// Like [`run_scheme`], but with a telemetry configuration, also
+/// returning the machine-readable [`RunSummary`] of every run.
+pub fn run_scheme_with(
+    scheme: &Scheme,
+    bytes: u64,
+    seed: u64,
+    telemetry: TelemetryConfig,
+    opts: &Opts,
+) -> Vec<(Cell, RunSummary)> {
     let params = FatTreeParams::paper();
+    let slug = scheme.name().to_lowercase();
     parallel_map(FLOW_COUNTS.to_vec(), |n| {
         let specs = microbench(&params, n, bytes);
-        let out = run_fat_tree(params, scheme, &specs, SimTime::from_secs(120), seed);
-        let fcts: Vec<f64> =
-            out.flows.iter().filter_map(|f| f.fct()).map(|t| t.as_secs_f64()).collect();
-        Cell {
+        let out = run_fat_tree_with(
+            params,
+            scheme,
+            &specs,
+            SimTime::from_secs(120),
+            seed,
+            telemetry.clone(),
+        );
+        let fcts: Vec<f64> = out
+            .flows
+            .iter()
+            .filter_map(|f| f.fct())
+            .map(|t| t.as_secs_f64())
+            .collect();
+        let cell = Cell {
             flows: n,
             mean_s: stats::mean(&fcts).unwrap_or(0.0),
             max_s: fcts.iter().cloned().fold(0.0, f64::max),
             completed: fcts.len(),
-        }
+        };
+        let label = format!("{slug}_flows{n}_seed{seed}");
+        let summary = RunSummary::from_run(label, scheme.name(), opts, seed, &out);
+        (cell, summary)
     })
 }
 
@@ -72,12 +117,31 @@ pub fn run(opts: &Opts) -> Report {
     ]);
     let mut worst_ecmp_ratio: f64 = 0.0;
     let mut worst_fb_ratio: f64 = 0.0;
+    let mut summaries = Vec::new();
     for s in 0..SEEDS {
         let seed = opts.seed + s;
-        let (ecmp, bender) = (
-            run_scheme(&Scheme::Ecmp, bytes, seed),
-            run_scheme(&Scheme::FlowBender(flowbender::Config::default()), bytes, seed),
-        );
+        let mut split = |runs: Vec<(Cell, RunSummary)>| -> Vec<Cell> {
+            runs.into_iter()
+                .map(|(cell, summary)| {
+                    summaries.push(summary);
+                    cell
+                })
+                .collect()
+        };
+        let ecmp = split(run_scheme_with(
+            &Scheme::Ecmp,
+            bytes,
+            seed,
+            telemetry(),
+            opts,
+        ));
+        let bender = split(run_scheme_with(
+            &Scheme::FlowBender(flowbender::Config::default()),
+            bytes,
+            seed,
+            telemetry(),
+            opts,
+        ));
         for (e, b) in ecmp.iter().zip(&bender) {
             assert_eq!(e.flows, b.flows);
             assert_eq!(e.completed as u32, e.flows, "ECMP flows incomplete");
@@ -111,6 +175,9 @@ pub fn run(opts: &Opts) -> Report {
         "worst max/mean across draws: ECMP {worst_ecmp_ratio:.2} vs FlowBender {worst_fb_ratio:.2}"
     ));
     report.note("paper (one draw): ECMP max/mean > 3.3; FlowBender max/mean < 1.3; FB mean ~2x better, max 5-8x better");
+    for summary in summaries {
+        report.run_summary(summary);
+    }
     report
 }
 
@@ -139,10 +206,10 @@ mod tests {
         }
         // In at least one configuration ECMP collisions must be visibly
         // worse than FlowBender (the whole point of the experiment).
-        let improved = ecmp
-            .iter()
-            .zip(&fb)
-            .any(|(e, b)| e.max_s > b.max_s * 1.3);
-        assert!(improved, "ECMP never collided noticeably; seeds may be degenerate");
+        let improved = ecmp.iter().zip(&fb).any(|(e, b)| e.max_s > b.max_s * 1.3);
+        assert!(
+            improved,
+            "ECMP never collided noticeably; seeds may be degenerate"
+        );
     }
 }

@@ -43,7 +43,10 @@ pub fn sweep(opts: &Opts) -> Vec<Cell> {
 
     let mut jobs = Vec::new();
     for (label, params) in fabrics {
-        for scheme in [Scheme::Ecmp, Scheme::FlowBender(flowbender::Config::default())] {
+        for scheme in [
+            Scheme::Ecmp,
+            Scheme::FlowBender(flowbender::Config::default()),
+        ] {
             jobs.push((label, params, scheme));
         }
     }
@@ -87,7 +90,10 @@ pub fn run(opts: &Opts) -> Report {
         ]);
     }
     let mut r = Report::new("topo_dep");
-    r.section("§4.3.3: FlowBender improvement vs path diversity (40% all-to-all)", table);
+    r.section(
+        "§4.3.3: FlowBender improvement vs path diversity (40% all-to-all)",
+        table,
+    );
     r.note(format!(
         "improvement ratio P=8 vs P=32: {:.3} vs {:.3} (paper: 'almost the same')",
         ratios[0], ratios[1]

@@ -1,0 +1,86 @@
+//! Golden-file test for the machine-readable run JSON.
+//!
+//! A small fixed-seed FlowBender run from the Table 1 microbenchmark is
+//! serialized twice in-process (byte equality = same-seed determinism of
+//! the whole sim + telemetry + JSON stack) and compared byte-for-byte
+//! against the committed golden file. Any intentional change to the
+//! simulator's event ordering, the telemetry probes, or the JSON layout
+//! shows up here as a diff; regenerate with
+//! `UPDATE_GOLDEN=1 cargo test -p experiments --test golden_json`.
+
+use std::path::PathBuf;
+
+use experiments::table1::{run_scheme_with, FLOW_COUNTS};
+use experiments::{Opts, Scheme};
+use netsim::{SimTime, TelemetryConfig};
+
+const BYTES: u64 = 2_000_000;
+const SEED: u64 = 3;
+
+fn telemetry() -> TelemetryConfig {
+    TelemetryConfig {
+        enabled: true,
+        sample_every: SimTime::from_ms(10),
+        queue_depth: true,
+        reroutes: true,
+        ..TelemetryConfig::off()
+    }
+}
+
+fn render_once() -> String {
+    let opts = Opts {
+        scale: 0.08,
+        seed: SEED,
+    };
+    let runs = run_scheme_with(
+        &Scheme::FlowBender(flowbender::Config::default()),
+        BYTES,
+        SEED,
+        telemetry(),
+        &opts,
+    );
+    assert_eq!(runs.len(), FLOW_COUNTS.len());
+    let (cell, summary) = &runs[0];
+    assert_eq!(cell.flows, FLOW_COUNTS[0]);
+    assert_eq!(
+        cell.completed as u32, cell.flows,
+        "fixture flows must complete"
+    );
+    summary.to_json("table1").to_string_pretty()
+}
+
+#[test]
+fn golden_run_json_is_reproducible_and_matches_the_committed_file() {
+    let first = render_once();
+    let second = render_once();
+    assert_eq!(
+        first, second,
+        "same-seed runs must serialize byte-identically"
+    );
+
+    let path: PathBuf = [
+        env!("CARGO_MANIFEST_DIR"),
+        "tests",
+        "golden",
+        "table1_run.json",
+    ]
+    .iter()
+    .collect();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &first).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        first,
+        golden,
+        "run JSON drifted from {}; if intentional, regenerate with UPDATE_GOLDEN=1",
+        path.display()
+    );
+}

@@ -46,7 +46,14 @@ impl<'a> Ctx<'a> {
         rng: &'a mut DetRng,
         recorder: &'a mut Recorder,
     ) -> Self {
-        Ctx { now, host, tx_stack_delay, sched, rng, recorder }
+        Ctx {
+            now,
+            host,
+            tx_stack_delay,
+            sched,
+            rng,
+            recorder,
+        }
     }
 
     /// Current simulated time.
@@ -67,7 +74,10 @@ impl<'a> Ctx<'a> {
     pub fn send(&mut self, pkt: Packet) {
         self.sched.schedule(
             self.now + self.tx_stack_delay,
-            EventKind::HostTx { host: self.host, pkt },
+            EventKind::HostTx {
+                host: self.host,
+                pkt,
+            },
         );
     }
 
@@ -75,7 +85,13 @@ impl<'a> Ctx<'a> {
     /// past) carrying an opaque `token` back to [`Agent::on_timer`].
     pub fn set_timer(&mut self, at: SimTime, token: u64) {
         let at = at.max(self.now);
-        self.sched.schedule(at, EventKind::Timer { host: self.host, token });
+        self.sched.schedule(
+            at,
+            EventKind::Timer {
+                host: self.host,
+                token,
+            },
+        );
     }
 
     /// Deterministic per-host random stream.

@@ -17,10 +17,18 @@ use crate::time::SimTime;
 pub enum EventKind {
     /// A packet finished propagation (and ingress processing delay) and is
     /// now at `node`, having entered through `port`.
-    Arrive { node: NodeId, port: PortId, pkt: Packet },
+    Arrive {
+        node: NodeId,
+        port: PortId,
+        pkt: Packet,
+    },
     /// Serialization of `pkt` on `(node, port)` finished; the packet leaves
     /// onto the wire and the port may start its next transmission.
-    TxDone { node: NodeId, port: PortId, pkt: Packet },
+    TxDone {
+        node: NodeId,
+        port: PortId,
+        pkt: Packet,
+    },
     /// A host's protocol stack finished processing an outbound packet
     /// (models the 20 µs host delay); enqueue it at the NIC.
     HostTx { host: NodeId, pkt: Packet },
@@ -28,10 +36,18 @@ pub enum EventKind {
     Timer { host: NodeId, token: u64 },
     /// A PFC pause (`pause == true`) or resume frame arrived at the egress
     /// port `(node, port)`, sent by the downstream ingress.
-    Pfc { node: NodeId, port: PortId, pause: bool },
+    Pfc {
+        node: NodeId,
+        port: PortId,
+        pause: bool,
+    },
     /// Administratively change the state of the link attached to
     /// `(node, port)` (affects both directions).
-    LinkState { node: NodeId, port: PortId, up: bool },
+    LinkState {
+        node: NodeId,
+        port: PortId,
+        up: bool,
+    },
     /// Take one sample for the queue watcher with this index.
     Sample { watcher: usize },
 }
@@ -91,7 +107,11 @@ impl Scheduler {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled += 1;
-        self.heap.push(Event { time: at, seq, kind });
+        self.heap.push(Event {
+            time: at,
+            seq,
+            kind,
+        });
     }
 
     /// Remove and return the earliest event.

@@ -101,7 +101,13 @@ mod tests {
     use crate::time::SimTime;
 
     fn pkt(src: u32, sport: u16, v: u8) -> Packet {
-        let key = FlowKey { src, dst: 99, sport, dport: 80, proto: Proto::Tcp };
+        let key = FlowKey {
+            src,
+            dst: 99,
+            sport,
+            dport: 80,
+            proto: Proto::Tcp,
+        };
         Packet::data(0, key, v, 0, 1460, SimTime::ZERO)
     }
 
@@ -129,7 +135,10 @@ mod tests {
         // be reachable (overwhelmingly likely; deterministic given the salt).
         let ports: std::collections::HashSet<usize> =
             (0..8).map(|v| h.select(&pkt(1, 1000, v), 8)).collect();
-        assert!(ports.len() > 1, "changing V should change the selected port");
+        assert!(
+            ports.len() > 1,
+            "changing V should change the selected port"
+        );
     }
 
     #[test]
@@ -141,7 +150,10 @@ mod tests {
             .count();
         // Random agreement would be ~32/256; allow wide slack but rule out
         // full correlation.
-        assert!(same < 96, "salts should decorrelate selections, {same} agreed");
+        assert!(
+            same < 96,
+            "salts should decorrelate selections, {same} agreed"
+        );
     }
 
     #[test]
@@ -165,7 +177,10 @@ mod tests {
             counts[h.select_weighted(&pkt(s, (s % 997) as u16, 0), &weights)] += 1;
         }
         let frac = counts[0] as f64 / 8000.0;
-        assert!((0.70..0.80).contains(&frac), "expected ~75% on port 0, got {frac}");
+        assert!(
+            (0.70..0.80).contains(&frac),
+            "expected ~75% on port 0, got {frac}"
+        );
     }
 
     #[test]

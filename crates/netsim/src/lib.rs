@@ -15,7 +15,9 @@
 //!   [`Agent`]s (TCP/DCTCP/UDP live in the `transport` crate),
 //! * administrative link failures (black-holing until "routing reconverges",
 //!   which in these experiments never happens — that is the point),
-//! * a run-wide [`Recorder`] of flow completions and event counters.
+//! * a run-wide [`Recorder`] of flow completions, event counters, and
+//!   (opt-in, via [`TelemetryConfig`]) named time-series probes — queue
+//!   depths, link utilization, per-flow cwnd/`F`, V-field reroute traces.
 //!
 //! Everything is deterministic: given the same build sequence and master
 //! seed, a run reproduces bit-for-bit, including every "random" choice
@@ -53,6 +55,7 @@ pub mod record;
 pub mod rng;
 pub mod sim;
 pub mod switch;
+pub mod telemetry;
 pub mod testutil;
 pub mod time;
 
@@ -60,12 +63,13 @@ pub use agent::{Agent, Ctx, NullAgent};
 pub use flow::{register_flows, FlowSpec};
 pub use hashing::{EcmpHasher, HashConfig};
 pub use packet::{
-    FlowId, FlowKey, Flags, HostId, NodeId, Packet, PortId, Proto, ACK_BYTES, HEADER_BYTES, MSS,
+    Flags, FlowId, FlowKey, HostId, NodeId, Packet, PortId, Proto, ACK_BYTES, HEADER_BYTES, MSS,
     MTU,
 };
 pub use queue::{EcnQueue, EnqueueResult, QueueStats};
-pub use record::{Counter, FlowRecord, Recorder};
+pub use record::{Counter, FlowRecord, Recorder, RunResults, Sink};
 pub use rng::DetRng;
 pub use sim::{LinkSpec, PortStats, QueueSpec, Simulator, SwitchConfig};
 pub use switch::{FlowletState, ForwardingScheme, PfcConfig, RoutingTable};
+pub use telemetry::{ProbeKind, Series, SeriesKey, Telemetry, TelemetryConfig};
 pub use time::SimTime;

@@ -160,7 +160,14 @@ pub const INGRESS_NONE: u16 = u16::MAX;
 
 impl Packet {
     /// Build a data segment.
-    pub fn data(flow: FlowId, key: FlowKey, vfield: u8, seq: u64, payload: u32, now: SimTime) -> Packet {
+    pub fn data(
+        flow: FlowId,
+        key: FlowKey,
+        vfield: u8,
+        seq: u64,
+        payload: u32,
+        now: SimTime,
+    ) -> Packet {
         let mut flags = Flags::default();
         flags.set(Flags::ECT);
         Packet {
@@ -179,7 +186,13 @@ impl Packet {
     }
 
     /// Build a pure ACK for `key`'s reverse direction.
-    pub fn ack_packet(flow: FlowId, data_key: FlowKey, vfield: u8, ack: u64, echo: SimTime) -> Packet {
+    pub fn ack_packet(
+        flow: FlowId,
+        data_key: FlowKey,
+        vfield: u8,
+        ack: u64,
+        echo: SimTime,
+    ) -> Packet {
         let mut flags = Flags::default();
         flags.set(Flags::ACK);
         flags.set(Flags::ECT);
@@ -216,7 +229,13 @@ mod tests {
     use super::*;
 
     fn key() -> FlowKey {
-        FlowKey { src: 1, dst: 2, sport: 1000, dport: 80, proto: Proto::Tcp }
+        FlowKey {
+            src: 1,
+            dst: 2,
+            sport: 1000,
+            dport: 80,
+            proto: Proto::Tcp,
+        }
     }
 
     #[test]

@@ -148,7 +148,13 @@ mod tests {
     use crate::time::SimTime;
 
     fn pkt(size_payload: u32) -> Packet {
-        let key = FlowKey { src: 1, dst: 2, sport: 9, dport: 80, proto: Proto::Tcp };
+        let key = FlowKey {
+            src: 1,
+            dst: 2,
+            sport: 9,
+            dport: 80,
+            proto: Proto::Tcp,
+        };
         Packet::data(0, key, 0, 0, size_payload, SimTime::ZERO)
     }
 

@@ -2,11 +2,21 @@
 //!
 //! A single [`Recorder`] lives inside the simulator. Transports and the
 //! simulator core report into it: flow completions (the raw material for
-//! every latency figure in the paper), and global event counters
-//! (out-of-order arrivals, retransmissions, timeouts, reroutes, drops,
-//! PFC pauses, ...). The `stats` crate consumes these records after a run.
+//! every latency figure in the paper), global event counters (out-of-order
+//! arrivals, retransmissions, timeouts, reroutes, drops, PFC pauses, ...),
+//! and — when enabled via [`TelemetryConfig`] — named time-series probes.
+//!
+//! The API is split along the write/read boundary:
+//!
+//! * [`Sink`] is the narrow *write-side* interface the simulator core and
+//!   transports report through; [`Recorder`] is its standard
+//!   implementation (tests can substitute their own).
+//! * [`RunResults`] is the immutable *read-side* view handed to the
+//!   `stats` and `experiments` crates once a run finishes
+//!   ([`Recorder::finish`]).
 
 use crate::packet::{FlowId, HostId, Proto};
+use crate::telemetry::{ProbeKind, Series, SeriesKey, Telemetry, TelemetryConfig};
 use crate::time::SimTime;
 
 /// One completed (or still-running, see [`Recorder::flow_started`]) flow.
@@ -123,16 +133,45 @@ impl Counter {
     }
 }
 
-/// Collects flow records and counters for one simulation run.
+/// The write-side interface to run-wide measurement collection.
+///
+/// The simulator core and transports report through this trait; they never
+/// read results back. [`Recorder`] is the standard implementation. The
+/// probe methods must be cheap no-ops when the corresponding telemetry
+/// family is disabled — call sites on hot paths rely on that.
+pub trait Sink {
+    /// Register a flow at its start.
+    fn flow_started(&mut self, rec: FlowRecord);
+    /// Mark a flow complete at `end` (receiver has all bytes).
+    fn flow_completed(&mut self, flow: FlowId, end: SimTime);
+    /// Increment counter `c` by `n`.
+    fn add(&mut self, c: Counter, n: u64);
+    /// Increment counter `c` by one.
+    fn bump(&mut self, c: Counter) {
+        self.add(c, 1);
+    }
+    /// Is the probe family of `kind` being collected? Lets call sites skip
+    /// value computation entirely when telemetry is off.
+    fn wants(&self, kind: ProbeKind) -> bool;
+    /// Record `value` for the time series `key` at `now`.
+    fn probe(&mut self, now: SimTime, key: SeriesKey, value: f64);
+}
+
+/// Collects flow records, counters, and telemetry for one simulation run.
 #[derive(Debug)]
 pub struct Recorder {
     flows: Vec<FlowRecord>,
     counters: [u64; Counter::COUNT],
+    telemetry: Telemetry,
 }
 
 impl Default for Recorder {
     fn default() -> Self {
-        Recorder { flows: Vec::new(), counters: [0; Counter::COUNT] }
+        Recorder {
+            flows: Vec::new(),
+            counters: [0; Counter::COUNT],
+            telemetry: Telemetry::new(),
+        }
     }
 }
 
@@ -146,7 +185,11 @@ impl Recorder {
     /// by flow id via [`Recorder::flow_completed`]. Flow ids must be dense
     /// and unique (the workload layer assigns them 0..n).
     pub fn flow_started(&mut self, rec: FlowRecord) {
-        debug_assert_eq!(rec.flow as usize, self.flows.len(), "flow ids must be dense");
+        debug_assert_eq!(
+            rec.flow as usize,
+            self.flows.len(),
+            "flow ids must be dense"
+        );
         self.flows.push(rec);
     }
 
@@ -187,6 +230,102 @@ impl Recorder {
     /// Number of flows that completed.
     pub fn completed_count(&self) -> usize {
         self.flows.iter().filter(|f| f.end != SimTime::MAX).count()
+    }
+
+    /// Configure telemetry collection. Call before the run starts.
+    pub fn set_telemetry(&mut self, cfg: TelemetryConfig) {
+        self.telemetry.set_config(cfg);
+    }
+
+    /// The telemetry store (read access to collected series mid-run).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Is the probe family of `kind` being collected?
+    #[inline]
+    pub fn wants(&self, kind: ProbeKind) -> bool {
+        self.telemetry.wants(kind)
+    }
+
+    /// Record `value` for the time series `key` at `now`. A single branch
+    /// when the key's family is disabled.
+    #[inline]
+    pub fn probe(&mut self, now: SimTime, key: SeriesKey, value: f64) {
+        self.telemetry.record(now, key, value);
+    }
+
+    /// Finish the run: consume the recorder and hand the read-side view to
+    /// the analysis layers.
+    pub fn finish(self) -> RunResults {
+        RunResults {
+            flows: self.flows,
+            counters: self.counters,
+            series: self.telemetry.into_series(),
+        }
+    }
+}
+
+impl Sink for Recorder {
+    fn flow_started(&mut self, rec: FlowRecord) {
+        Recorder::flow_started(self, rec);
+    }
+    fn flow_completed(&mut self, flow: FlowId, end: SimTime) {
+        Recorder::flow_completed(self, flow, end);
+    }
+    fn add(&mut self, c: Counter, n: u64) {
+        Recorder::add(self, c, n);
+    }
+    fn wants(&self, kind: ProbeKind) -> bool {
+        Recorder::wants(self, kind)
+    }
+    fn probe(&mut self, now: SimTime, key: SeriesKey, value: f64) {
+        Recorder::probe(self, now, key, value);
+    }
+}
+
+/// The immutable read-side view of one finished run: every flow record,
+/// every counter, and every collected time series.
+///
+/// Produced by [`Recorder::finish`]; consumed by the `stats` and
+/// `experiments` crates.
+#[derive(Debug, Default)]
+pub struct RunResults {
+    /// All flow records (completed and not).
+    pub flows: Vec<FlowRecord>,
+    counters: [u64; Counter::COUNT],
+    series: Vec<Series>,
+}
+
+impl RunResults {
+    /// All flow records (completed and not), as a slice.
+    pub fn flows(&self) -> &[FlowRecord] {
+        &self.flows
+    }
+
+    /// Consume the view, returning the flow records.
+    pub fn into_flows(self) -> Vec<FlowRecord> {
+        self.flows
+    }
+
+    /// Read counter `c`.
+    pub fn get(&self, c: Counter) -> u64 {
+        self.counters[c as usize]
+    }
+
+    /// Number of flows that completed.
+    pub fn completed_count(&self) -> usize {
+        self.flows.iter().filter(|f| f.end != SimTime::MAX).count()
+    }
+
+    /// All collected time series, in order of first recording.
+    pub fn series(&self) -> &[Series] {
+        &self.series
+    }
+
+    /// Look up a series by its stable dotted name.
+    pub fn series_named(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name() == name)
     }
 }
 
@@ -229,6 +368,37 @@ mod tests {
         assert_eq!(r.get(Counter::OooPktsRcvd), 5);
         assert_eq!(r.get(Counter::Timeouts), 1);
         assert_eq!(r.get(Counter::Reroutes), 0);
+    }
+
+    #[test]
+    fn finish_hands_everything_to_the_read_side() {
+        let mut r = Recorder::new();
+        r.set_telemetry(TelemetryConfig::all(SimTime::from_us(1)));
+        r.flow_started(rec(0));
+        r.flow_completed(0, SimTime::from_us(20));
+        r.bump(Counter::Reroutes);
+        r.probe(SimTime::from_us(5), SeriesKey::Vfield { flow: 0 }, 3.0);
+        let out = r.finish();
+        assert_eq!(out.flows().len(), 1);
+        assert_eq!(out.completed_count(), 1);
+        assert_eq!(out.get(Counter::Reroutes), 1);
+        assert_eq!(out.series().len(), 1);
+        let s = out.series_named("vfield.f0").unwrap();
+        assert_eq!(s.points(), &[(SimTime::from_us(5), 3.0)]);
+        assert!(out.series_named("cwnd.f0").is_none());
+    }
+
+    #[test]
+    fn sink_trait_dispatches_to_recorder() {
+        fn use_sink(s: &mut dyn Sink) {
+            s.bump(Counter::Timeouts);
+            s.probe(SimTime::ZERO, SeriesKey::Cwnd { flow: 0 }, 1.0);
+            assert!(!s.wants(ProbeKind::Cwnd), "telemetry defaults to off");
+        }
+        let mut r = Recorder::new();
+        use_sink(&mut r);
+        assert_eq!(r.get(Counter::Timeouts), 1);
+        assert!(r.telemetry().series().is_empty());
     }
 
     #[test]

@@ -115,28 +115,18 @@ impl DetRng {
     }
 }
 
-/// Interoperability with the `rand` ecosystem: lets simulator components
-/// drive crates that are generic over [`rand::Rng`] (notably the
-/// `flowbender` core crate) from the same deterministic stream.
-impl rand::RngCore for DetRng {
+/// Lets the `flowbender` core crate (generic over [`flowbender::Rng`])
+/// draw from the same deterministic per-host stream as everything else in
+/// the simulator. The bounded-draw override routes through the inherent
+/// Lemire implementation so trait and inherent calls emit identical
+/// sequences.
+impl flowbender::Rng for DetRng {
     fn next_u32(&mut self) -> u32 {
         DetRng::next_u32(self)
     }
 
-    fn next_u64(&mut self) -> u64 {
-        DetRng::next_u64(self)
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        let mut chunks = dest.chunks_exact_mut(4);
-        for chunk in &mut chunks {
-            chunk.copy_from_slice(&DetRng::next_u32(self).to_le_bytes());
-        }
-        let rem = chunks.into_remainder();
-        if !rem.is_empty() {
-            let bytes = DetRng::next_u32(self).to_le_bytes();
-            rem.copy_from_slice(&bytes[..rem.len()]);
-        }
+    fn gen_range(&mut self, bound: u32) -> u32 {
+        DetRng::gen_range(self, bound)
     }
 }
 
@@ -158,7 +148,10 @@ mod tests {
         let mut a = DetRng::new(42, 1);
         let mut b = DetRng::new(42, 2);
         let same = (0..100).filter(|_| a.next_u32() == b.next_u32()).count();
-        assert!(same < 3, "streams should be nearly disjoint, got {same} collisions");
+        assert!(
+            same < 3,
+            "streams should be nearly disjoint, got {same} collisions"
+        );
     }
 
     #[test]

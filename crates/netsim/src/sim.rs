@@ -26,11 +26,12 @@ use crate::event::{EventKind, Scheduler};
 use crate::hashing::{EcmpHasher, HashConfig};
 use crate::packet::{NodeId, Packet, PortId, Proto, INGRESS_NONE};
 use crate::queue::{EcnQueue, EnqueueResult, QueueStats};
-use crate::record::{Counter, Recorder};
+use crate::record::{Counter, Recorder, RunResults};
 use crate::rng::DetRng;
 use crate::switch::{
     select_port, FlowletState, ForwardingScheme, PfcAction, PfcConfig, PfcState, RoutingTable,
 };
+use crate::telemetry::{ProbeKind, SeriesKey, TelemetryConfig};
 use crate::time::SimTime;
 
 /// Egress queue parameters for one side of a link.
@@ -48,19 +49,28 @@ impl QueueSpec {
     /// per-port bound: DCTCP keeps steady-state occupancy near K, and the
     /// headroom absorbs transient bursts the way a shared buffer would.
     pub fn switch_10g() -> Self {
-        QueueSpec { capacity: 2 * 1024 * 1024, mark_threshold: 90_000 }
+        QueueSpec {
+            capacity: 2 * 1024 * 1024,
+            mark_threshold: 90_000,
+        }
     }
 
     /// Host NIC queue: large and unmarked (host buffers are big; congestion
     /// signalling happens in the fabric).
     pub fn host_nic() -> Self {
-        QueueSpec { capacity: 16 * 1024 * 1024, mark_threshold: u64::MAX }
+        QueueSpec {
+            capacity: 16 * 1024 * 1024,
+            mark_threshold: u64::MAX,
+        }
     }
 
     /// Effectively-lossless queue for PFC operation (PFC backpressure keeps
     /// occupancy bounded well below this).
     pub fn lossless() -> Self {
-        QueueSpec { capacity: 64 * 1024 * 1024, mark_threshold: 90_000 }
+        QueueSpec {
+            capacity: 64 * 1024 * 1024,
+            mark_threshold: 90_000,
+        }
     }
 }
 
@@ -286,7 +296,8 @@ impl Simulator {
             proc_delay: rx_proc_delay,
         });
         self.agents.push(Some(Box::new(NullAgent)));
-        self.host_rngs.push(self.master_rng.split(0x7057_0000 | id as u64));
+        self.host_rngs
+            .push(self.master_rng.split(0x7057_0000 | id as u64));
         self.host_ids.push(id);
         id
     }
@@ -378,7 +389,8 @@ impl Simulator {
     /// Schedule an administrative link state change (both directions) for
     /// the link attached at `(node, port)`.
     pub fn schedule_link_state(&mut self, node: NodeId, port: PortId, up: bool, at: SimTime) {
-        self.sched.schedule(at, EventKind::LinkState { node, port, up });
+        self.sched
+            .schedule(at, EventKind::LinkState { node, port, up });
     }
 
     /// Change the rate of the link attached at `(node, port)` — both
@@ -401,11 +413,24 @@ impl Simulator {
     /// Sample the byte occupancy of `(node, port)`'s egress queue every
     /// `every`, from now until `until` (bounded so the simulation can
     /// still quiesce). Returns a watcher id for [`Simulator::queue_samples`].
-    pub fn watch_queue(&mut self, node: NodeId, port: PortId, every: SimTime, until: SimTime) -> usize {
+    pub fn watch_queue(
+        &mut self,
+        node: NodeId,
+        port: PortId,
+        every: SimTime,
+        until: SimTime,
+    ) -> usize {
         assert!(every.as_ps() > 0, "sampling period must be positive");
         let id = self.watchers.len();
-        self.watchers.push(QueueWatcher { node, port, every, until, samples: Vec::new() });
-        self.sched.schedule(self.now, EventKind::Sample { watcher: id });
+        self.watchers.push(QueueWatcher {
+            node,
+            port,
+            every,
+            until,
+            samples: Vec::new(),
+        });
+        self.sched
+            .schedule(self.now, EventKind::Sample { watcher: id });
         id
     }
 
@@ -436,6 +461,18 @@ impl Simulator {
     /// Consume the simulator, returning the recorder.
     pub fn into_recorder(self) -> Recorder {
         self.recorder
+    }
+
+    /// Consume the simulator, returning the read-side view of the run
+    /// (flow records, counters, telemetry series).
+    pub fn into_results(self) -> RunResults {
+        self.recorder.finish()
+    }
+
+    /// Configure telemetry collection. Call before the run starts; with
+    /// the default (disabled) config every probe hook is a single branch.
+    pub fn set_telemetry(&mut self, cfg: TelemetryConfig) {
+        self.recorder.set_telemetry(cfg);
     }
 
     /// Ids of all hosts, in creation order.
@@ -533,7 +570,9 @@ impl Simulator {
 
     fn handle_sample(&mut self, id: usize) {
         let w = &mut self.watchers[id];
-        let bytes = self.nodes[w.node as usize].ports[w.port as usize].queue.bytes();
+        let bytes = self.nodes[w.node as usize].ports[w.port as usize]
+            .queue
+            .bytes();
         w.samples.push((self.now, bytes));
         let next = self.now + w.every;
         if next <= w.until {
@@ -577,9 +616,11 @@ impl Simulator {
     fn forward(&mut self, sw: NodeId, in_port: PortId, mut pkt: Packet) {
         let size = pkt.size as u64;
         // Phase 1: pick egress and enqueue, collecting any PFC action.
-        let (enq, egress, pfc_send) = {
+        let (enq, egress, pfc_send, qbytes) = {
             let node = &mut self.nodes[sw as usize];
-            let NodeKind::Switch(meta) = &mut node.kind else { unreachable!() };
+            let NodeKind::Switch(meta) = &mut node.kind else {
+                unreachable!()
+            };
             let ports = &node.ports;
             let eligible = meta.routes.eligible(pkt.dst());
             let weights = meta.routes.weights(pkt.dst());
@@ -604,6 +645,7 @@ impl Simulator {
             };
             pkt.ingress_tag = in_port;
             let enq = node.ports[egress as usize].queue.enqueue(pkt);
+            let qbytes = node.ports[egress as usize].queue.bytes();
             // PFC: account the buffered packet against its ingress.
             let mut pfc_send = None;
             if enq == EnqueueResult::Queued {
@@ -616,16 +658,30 @@ impl Simulator {
                     }
                 }
             }
-            (enq, egress, pfc_send)
+            (enq, egress, pfc_send, qbytes)
         };
         match enq {
             EnqueueResult::Dropped => self.recorder.bump(Counter::QueueDrops),
             EnqueueResult::Queued => {
+                if self.recorder.wants(ProbeKind::QueueDepth) {
+                    self.recorder.probe(
+                        self.now,
+                        SeriesKey::QueueDepth {
+                            node: sw,
+                            port: egress,
+                        },
+                        qbytes as f64,
+                    );
+                }
                 if let Some((peer, peer_port, delay, pause)) = pfc_send {
                     self.recorder.bump(Counter::PfcPauses);
                     self.sched.schedule(
                         self.now + delay,
-                        EventKind::Pfc { node: peer, port: peer_port, pause },
+                        EventKind::Pfc {
+                            node: peer,
+                            port: peer_port,
+                            pause,
+                        },
                     );
                 }
                 self.try_start_tx(sw, egress);
@@ -669,6 +725,11 @@ impl Simulator {
                 p.busy = true;
                 p.tx_bytes[proto_index(pkt.key.proto)] += pkt.size as u64;
                 p.tx_pkts += 1;
+                if self.recorder.wants(ProbeKind::LinkUtil) {
+                    let total = p.tx_bytes[0] + p.tx_bytes[1];
+                    self.recorder
+                        .probe(self.now, SeriesKey::LinkUtil { node, port }, total as f64);
+                }
             }
             self.sched
                 .schedule(self.now + ser, EventKind::TxDone { node, port, pkt });
@@ -685,7 +746,9 @@ impl Simulator {
         let size = pkt.size as u64;
         let resume = {
             let n = &mut self.nodes[node as usize];
-            let NodeKind::Switch(meta) = &mut n.kind else { return };
+            let NodeKind::Switch(meta) = &mut n.kind else {
+                return;
+            };
             let Some(pfc) = &mut meta.pfc else { return };
             if pfc.on_released(pkt.ingress_tag, size) == PfcAction::SendResume {
                 let ip = &n.ports[pkt.ingress_tag as usize];
@@ -698,7 +761,11 @@ impl Simulator {
             self.recorder.bump(Counter::PfcResumes);
             self.sched.schedule(
                 self.now + delay,
-                EventKind::Pfc { node: peer, port: peer_port, pause: false },
+                EventKind::Pfc {
+                    node: peer,
+                    port: peer_port,
+                    pause: false,
+                },
             );
         }
     }
@@ -714,8 +781,14 @@ impl Simulator {
             // Clear simulator-internal state before the packet enters the
             // next node.
             pkt.ingress_tag = INGRESS_NONE;
-            self.sched
-                .schedule(arrive_at, EventKind::Arrive { node: peer, port: peer_port, pkt });
+            self.sched.schedule(
+                arrive_at,
+                EventKind::Arrive {
+                    node: peer,
+                    port: peer_port,
+                    pkt,
+                },
+            );
         } else {
             self.recorder.bump(Counter::LinkDrops);
         }
@@ -770,7 +843,13 @@ mod tests {
         fn on_start(&mut self, ctx: &mut Ctx<'_>) {
             let src = ctx.host();
             for i in 0..self.count {
-                let key = FlowKey { src, dst: self.dst, sport: 1, dport: 2, proto: Proto::Tcp };
+                let key = FlowKey {
+                    src,
+                    dst: self.dst,
+                    sport: 1,
+                    dport: 2,
+                    proto: Proto::Tcp,
+                };
                 let pkt = Packet::data(0, key, 0, i as u64 * MSS as u64, MSS, ctx.now());
                 ctx.send(pkt);
             }
@@ -778,7 +857,13 @@ mod tests {
         fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
             self.received.set(self.received.get() + 1);
             if self.echo {
-                let ack = Packet::ack_packet(pkt.flow, pkt.key, 0, pkt.seq + pkt.payload as u64, pkt.tstamp);
+                let ack = Packet::ack_packet(
+                    pkt.flow,
+                    pkt.key,
+                    0,
+                    pkt.seq + pkt.payload as u64,
+                    pkt.tstamp,
+                );
                 ctx.send(ack);
             }
         }
@@ -805,10 +890,23 @@ mod tests {
         let received = std::rc::Rc::new(std::cell::Cell::new(0));
         sim.set_agent(
             h0,
-            Box::new(Blaster { dst: h1, count: 10, received: received.clone(), echo: false }),
+            Box::new(Blaster {
+                dst: h1,
+                count: 10,
+                received: received.clone(),
+                echo: false,
+            }),
         );
         let sink = std::rc::Rc::new(std::cell::Cell::new(0));
-        sim.set_agent(h1, Box::new(Blaster { dst: h1, count: 0, received: sink.clone(), echo: false }));
+        sim.set_agent(
+            h1,
+            Box::new(Blaster {
+                dst: h1,
+                count: 0,
+                received: sink.clone(),
+                echo: false,
+            }),
+        );
         sim.run_to_quiescence();
         assert_eq!(sink.get(), 10);
         assert_eq!(received.get(), 0);
@@ -823,9 +921,22 @@ mod tests {
         let sink = std::rc::Rc::new(std::cell::Cell::new(0));
         sim.set_agent(
             h0,
-            Box::new(Blaster { dst: h1, count: 1, received: std::rc::Rc::new(std::cell::Cell::new(0)), echo: false }),
+            Box::new(Blaster {
+                dst: h1,
+                count: 1,
+                received: std::rc::Rc::new(std::cell::Cell::new(0)),
+                echo: false,
+            }),
         );
-        sim.set_agent(h1, Box::new(Blaster { dst: h1, count: 0, received: sink.clone(), echo: false }));
+        sim.set_agent(
+            h1,
+            Box::new(Blaster {
+                dst: h1,
+                count: 0,
+                received: sink.clone(),
+                echo: false,
+            }),
+        );
         sim.run_to_quiescence();
         assert_eq!(sink.get(), 1);
         let expect = SimTime::from_us(20)
@@ -846,21 +957,41 @@ mod tests {
         let got_ack = std::rc::Rc::new(std::cell::Cell::new(0));
         sim.set_agent(
             h0,
-            Box::new(Blaster { dst: h1, count: 1, received: got_ack.clone(), echo: false }),
+            Box::new(Blaster {
+                dst: h1,
+                count: 1,
+                received: got_ack.clone(),
+                echo: false,
+            }),
         );
         sim.set_agent(
             h1,
-            Box::new(Blaster { dst: h1, count: 0, received: std::rc::Rc::new(std::cell::Cell::new(0)), echo: true }),
+            Box::new(Blaster {
+                dst: h1,
+                count: 0,
+                received: std::rc::Rc::new(std::cell::Cell::new(0)),
+                echo: true,
+            }),
         );
         sim.run_to_quiescence();
         assert_eq!(got_ack.get(), 1);
         let data_ser = SimTime::serialization(1500, 10_000_000_000);
         let ack_ser = SimTime::serialization(40, 10_000_000_000);
         let hop = SimTime::from_ns(100);
-        let one_way_data =
-            SimTime::from_us(20) + data_ser + hop + SimTime::from_us(1) + data_ser + hop + SimTime::from_us(20);
-        let one_way_ack =
-            SimTime::from_us(20) + ack_ser + hop + SimTime::from_us(1) + ack_ser + hop + SimTime::from_us(20);
+        let one_way_data = SimTime::from_us(20)
+            + data_ser
+            + hop
+            + SimTime::from_us(1)
+            + data_ser
+            + hop
+            + SimTime::from_us(20);
+        let one_way_ack = SimTime::from_us(20)
+            + ack_ser
+            + hop
+            + SimTime::from_us(1)
+            + ack_ser
+            + hop
+            + SimTime::from_us(20);
         assert_eq!(sim.now(), one_way_data + one_way_ack);
         // The paper's "~90us baremetal RTT" arithmetic (4 host delays +
         // per-switch delays) should be in the right ballpark here: 1 switch
@@ -874,9 +1005,22 @@ mod tests {
         let sink = std::rc::Rc::new(std::cell::Cell::new(0));
         sim.set_agent(
             h0,
-            Box::new(Blaster { dst: h1, count: 5, received: std::rc::Rc::new(std::cell::Cell::new(0)), echo: false }),
+            Box::new(Blaster {
+                dst: h1,
+                count: 5,
+                received: std::rc::Rc::new(std::cell::Cell::new(0)),
+                echo: false,
+            }),
         );
-        sim.set_agent(h1, Box::new(Blaster { dst: h1, count: 0, received: sink.clone(), echo: false }));
+        sim.set_agent(
+            h1,
+            Box::new(Blaster {
+                dst: h1,
+                count: 0,
+                received: sink.clone(),
+                echo: false,
+            }),
+        );
         // Kill the switch->h1 link before anything is sent.
         sim.schedule_link_state(sw, 1, false, SimTime::ZERO);
         sim.run_to_quiescence();
@@ -891,9 +1035,22 @@ mod tests {
             let sink = std::rc::Rc::new(std::cell::Cell::new(0));
             sim.set_agent(
                 h0,
-                Box::new(Blaster { dst: h1, count: 50, received: std::rc::Rc::new(std::cell::Cell::new(0)), echo: false }),
+                Box::new(Blaster {
+                    dst: h1,
+                    count: 50,
+                    received: std::rc::Rc::new(std::cell::Cell::new(0)),
+                    echo: false,
+                }),
             );
-            sim.set_agent(h1, Box::new(Blaster { dst: h1, count: 0, received: sink.clone(), echo: true }));
+            sim.set_agent(
+                h1,
+                Box::new(Blaster {
+                    dst: h1,
+                    count: 0,
+                    received: sink.clone(),
+                    echo: true,
+                }),
+            );
             sim.run_to_quiescence();
             (sim.events_processed(), sim.now())
         };
@@ -905,7 +1062,12 @@ mod tests {
         let (mut sim, h0, h1, sw) = two_hosts_one_switch();
         sim.set_agent(
             h0,
-            Box::new(Blaster { dst: h1, count: 4, received: std::rc::Rc::new(std::cell::Cell::new(0)), echo: false }),
+            Box::new(Blaster {
+                dst: h1,
+                count: 4,
+                received: std::rc::Rc::new(std::cell::Cell::new(0)),
+                echo: false,
+            }),
         );
         sim.run_to_quiescence();
         let host_port = sim.port_stats(h0, 0);
@@ -921,7 +1083,12 @@ mod tests {
         let (mut sim, h0, h1, _sw) = two_hosts_one_switch();
         sim.set_agent(
             h0,
-            Box::new(Blaster { dst: h1, count: 1, received: std::rc::Rc::new(std::cell::Cell::new(0)), echo: false }),
+            Box::new(Blaster {
+                dst: h1,
+                count: 1,
+                received: std::rc::Rc::new(std::cell::Cell::new(0)),
+                echo: false,
+            }),
         );
         sim.run_until(SimTime::from_us(5));
         // Only the HostTx (at 20us) is pending; nothing has fired except
@@ -936,7 +1103,12 @@ mod tests {
         let (mut sim, h0, h1, sw) = two_hosts_one_switch();
         sim.set_agent(
             h0,
-            Box::new(Blaster { dst: h1, count: 200, received: std::rc::Rc::new(std::cell::Cell::new(0)), echo: false }),
+            Box::new(Blaster {
+                dst: h1,
+                count: 200,
+                received: std::rc::Rc::new(std::cell::Cell::new(0)),
+                echo: false,
+            }),
         );
         let w = sim.watch_queue(sw, 1, SimTime::from_us(10), SimTime::from_us(100));
         sim.run_to_quiescence();
@@ -961,9 +1133,22 @@ mod tests {
         let sink = std::rc::Rc::new(std::cell::Cell::new(0));
         sim.set_agent(
             h0,
-            Box::new(Blaster { dst: h1, count: 100, received: std::rc::Rc::new(std::cell::Cell::new(0)), echo: false }),
+            Box::new(Blaster {
+                dst: h1,
+                count: 100,
+                received: std::rc::Rc::new(std::cell::Cell::new(0)),
+                echo: false,
+            }),
         );
-        sim.set_agent(h1, Box::new(Blaster { dst: h1, count: 0, received: sink.clone(), echo: false }));
+        sim.set_agent(
+            h1,
+            Box::new(Blaster {
+                dst: h1,
+                count: 0,
+                received: sink.clone(),
+                echo: false,
+            }),
+        );
         sim.run_to_quiescence();
         assert_eq!(sink.get(), 100);
         // 100 x 1500B at 1G = 1.2ms of serialization at the slow link alone.

@@ -112,7 +112,10 @@ pub struct PfcConfig {
 impl PfcConfig {
     /// The paper's DeTail setting: pause at 20 KB, resume at 10 KB.
     pub fn detail_defaults() -> Self {
-        PfcConfig { pause_threshold: 20_000, resume_threshold: 10_000 }
+        PfcConfig {
+            pause_threshold: 20_000,
+            resume_threshold: 10_000,
+        }
     }
 }
 
@@ -266,6 +269,7 @@ impl PfcState {
 /// `Adaptive`); `link_up(port)` reports local link state (Adaptive skips
 /// locally dead links; hash/RPS do not, faithfully modelling oblivious
 /// schemes that keep black-holing until routing reconverges).
+#[allow(clippy::too_many_arguments)]
 pub fn select_port(
     scheme: ForwardingScheme,
     hasher: &EcmpHasher,
@@ -326,7 +330,13 @@ mod tests {
     use crate::time::SimTime;
 
     fn pkt(sport: u16) -> Packet {
-        let key = FlowKey { src: 1, dst: 5, sport, dport: 80, proto: Proto::Tcp };
+        let key = FlowKey {
+            src: 1,
+            dst: 5,
+            sport,
+            dport: 80,
+            proto: Proto::Tcp,
+        };
         Packet::data(0, key, 0, 0, 1460, SimTime::ZERO)
     }
 
@@ -348,10 +358,27 @@ mod tests {
         let h = hasher();
         let mut rng = DetRng::new(1, 1);
         let elig = vec![0, 1, 2, 3];
-        let first = select_port(ForwardingScheme::EcmpHash, &h, &mut rng, &pkt(7), &elig, &[], |_| 0, |_| true);
+        let first = select_port(
+            ForwardingScheme::EcmpHash,
+            &h,
+            &mut rng,
+            &pkt(7),
+            &elig,
+            &[],
+            |_| 0,
+            |_| true,
+        );
         for _ in 0..20 {
-            let again =
-                select_port(ForwardingScheme::EcmpHash, &h, &mut rng, &pkt(7), &elig, &[], |_| 0, |_| true);
+            let again = select_port(
+                ForwardingScheme::EcmpHash,
+                &h,
+                &mut rng,
+                &pkt(7),
+                &elig,
+                &[],
+                |_| 0,
+                |_| true,
+            );
             assert_eq!(again, first);
         }
     }
@@ -363,7 +390,16 @@ mod tests {
         let elig = vec![0, 1, 2, 3];
         let mut seen = [false; 4];
         for _ in 0..200 {
-            let p = select_port(ForwardingScheme::Rps, &h, &mut rng, &pkt(7), &elig, &[], |_| 0, |_| true);
+            let p = select_port(
+                ForwardingScheme::Rps,
+                &h,
+                &mut rng,
+                &pkt(7),
+                &elig,
+                &[],
+                |_| 0,
+                |_| true,
+            );
             seen[p as usize] = true;
         }
         assert!(seen.iter().all(|&s| s));
@@ -380,7 +416,16 @@ mod tests {
             2 => 9000,
             _ => 700,
         };
-        let p = select_port(ForwardingScheme::Adaptive, &h, &mut rng, &pkt(7), &elig, &[], occupancy, |_| true);
+        let p = select_port(
+            ForwardingScheme::Adaptive,
+            &h,
+            &mut rng,
+            &pkt(7),
+            &elig,
+            &[],
+            occupancy,
+            |_| true,
+        );
         assert_eq!(p, 1);
     }
 
@@ -405,21 +450,34 @@ mod tests {
             picked[p as usize] += 1;
         }
         assert_eq!(picked[1], 0, "dead link must not be picked");
-        assert!(picked[0] > 100 && picked[2] > 100, "ties should split: {picked:?}");
+        assert!(
+            picked[0] > 100 && picked[2] > 100,
+            "ties should split: {picked:?}"
+        );
     }
 
     #[test]
     fn single_eligible_short_circuits() {
         let h = hasher();
         let mut rng = DetRng::new(1, 1);
-        for scheme in [ForwardingScheme::EcmpHash, ForwardingScheme::Rps, ForwardingScheme::Adaptive] {
-            assert_eq!(select_port(scheme, &h, &mut rng, &pkt(7), &[9], &[], |_| 0, |_| true), 9);
+        for scheme in [
+            ForwardingScheme::EcmpHash,
+            ForwardingScheme::Rps,
+            ForwardingScheme::Adaptive,
+        ] {
+            assert_eq!(
+                select_port(scheme, &h, &mut rng, &pkt(7), &[9], &[], |_| 0, |_| true),
+                9
+            );
         }
     }
 
     #[test]
     fn pfc_pause_resume_hysteresis() {
-        let cfg = PfcConfig { pause_threshold: 1000, resume_threshold: 500 };
+        let cfg = PfcConfig {
+            pause_threshold: 1000,
+            resume_threshold: 500,
+        };
         let mut pfc = PfcState::new(cfg, 4);
         assert_eq!(pfc.on_buffered(2, 900), PfcAction::None);
         assert_eq!(pfc.on_buffered(2, 200), PfcAction::SendPause);
@@ -439,7 +497,13 @@ mod tests {
     #[test]
     #[should_panic]
     fn pfc_rejects_inverted_thresholds() {
-        PfcState::new(PfcConfig { pause_threshold: 100, resume_threshold: 200 }, 1);
+        PfcState::new(
+            PfcConfig {
+                pause_threshold: 100,
+                resume_threshold: 200,
+            },
+            1,
+        );
     }
 
     #[test]
@@ -464,7 +528,10 @@ mod tests {
             seen.insert(fl.select(t, gap, 42, &elig, &mut rng));
             t += SimTime::from_us(500); // always > gap
         }
-        assert!(seen.len() >= 3, "re-draws should cover most ports: {seen:?}");
+        assert!(
+            seen.len() >= 3,
+            "re-draws should cover most ports: {seen:?}"
+        );
     }
 
     #[test]
@@ -474,10 +541,15 @@ mod tests {
         let gap = SimTime::from_us(100);
         let elig: Vec<u16> = (0..8).collect();
         let now = SimTime::from_us(5);
-        let ports: Vec<u16> = (0..32).map(|f| fl.select(now, gap, f, &elig, &mut rng)).collect();
+        let ports: Vec<u16> = (0..32)
+            .map(|f| fl.select(now, gap, f, &elig, &mut rng))
+            .collect();
         assert_eq!(fl.len(), 32);
         let distinct: std::collections::HashSet<_> = ports.iter().collect();
-        assert!(distinct.len() >= 4, "32 flows should spread over several ports");
+        assert!(
+            distinct.len() >= 4,
+            "32 flows should spread over several ports"
+        );
     }
 
     #[test]

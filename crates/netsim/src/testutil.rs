@@ -49,7 +49,16 @@ pub struct Blaster {
 impl Blaster {
     /// A blaster sending `count` packets to `dst`, logging into `log`.
     pub fn new(dst: HostId, count: u32, log: Rc<RefCell<RxLog>>) -> Self {
-        Blaster { dst, count, gap: SimTime::ZERO, flow: 0, sport: 1, vfield: 0, log, sent: 0 }
+        Blaster {
+            dst,
+            count,
+            gap: SimTime::ZERO,
+            flow: 0,
+            sport: 1,
+            vfield: 0,
+            log,
+            sent: 0,
+        }
     }
 
     fn send_one(&mut self, ctx: &mut Ctx<'_>) {
@@ -60,7 +69,14 @@ impl Blaster {
             dport: 7,
             proto: Proto::Tcp,
         };
-        let pkt = Packet::data(self.flow, key, self.vfield, self.sent as u64 * MSS as u64, MSS, ctx.now());
+        let pkt = Packet::data(
+            self.flow,
+            key,
+            self.vfield,
+            self.sent as u64 * MSS as u64,
+            MSS,
+            ctx.now(),
+        );
         ctx.send(pkt);
         self.sent += 1;
     }
@@ -84,7 +100,10 @@ impl Agent for Blaster {
     }
 
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
-        self.log.borrow_mut().arrivals.push((ctx.now(), pkt.flow, pkt.seq));
+        self.log
+            .borrow_mut()
+            .arrivals
+            .push((ctx.now(), pkt.flow, pkt.seq));
     }
 
     fn on_timer(&mut self, _token: u64, ctx: &mut Ctx<'_>) {
@@ -121,7 +140,14 @@ impl CtxHarness {
     /// A context for host 0 at the current `now` (zero TX stack delay, so
     /// sent packets are observable immediately).
     pub fn ctx(&mut self) -> Ctx<'_> {
-        Ctx::new(self.now, 0, SimTime::ZERO, &mut self.sched, &mut self.rng, &mut self.recorder)
+        Ctx::new(
+            self.now,
+            0,
+            SimTime::ZERO,
+            &mut self.sched,
+            &mut self.rng,
+            &mut self.recorder,
+        )
     }
 
     /// Drain and return everything scheduled so far as
@@ -160,7 +186,10 @@ pub struct CountingSink {
 impl Agent for CountingSink {
     fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
-        self.log.borrow_mut().arrivals.push((ctx.now(), pkt.flow, pkt.seq));
+        self.log
+            .borrow_mut()
+            .arrivals
+            .push((ctx.now(), pkt.flow, pkt.seq));
     }
     fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_>) {}
 }

@@ -5,9 +5,7 @@ use std::cell::Cell;
 use std::rc::Rc;
 
 use netsim::testutil::{Blaster, CountingSink, RxLog};
-use netsim::{
-    Counter, HashConfig, LinkSpec, RoutingTable, SimTime, Simulator, SwitchConfig,
-};
+use netsim::{Counter, HashConfig, LinkSpec, RoutingTable, SimTime, Simulator, SwitchConfig};
 
 fn line_topology(pfc: bool) -> (Simulator, u32, u32, u32) {
     // h0 -- sw -- h1
@@ -47,7 +45,11 @@ fn link_flap_black_holes_then_recovers() {
     // Some packets lost during the outage, but traffic resumed after.
     let drops = sim.recorder().get(Counter::LinkDrops);
     assert!(drops > 10, "outage should drop packets: {drops}");
-    assert!(arrivals.len() > 100, "traffic must resume: {}", arrivals.len());
+    assert!(
+        arrivals.len() > 100,
+        "traffic must resume: {}",
+        arrivals.len()
+    );
     assert_eq!(arrivals.len() + drops as usize, 200);
     // Deliveries exist on both sides of the outage window.
     assert!(arrivals.iter().any(|&(t, _, _)| t < SimTime::from_ms(1)));
@@ -64,9 +66,16 @@ fn pfc_backpressure_reaches_the_host_and_is_lossless() {
     sim.set_agent(h0, Box::new(Blaster::new(h1, 2_000, RxLog::shared())));
     sim.set_agent(h1, Box::new(CountingSink { log: log.clone() }));
     sim.run_to_quiescence();
-    assert_eq!(log.borrow().arrivals.len(), 2_000, "PFC fabric must deliver everything");
+    assert_eq!(
+        log.borrow().arrivals.len(),
+        2_000,
+        "PFC fabric must deliver everything"
+    );
     assert_eq!(sim.recorder().get(Counter::QueueDrops), 0);
-    assert!(sim.recorder().get(Counter::PfcPauses) > 0, "pause frames must have fired");
+    assert!(
+        sim.recorder().get(Counter::PfcPauses) > 0,
+        "pause frames must have fired"
+    );
     assert_eq!(
         sim.recorder().get(Counter::PfcPauses),
         sim.recorder().get(Counter::PfcResumes),

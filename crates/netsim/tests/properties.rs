@@ -1,30 +1,39 @@
-//! Property-based tests of the simulator's core data structures against
-//! reference models.
-
-use proptest::prelude::*;
+//! Randomized tests of the simulator's core data structures against
+//! reference models. All inputs are drawn from seeded [`DetRng`] streams,
+//! so failures reproduce exactly.
 
 use netsim::event::{EventKind, Scheduler};
 use netsim::switch::{PfcAction, PfcConfig, PfcState};
-use netsim::{DetRng, EcmpHasher, EcnQueue, EnqueueResult, FlowKey, HashConfig, Packet, Proto, SimTime};
+use netsim::{
+    DetRng, EcmpHasher, EcnQueue, EnqueueResult, FlowKey, HashConfig, Packet, Proto, SimTime,
+};
 
 fn mk_pkt(seq: u64, payload: u32, sport: u16, v: u8) -> Packet {
-    let key = FlowKey { src: 1, dst: 2, sport, dport: 80, proto: Proto::Tcp };
+    let key = FlowKey {
+        src: 1,
+        dst: 2,
+        sport,
+        dport: 80,
+        proto: Proto::Tcp,
+    };
     Packet::data(0, key, v, seq, payload.max(1), SimTime::ZERO)
 }
 
-proptest! {
-    /// The queue's byte counter always equals the sum of queued packet
-    /// sizes, never exceeds capacity, and FIFO order is preserved.
-    #[test]
-    fn queue_matches_reference_model(
-        capacity in 2_000u64..100_000,
-        ops in prop::collection::vec((any::<bool>(), 1u32..2_000), 1..200),
-    ) {
+/// The queue's byte counter always equals the sum of queued packet
+/// sizes, never exceeds capacity, and FIFO order is preserved.
+#[test]
+fn queue_matches_reference_model() {
+    for seed in 0..40u64 {
+        let mut rng = DetRng::new(seed, 0x10);
+        let capacity = 2_000 + rng.next_u32() as u64 % 98_000;
+        let n_ops = 1 + rng.gen_index(200);
         let mut q = EcnQueue::new(capacity, capacity / 2);
         let mut model: std::collections::VecDeque<(u64, u64)> = Default::default(); // (seq, size)
         let mut bytes = 0u64;
         let mut next_seq = 0u64;
-        for (enq, payload) in ops {
+        for _ in 0..n_ops {
+            let enq = rng.gen_range(2) == 0;
+            let payload = 1 + rng.gen_range(1_999);
             if enq {
                 let pkt = mk_pkt(next_seq, payload, 7, 0);
                 let size = pkt.size as u64;
@@ -32,32 +41,46 @@ proptest! {
                     EnqueueResult::Queued => {
                         model.push_back((next_seq, size));
                         bytes += size;
-                        prop_assert!(bytes <= capacity, "over capacity");
+                        assert!(bytes <= capacity, "seed {seed}: over capacity");
                     }
                     EnqueueResult::Dropped => {
-                        prop_assert!(bytes + size > capacity, "dropped below capacity");
+                        assert!(
+                            bytes + size > capacity,
+                            "seed {seed}: dropped below capacity"
+                        );
                     }
                 }
                 next_seq += 1;
             } else {
                 match (q.dequeue(), model.pop_front()) {
                     (Some(p), Some((seq, size))) => {
-                        prop_assert_eq!(p.seq, seq, "FIFO order broken");
+                        assert_eq!(p.seq, seq, "seed {seed}: FIFO order broken");
                         bytes -= size;
                     }
                     (None, None) => {}
-                    (a, b) => prop_assert!(false, "queue/model disagree: {:?} vs {:?}", a.map(|p| p.seq), b),
+                    (a, b) => {
+                        panic!(
+                            "seed {seed}: queue/model disagree: {:?} vs {:?}",
+                            a.map(|p| p.seq),
+                            b
+                        )
+                    }
                 }
             }
-            prop_assert_eq!(q.bytes(), bytes);
-            prop_assert_eq!(q.len(), model.len());
+            assert_eq!(q.bytes(), bytes, "seed {seed}");
+            assert_eq!(q.len(), model.len(), "seed {seed}");
         }
     }
+}
 
-    /// Packets enqueued while occupancy >= K come out CE-marked; packets
-    /// enqueued below K do not.
-    #[test]
-    fn queue_marks_exactly_above_threshold(payloads in prop::collection::vec(100u32..1460, 1..100)) {
+/// Packets enqueued while occupancy >= K come out CE-marked; packets
+/// enqueued below K do not.
+#[test]
+fn queue_marks_exactly_above_threshold() {
+    for seed in 0..40u64 {
+        let mut rng = DetRng::new(seed, 0x11);
+        let n = 1 + rng.gen_index(100);
+        let payloads: Vec<u32> = (0..n).map(|_| 100 + rng.gen_range(1360)).collect();
         let k = 10_000u64;
         let mut q = EcnQueue::new(1_000_000, k);
         let mut occupancy = 0u64;
@@ -70,99 +93,136 @@ proptest! {
         }
         for expect in expect_marks {
             let pkt = q.dequeue().unwrap();
-            prop_assert_eq!(pkt.flags.has(netsim::Flags::CE), expect);
+            assert_eq!(pkt.flags.has(netsim::Flags::CE), expect, "seed {seed}");
         }
     }
+}
 
-    /// The scheduler releases events in exact (time, insertion) order.
-    #[test]
-    fn scheduler_is_a_stable_priority_queue(times in prop::collection::vec(0u64..1_000, 1..300)) {
+/// The scheduler releases events in exact (time, insertion) order.
+#[test]
+fn scheduler_is_a_stable_priority_queue() {
+    for seed in 0..40u64 {
+        let mut rng = DetRng::new(seed, 0x12);
+        let n = 1 + rng.gen_index(300);
+        let times: Vec<u64> = (0..n).map(|_| rng.gen_range(1_000) as u64).collect();
         let mut s = Scheduler::new();
         for (i, &t) in times.iter().enumerate() {
-            s.schedule(SimTime::from_ns(t), EventKind::Timer { host: 0, token: i as u64 });
+            s.schedule(
+                SimTime::from_ns(t),
+                EventKind::Timer {
+                    host: 0,
+                    token: i as u64,
+                },
+            );
         }
-        let mut expected: Vec<(u64, u64)> =
-            times.iter().enumerate().map(|(i, &t)| (t, i as u64)).collect();
+        let mut expected: Vec<(u64, u64)> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, i as u64))
+            .collect();
         expected.sort();
         for (t, token) in expected {
             let e = s.pop().unwrap();
-            prop_assert_eq!(e.time, SimTime::from_ns(t));
+            assert_eq!(e.time, SimTime::from_ns(t), "seed {seed}");
             match e.kind {
-                EventKind::Timer { token: got, .. } => prop_assert_eq!(got, token),
-                _ => prop_assert!(false),
+                EventKind::Timer { token: got, .. } => assert_eq!(got, token, "seed {seed}"),
+                _ => panic!("seed {seed}: unexpected event kind"),
             }
         }
-        prop_assert!(s.pop().is_none());
+        assert!(s.pop().is_none(), "seed {seed}");
     }
+}
 
-    /// Serialization time is exactly linear in bytes and inverse in rate.
-    #[test]
-    fn serialization_scales_linearly(bytes in 1u64..1_000_000, rate_gbps in 1u64..400) {
+/// Serialization time is exactly linear in bytes and inverse in rate.
+#[test]
+fn serialization_scales_linearly() {
+    for seed in 0..100u64 {
+        let mut rng = DetRng::new(seed, 0x13);
+        let bytes = 1 + rng.next_u32() as u64 % 999_999;
+        let rate_gbps = 1 + rng.gen_range(399) as u64;
         let rate = rate_gbps * 1_000_000_000;
         let one = SimTime::serialization(bytes, rate);
         let two = SimTime::serialization(bytes * 2, rate);
         // Integer division may lose at most 1 ps per call.
         let diff = (two.as_ps() as i128 - 2 * one.as_ps() as i128).abs();
-        prop_assert!(diff <= 2, "nonlinear: {one} vs {two}");
+        assert!(diff <= 2, "seed {seed}: nonlinear: {one} vs {two}");
         let faster = SimTime::serialization(bytes, rate * 2);
-        prop_assert!(faster <= one);
+        assert!(faster <= one, "seed {seed}");
     }
+}
 
-    /// ECMP selection is deterministic, in-bounds, and V-insensitive when
-    /// configured without the V-field.
-    #[test]
-    fn hasher_bounds_and_determinism(
-        salt: u64,
-        sport: u16,
-        v: u8,
-        n in 1usize..64,
-    ) {
+/// ECMP selection is deterministic, in-bounds, and V-insensitive when
+/// configured without the V-field.
+#[test]
+fn hasher_bounds_and_determinism() {
+    for seed in 0..200u64 {
+        let mut rng = DetRng::new(seed, 0x14);
+        let salt = rng.next_u64();
+        let sport = rng.next_u32() as u16;
+        let v = rng.next_u32() as u8;
+        let n = 1 + rng.gen_index(63);
         let with_v = EcmpHasher::new(HashConfig::FiveTupleAndVField, salt);
         let without_v = EcmpHasher::new(HashConfig::FiveTuple, salt);
         let pkt = mk_pkt(0, 1000, sport, v);
         let a = with_v.select(&pkt, n);
-        prop_assert!(a < n);
-        prop_assert_eq!(a, with_v.select(&pkt, n), "non-deterministic");
+        assert!(a < n, "seed {seed}");
+        assert_eq!(a, with_v.select(&pkt, n), "seed {seed}: non-deterministic");
         let b0 = without_v.select(&mk_pkt(0, 1000, sport, 0), n);
         let bv = without_v.select(&pkt, n);
-        prop_assert_eq!(b0, bv, "V leaked into a 5-tuple hash");
+        assert_eq!(b0, bv, "seed {seed}: V leaked into a 5-tuple hash");
     }
+}
 
-    /// Weighted selection never picks zero-weight entries.
-    #[test]
-    fn weighted_selection_avoids_zero_weights(
-        salt: u64,
-        sport: u16,
-        weights in prop::collection::vec(0u32..5, 2..8),
-    ) {
-        prop_assume!(weights.iter().any(|&w| w > 0));
+/// Weighted selection never picks zero-weight entries.
+#[test]
+fn weighted_selection_avoids_zero_weights() {
+    for seed in 0..200u64 {
+        let mut rng = DetRng::new(seed, 0x15);
+        let salt = rng.next_u64();
+        let sport = rng.next_u32() as u16;
+        let len = 2 + rng.gen_index(6);
+        let mut weights: Vec<u32> = (0..len).map(|_| rng.gen_range(5)).collect();
+        if weights.iter().all(|&w| w == 0) {
+            weights[rng.gen_index(len)] = 1 + rng.gen_range(4);
+        }
         let h = EcmpHasher::new(HashConfig::FiveTuple, salt);
         let idx = h.select_weighted(&mk_pkt(0, 1000, sport, 0), &weights);
-        prop_assert!(weights[idx] > 0, "picked zero-weight index {idx} of {weights:?}");
+        assert!(
+            weights[idx] > 0,
+            "seed {seed}: picked zero-weight index {idx} of {weights:?}"
+        );
     }
+}
 
-    /// PFC accounting: pause/resume alternate per ingress, byte counts
-    /// match a reference model, and the underflow guard holds.
-    #[test]
-    fn pfc_model_alternates_and_balances(
-        ops in prop::collection::vec((0u16..4, 1u64..5_000, any::<bool>()), 1..300),
-    ) {
-        let cfg = PfcConfig { pause_threshold: 10_000, resume_threshold: 5_000 };
+/// PFC accounting: pause/resume alternate per ingress, byte counts
+/// match a reference model, and the underflow guard holds.
+#[test]
+fn pfc_model_alternates_and_balances() {
+    for seed in 0..40u64 {
+        let mut rng = DetRng::new(seed, 0x16);
+        let cfg = PfcConfig {
+            pause_threshold: 10_000,
+            resume_threshold: 5_000,
+        };
         let mut pfc = PfcState::new(cfg, 4);
         let mut bytes = [0u64; 4];
         let mut paused = [false; 4];
-        for (port, size, buffer) in ops {
+        let n_ops = 1 + rng.gen_index(300);
+        for _ in 0..n_ops {
+            let port = rng.gen_range(4) as u16;
+            let size = 1 + rng.gen_range(4_999) as u64;
+            let buffer = rng.gen_range(2) == 0;
             let p = port as usize;
             if buffer {
                 let action = pfc.on_buffered(port, size);
                 bytes[p] += size;
                 match action {
                     PfcAction::SendPause => {
-                        prop_assert!(!paused[p], "double pause");
-                        prop_assert!(bytes[p] > cfg.pause_threshold);
+                        assert!(!paused[p], "seed {seed}: double pause");
+                        assert!(bytes[p] > cfg.pause_threshold, "seed {seed}");
                         paused[p] = true;
                     }
-                    PfcAction::SendResume => prop_assert!(false, "resume on buffer"),
+                    PfcAction::SendResume => panic!("seed {seed}: resume on buffer"),
                     PfcAction::None => {}
                 }
             } else {
@@ -174,35 +234,43 @@ proptest! {
                 bytes[p] -= take;
                 match action {
                     PfcAction::SendResume => {
-                        prop_assert!(paused[p], "resume while not paused");
-                        prop_assert!(bytes[p] < cfg.resume_threshold);
+                        assert!(paused[p], "seed {seed}: resume while not paused");
+                        assert!(bytes[p] < cfg.resume_threshold, "seed {seed}");
                         paused[p] = false;
                     }
-                    PfcAction::SendPause => prop_assert!(false, "pause on release"),
+                    PfcAction::SendPause => panic!("seed {seed}: pause on release"),
                     PfcAction::None => {}
                 }
             }
-            prop_assert_eq!(pfc.ingress_bytes(port), bytes[p]);
-            prop_assert_eq!(pfc.is_pausing(port), paused[p]);
+            assert_eq!(pfc.ingress_bytes(port), bytes[p], "seed {seed}");
+            assert_eq!(pfc.is_pausing(port), paused[p], "seed {seed}");
         }
     }
+}
 
-    /// DetRng::gen_range stays in bounds for arbitrary bounds and seeds.
-    #[test]
-    fn rng_range_in_bounds(seed: u64, stream: u64, bound in 1u32..1_000_000) {
+/// DetRng::gen_range stays in bounds for arbitrary bounds and seeds.
+#[test]
+fn rng_range_in_bounds() {
+    for seed in 0..100u64 {
+        let mut meta = DetRng::new(seed, 0x17);
+        let stream = meta.next_u64();
+        let bound = 1 + meta.gen_range(999_999);
         let mut rng = DetRng::new(seed, stream);
         for _ in 0..50 {
-            prop_assert!(rng.gen_range(bound) < bound);
+            assert!(rng.gen_range(bound) < bound, "seed {seed}");
         }
     }
+}
 
-    /// gen_exp is always non-negative and finite.
-    #[test]
-    fn rng_exp_nonnegative(seed: u64, mean in 0.001f64..1e6) {
+/// gen_exp is always non-negative and finite.
+#[test]
+fn rng_exp_nonnegative() {
+    for seed in 0..100u64 {
         let mut rng = DetRng::new(seed, 1);
+        let mean = 0.001 + rng.gen_f64() * 1e6;
         for _ in 0..50 {
             let x = rng.gen_exp(mean);
-            prop_assert!(x.is_finite() && x >= 0.0);
+            assert!(x.is_finite() && x >= 0.0, "seed {seed}");
         }
     }
 }

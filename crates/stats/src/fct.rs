@@ -15,16 +15,17 @@ pub struct Sample {
 /// *arrived* within `[window_start, window_end)` (standard warm-up /
 /// cool-down trimming: late arrivals that couldn't finish before the run
 /// ended must not be counted, and neither should a cold-start transient).
-pub fn samples(
-    records: &[FlowRecord],
-    window_start: SimTime,
-    window_end: SimTime,
-) -> Vec<Sample> {
+pub fn samples(records: &[FlowRecord], window_start: SimTime, window_end: SimTime) -> Vec<Sample> {
     records
         .iter()
         .filter(|r| r.proto == Proto::Tcp)
         .filter(|r| r.start >= window_start && r.start < window_end)
-        .filter_map(|r| r.fct().map(|fct| Sample { bytes: r.bytes, fct_s: fct.as_secs_f64() }))
+        .filter_map(|r| {
+            r.fct().map(|fct| Sample {
+                bytes: r.bytes,
+                fct_s: fct.as_secs_f64(),
+            })
+        })
         .collect()
 }
 
@@ -104,10 +105,26 @@ impl SizeBin {
 /// `(128KB,1MB]`, `>1MB` (expressed half-open on byte counts).
 pub fn paper_bins() -> [SizeBin; 4] {
     [
-        SizeBin { label: "[1KB,10KB]", lo: 0, hi: 10_001 },
-        SizeBin { label: "(10KB,128KB]", lo: 10_001, hi: 128_001 },
-        SizeBin { label: "(128KB,1MB]", lo: 128_001, hi: 1_000_001 },
-        SizeBin { label: ">1MB", lo: 1_000_001, hi: u64::MAX },
+        SizeBin {
+            label: "[1KB,10KB]",
+            lo: 0,
+            hi: 10_001,
+        },
+        SizeBin {
+            label: "(10KB,128KB]",
+            lo: 10_001,
+            hi: 128_001,
+        },
+        SizeBin {
+            label: "(128KB,1MB]",
+            lo: 128_001,
+            hi: 1_000_001,
+        },
+        SizeBin {
+            label: ">1MB",
+            lo: 1_000_001,
+            hi: u64::MAX,
+        },
     ]
 }
 
@@ -130,8 +147,11 @@ pub struct BinStats {
 pub fn binned(samples: &[Sample], bins: &[SizeBin]) -> Vec<BinStats> {
     bins.iter()
         .map(|&bin| {
-            let fcts: Vec<f64> =
-                samples.iter().filter(|s| bin.contains(s.bytes)).map(|s| s.fct_s).collect();
+            let fcts: Vec<f64> = samples
+                .iter()
+                .filter(|s| bin.contains(s.bytes))
+                .map(|s| s.fct_s)
+                .collect();
             BinStats {
                 bin,
                 count: fcts.len(),
@@ -170,7 +190,13 @@ pub fn avg_job_completion(records: &[FlowRecord]) -> (f64, usize) {
 mod tests {
     use super::*;
 
-    fn rec(flow: u32, bytes: u64, start_us: u64, fct_us: Option<u64>, job: Option<u32>) -> FlowRecord {
+    fn rec(
+        flow: u32,
+        bytes: u64,
+        start_us: u64,
+        fct_us: Option<u64>,
+        job: Option<u32>,
+    ) -> FlowRecord {
         FlowRecord {
             flow,
             src: 0,
@@ -190,7 +216,7 @@ mod tests {
     fn samples_respect_window_and_completion() {
         let records = vec![
             rec(0, 1000, 10, Some(100), None),
-            rec(1, 1000, 20, None, None),          // incomplete
+            rec(1, 1000, 20, None, None),            // incomplete
             rec(2, 1000, 5_000_000, Some(50), None), // after window
         ];
         let s = samples(&records, SimTime::ZERO, SimTime::from_secs(1));
@@ -220,6 +246,33 @@ mod tests {
     }
 
     #[test]
+    fn percentile_edge_cases() {
+        // Single element: every quantile is that element.
+        assert_eq!(percentile(&[7.0], 0.0), Some(7.0));
+        assert_eq!(percentile(&[7.0], 0.5), Some(7.0));
+        assert_eq!(percentile(&[7.0], 1.0), Some(7.0));
+        // Two elements: p = 0 pins the min, anything above 0.5 the max.
+        assert_eq!(percentile(&[2.0, 1.0], 0.0), Some(1.0));
+        assert_eq!(percentile(&[2.0, 1.0], 0.5), Some(1.0));
+        assert_eq!(percentile(&[2.0, 1.0], 0.51), Some(2.0));
+        // Ties collapse to the tied value; input order is irrelevant.
+        assert_eq!(percentile(&[3.0, 3.0, 3.0], 0.99), Some(3.0));
+        assert_eq!(
+            percentile(&[5.0, 1.0, 3.0], 0.5),
+            percentile(&[1.0, 3.0, 5.0], 0.5)
+        );
+        // Empty input never panics, for any p.
+        assert_eq!(percentile(&[], 0.0), None);
+        assert_eq!(percentile(&[], 1.0), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn percentile_rejects_out_of_range_p() {
+        percentile(&[1.0], 1.5);
+    }
+
+    #[test]
     fn cdf_points_are_monotone_and_end_at_max() {
         let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
         let c = cdf_points(&xs, 10);
@@ -239,7 +292,9 @@ mod tests {
     #[test]
     fn paper_bins_partition_sizes() {
         let bins = paper_bins();
-        for bytes in [1_000u64, 10_000, 10_001, 128_000, 128_001, 1_000_000, 1_000_001, 30_000_000] {
+        for bytes in [
+            1_000u64, 10_000, 10_001, 128_000, 128_001, 1_000_000, 1_000_001, 30_000_000,
+        ] {
             let hits = bins.iter().filter(|b| b.contains(bytes)).count();
             assert_eq!(hits, 1, "bytes {bytes} in {hits} bins");
         }
@@ -253,9 +308,18 @@ mod tests {
     #[test]
     fn binned_stats_split_by_size() {
         let samples = vec![
-            Sample { bytes: 5_000, fct_s: 1.0 },
-            Sample { bytes: 5_000, fct_s: 3.0 },
-            Sample { bytes: 2_000_000, fct_s: 10.0 },
+            Sample {
+                bytes: 5_000,
+                fct_s: 1.0,
+            },
+            Sample {
+                bytes: 5_000,
+                fct_s: 3.0,
+            },
+            Sample {
+                bytes: 2_000_000,
+                fct_s: 10.0,
+            },
         ];
         let b = binned(&samples, &paper_bins());
         assert_eq!(b[0].count, 2);

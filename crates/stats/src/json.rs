@@ -1,0 +1,260 @@
+//! A minimal, deterministic JSON writer.
+//!
+//! The experiment suite emits machine-readable results (`--json DIR`)
+//! without pulling in a serialization framework — the build runs fully
+//! offline. This module provides a [`Json`] value tree plus a writer with
+//! two properties the golden-file tests rely on:
+//!
+//! * **Determinism**: object keys serialize in insertion order, floats
+//!   render via Rust's shortest-round-trip `Display`, and nothing depends
+//!   on hash iteration order — the same value tree always produces the
+//!   same bytes.
+//! * **Strict output**: all mandatory escapes (quote, backslash, control
+//!   characters as `\u00XX`), `null` for non-finite floats (JSON has no
+//!   NaN/Infinity), arrays and objects with no trailing separators.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Build trees with the constructors and [`Json::push`] /
+/// [`Json::set`], then render with [`Json::to_string`] (compact) or
+/// [`Json::to_string_pretty`] (2-space indent).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A float; non-finite values serialize as `null`.
+    Num(f64),
+    /// An unsigned integer (exact — no float round-trip).
+    U64(u64),
+    /// A signed integer (exact — no float round-trip).
+    I64(i64),
+    /// A string (escaped on write).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys keep insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// An empty array.
+    pub fn arr() -> Json {
+        Json::Arr(Vec::new())
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Append `(key, value)` to an object. Panics on non-objects.
+    pub fn set(&mut self, key: impl Into<String>, value: Json) -> &mut Json {
+        match self {
+            Json::Obj(entries) => entries.push((key.into(), value)),
+            other => panic!("set() on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Append `value` to an array. Panics on non-arrays.
+    pub fn push(&mut self, value: Json) -> &mut Json {
+        match self {
+            Json::Arr(items) => items.push(value),
+            other => panic!("push() on non-array {other:?}"),
+        }
+        self
+    }
+
+    /// Compact rendering (no whitespace).
+    #[allow(clippy::inherent_to_string)]
+    pub fn to_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty rendering: 2-space indent, one key or element per line,
+    /// trailing newline.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => {
+                if x.is_finite() {
+                    // Rust's Display prints the shortest string that
+                    // round-trips, which is stable across platforms.
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::U64(x) => {
+                let _ = write!(out, "{x}");
+            }
+            Json::I64(x) => {
+                let _ = write!(out, "{x}");
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => write_seq(out, indent, depth, items.len(), '[', ']', |out, i| {
+                items[i].write(out, indent, depth + 1);
+            }),
+            Json::Obj(entries) => {
+                write_seq(out, indent, depth, entries.len(), '{', '}', |out, i| {
+                    let (k, v) = &entries[i];
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                })
+            }
+        }
+    }
+}
+
+/// Shared array/object layout: compact (`[a,b]`) or pretty (one element
+/// per line at `depth + 1` indentation).
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    len: usize,
+    open: char,
+    close: char,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            for _ in 0..(depth + 1) * width {
+                out.push(' ');
+            }
+        }
+        item(out, i);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+    out.push(close);
+}
+
+/// Write `s` as a JSON string literal with all mandatory escapes.
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.to_string(), "null");
+        assert_eq!(Json::Bool(true).to_string(), "true");
+        assert_eq!(Json::Bool(false).to_string(), "false");
+        assert_eq!(
+            Json::U64(18_446_744_073_709_551_615).to_string(),
+            "18446744073709551615"
+        );
+        assert_eq!(Json::I64(-42).to_string(), "-42");
+    }
+
+    #[test]
+    fn floats_render_shortest_and_nonfinite_is_null() {
+        assert_eq!(Json::Num(0.1).to_string(), "0.1");
+        assert_eq!(Json::Num(1.0).to_string(), "1");
+        assert_eq!(Json::Num(-2.5e-9).to_string(), "-0.0000000025");
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn strings_escape_mandatory_characters() {
+        assert_eq!(Json::str("plain").to_string(), "\"plain\"");
+        assert_eq!(Json::str("a\"b").to_string(), "\"a\\\"b\"");
+        assert_eq!(Json::str("a\\b").to_string(), "\"a\\\\b\"");
+        assert_eq!(Json::str("a\nb\tc\rd").to_string(), "\"a\\nb\\tc\\rd\"");
+        assert_eq!(Json::str("\u{1}\u{1f}").to_string(), "\"\\u0001\\u001f\"");
+        // Non-ASCII passes through unescaped (output is UTF-8).
+        assert_eq!(Json::str("héllo").to_string(), "\"héllo\"");
+    }
+
+    #[test]
+    fn compact_layout() {
+        let mut o = Json::obj();
+        o.set("a", Json::U64(1));
+        o.set("b", {
+            let mut a = Json::arr();
+            a.push(Json::Num(1.5));
+            a.push(Json::Null);
+            a
+        });
+        assert_eq!(o.to_string(), r#"{"a":1,"b":[1.5,null]}"#);
+        assert_eq!(Json::arr().to_string(), "[]");
+        assert_eq!(Json::obj().to_string(), "{}");
+    }
+
+    #[test]
+    fn pretty_layout() {
+        let mut o = Json::obj();
+        o.set("k", {
+            let mut a = Json::arr();
+            a.push(Json::U64(1));
+            a.push(Json::U64(2));
+            a
+        });
+        o.set("e", Json::obj());
+        assert_eq!(
+            o.to_string_pretty(),
+            "{\n  \"k\": [\n    1,\n    2\n  ],\n  \"e\": {}\n}\n"
+        );
+    }
+
+    #[test]
+    fn keys_keep_insertion_order() {
+        let mut o = Json::obj();
+        o.set("zebra", Json::U64(1));
+        o.set("alpha", Json::U64(2));
+        assert_eq!(o.to_string(), r#"{"zebra":1,"alpha":2}"#);
+    }
+}

@@ -3,16 +3,19 @@
 //! Takes a run's [`netsim::FlowRecord`]s and counters and produces the
 //! numbers the paper's tables and figures report: windowed FCT samples,
 //! means and tail percentiles, the paper's flow-size bins, job completion
-//! times, and plain-text/CSV table rendering.
+//! times, plain-text/CSV table rendering, and a dependency-free
+//! deterministic JSON writer for machine-readable results.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod fct;
+pub mod json;
 pub mod table;
 
 pub use fct::{
     avg_job_completion, binned, cdf_points, completion_fraction, mean, paper_bins, percentile,
     samples, BinStats, Sample, SizeBin,
 };
+pub use json::Json;
 pub use table::{fmt_gbps, fmt_ratio, fmt_secs, Table};

@@ -171,10 +171,18 @@ impl FatTree {
 
 /// Build the fat-tree inside `sim`, with every switch configured per
 /// `switch_cfg`. Hosts are created first so host NodeIds are dense from 0.
-pub fn build_fat_tree(sim: &mut Simulator, params: FatTreeParams, switch_cfg: SwitchConfig) -> FatTree {
+pub fn build_fat_tree(
+    sim: &mut Simulator,
+    params: FatTreeParams,
+    switch_cfg: SwitchConfig,
+) -> FatTree {
     let n_hosts = params.n_hosts();
     let lossless = switch_cfg.pfc.is_some();
-    let fabric_queue = if lossless { QueueSpec::lossless() } else { params.fabric_queue };
+    let fabric_queue = if lossless {
+        QueueSpec::lossless()
+    } else {
+        params.fabric_queue
+    };
     let host_link = LinkSpec {
         rate_bps: params.link_bps,
         delay: params.link_delay,
@@ -190,11 +198,15 @@ pub fn build_fat_tree(sim: &mut Simulator, params: FatTreeParams, switch_cfg: Sw
 
     // Hosts first: ids 0..n_hosts.
     let hosts: Vec<NodeId> = (0..n_hosts).map(|_| sim.add_host_default()).collect();
-    let tors: Vec<NodeId> =
-        (0..params.pods * params.tors_per_pod).map(|_| sim.add_switch(switch_cfg)).collect();
-    let aggs: Vec<NodeId> =
-        (0..params.pods * params.aggs_per_pod).map(|_| sim.add_switch(switch_cfg)).collect();
-    let cores: Vec<NodeId> = (0..params.n_cores()).map(|_| sim.add_switch(switch_cfg)).collect();
+    let tors: Vec<NodeId> = (0..params.pods * params.tors_per_pod)
+        .map(|_| sim.add_switch(switch_cfg))
+        .collect();
+    let aggs: Vec<NodeId> = (0..params.pods * params.aggs_per_pod)
+        .map(|_| sim.add_switch(switch_cfg))
+        .collect();
+    let cores: Vec<NodeId> = (0..params.n_cores())
+        .map(|_| sim.add_switch(switch_cfg))
+        .collect();
 
     // Host <-> ToR links.
     let mut tor_host_ports = vec![Vec::new(); tors.len()];
@@ -209,6 +221,7 @@ pub fn build_fat_tree(sim: &mut Simulator, params: FatTreeParams, switch_cfg: Sw
     let mut agg_tor_ports: Vec<Vec<Vec<PortId>>> =
         vec![vec![Vec::new(); params.tors_per_pod]; aggs.len()];
     for pod in 0..params.pods {
+        #[allow(clippy::needless_range_loop)]
         for t in 0..params.tors_per_pod {
             let ti = pod * params.tors_per_pod + t;
             for a in 0..params.aggs_per_pod {
@@ -292,8 +305,9 @@ pub fn degrade_agg_core_link(
     };
     // Agg `ai`: weight its core uplinks by their rates (inter-pod only).
     let n_hosts = p.n_hosts();
-    let core_weights: Vec<u32> =
-        (0..p.core_links_per_agg).map(|kk| (rate_of(ai, kk) / unit) as u32).collect();
+    let core_weights: Vec<u32> = (0..p.core_links_per_agg)
+        .map(|kk| (rate_of(ai, kk) / unit) as u32)
+        .collect();
     {
         let mut rt = RoutingTable::new(n_hosts);
         for dst in 0..n_hosts {
@@ -317,7 +331,9 @@ pub fn degrade_agg_core_link(
     let agg_capacity: Vec<u32> = (0..p.aggs_per_pod)
         .map(|a| {
             let aj = pod * p.aggs_per_pod + a;
-            (0..p.core_links_per_agg).map(|kk| (rate_of(aj, kk) / unit) as u32).sum()
+            (0..p.core_links_per_agg)
+                .map(|kk| (rate_of(aj, kk) / unit) as u32)
+                .sum()
         })
         .collect();
     for t in 0..p.tors_per_pod {
@@ -396,7 +412,11 @@ mod tests {
 
     fn build(params: FatTreeParams) -> (Simulator, FatTree) {
         let mut sim = Simulator::new(11);
-        let ft = build_fat_tree(&mut sim, params, SwitchConfig::commodity(HashConfig::FiveTupleAndVField));
+        let ft = build_fat_tree(
+            &mut sim,
+            params,
+            SwitchConfig::commodity(HashConfig::FiveTupleAndVField),
+        );
         (sim, ft)
     }
 
@@ -450,7 +470,11 @@ mod tests {
     fn all_pairs_sample_is_routable() {
         let params = FatTreeParams::tiny();
         let mut sim = Simulator::new(5);
-        let ft = build_fat_tree(&mut sim, params, SwitchConfig::commodity(HashConfig::FiveTupleAndVField));
+        let ft = build_fat_tree(
+            &mut sim,
+            params,
+            SwitchConfig::commodity(HashConfig::FiveTupleAndVField),
+        );
         let n = params.n_hosts();
         let log = RxLog::shared();
         // Every host sends one packet to (h + k) % n for several strides:
@@ -475,7 +499,11 @@ mod tests {
         // to one cross-pod destination must spread over several core links.
         let params = FatTreeParams::paper();
         let mut sim = Simulator::new(5);
-        let ft = build_fat_tree(&mut sim, params, SwitchConfig::commodity(HashConfig::FiveTupleAndVField));
+        let ft = build_fat_tree(
+            &mut sim,
+            params,
+            SwitchConfig::commodity(HashConfig::FiveTupleAndVField),
+        );
         let log = RxLog::shared();
         // 8 flows (one per ToR-0 host, distinct sports) to a pod-3 host.
         for (i, h) in ft.hosts_of_tor(0).enumerate() {
@@ -496,7 +524,10 @@ mod tests {
                 used += 1;
             }
         }
-        assert!(used >= 2, "8 flows should spread over >=2 cores, used {used}");
+        assert!(
+            used >= 2,
+            "8 flows should spread over >=2 cores, used {used}"
+        );
     }
 
     #[test]
@@ -506,8 +537,14 @@ mod tests {
         assert_eq!(p.inter_pod_paths(), 4 * base.inter_pod_paths());
         assert_eq!(p.n_hosts(), 512);
         // Per-tier oversubscription preserved: ToR down/up and agg in/up.
-        assert_eq!(p.hosts_per_tor / p.aggs_per_pod, base.hosts_per_tor / base.aggs_per_pod);
-        assert_eq!(p.tors_per_pod / p.core_links_per_agg, base.tors_per_pod / base.core_links_per_agg);
+        assert_eq!(
+            p.hosts_per_tor / p.aggs_per_pod,
+            base.hosts_per_tor / base.aggs_per_pod
+        );
+        assert_eq!(
+            p.tors_per_pod / p.core_links_per_agg,
+            base.tors_per_pod / base.core_links_per_agg
+        );
         // Overall servers-to-core stays 4:1.
         let total_host_bw = p.n_hosts() as u64 * p.link_bps;
         let total_core_bw = p.pods as u64 * p.pod_uplink_bps();

@@ -109,10 +109,18 @@ impl Testbed {
 
 /// Build the testbed inside `sim`. Hosts are created first so host NodeIds
 /// are dense from 0.
-pub fn build_testbed(sim: &mut Simulator, params: TestbedParams, switch_cfg: SwitchConfig) -> Testbed {
+pub fn build_testbed(
+    sim: &mut Simulator,
+    params: TestbedParams,
+    switch_cfg: SwitchConfig,
+) -> Testbed {
     let n_hosts = params.n_hosts();
     let lossless = switch_cfg.pfc.is_some();
-    let fabric_queue = if lossless { QueueSpec::lossless() } else { params.fabric_queue };
+    let fabric_queue = if lossless {
+        QueueSpec::lossless()
+    } else {
+        params.fabric_queue
+    };
     let host_link = LinkSpec {
         rate_bps: params.link_bps,
         delay: params.link_delay,
@@ -127,8 +135,12 @@ pub fn build_testbed(sim: &mut Simulator, params: TestbedParams, switch_cfg: Swi
     };
 
     let hosts: Vec<NodeId> = (0..n_hosts).map(|_| sim.add_host_default()).collect();
-    let tors: Vec<NodeId> = (0..params.n_tors()).map(|_| sim.add_switch(switch_cfg)).collect();
-    let aggs: Vec<NodeId> = (0..params.aggs).map(|_| sim.add_switch(switch_cfg)).collect();
+    let tors: Vec<NodeId> = (0..params.n_tors())
+        .map(|_| sim.add_switch(switch_cfg))
+        .collect();
+    let aggs: Vec<NodeId> = (0..params.aggs)
+        .map(|_| sim.add_switch(switch_cfg))
+        .collect();
 
     let mut tor_base = Vec::with_capacity(params.n_tors());
     let mut acc = 0;
@@ -139,6 +151,7 @@ pub fn build_testbed(sim: &mut Simulator, params: TestbedParams, switch_cfg: Swi
 
     let mut tor_host_ports = vec![Vec::new(); tors.len()];
     for t in 0..params.n_tors() {
+        #[allow(clippy::needless_range_loop)]
         for h in tor_base[t]..tor_base[t] + params.servers_per_tor[t] {
             let (_, tp) = sim.connect(hosts[h], tors[t], host_link);
             tor_host_ports[t].push(tp);
@@ -215,7 +228,11 @@ mod tests {
     #[test]
     fn structure_and_indexing() {
         let mut sim = Simulator::new(3);
-        let tb = build_testbed(&mut sim, TestbedParams::paper(), SwitchConfig::commodity(HashConfig::FiveTupleAndVField));
+        let tb = build_testbed(
+            &mut sim,
+            TestbedParams::paper(),
+            SwitchConfig::commodity(HashConfig::FiveTupleAndVField),
+        );
         // Each ToR: local hosts + 4 uplinks.
         for (t, &tor) in tb.tors.iter().enumerate() {
             assert_eq!(sim.port_count(tor), tb.params.servers_per_tor[t] + 4);
@@ -236,7 +253,11 @@ mod tests {
     #[test]
     fn cross_tor_traffic_delivers_and_spreads() {
         let mut sim = Simulator::new(9);
-        let tb = build_testbed(&mut sim, TestbedParams::tiny(), SwitchConfig::commodity(HashConfig::FiveTupleAndVField));
+        let tb = build_testbed(
+            &mut sim,
+            TestbedParams::tiny(),
+            SwitchConfig::commodity(HashConfig::FiveTupleAndVField),
+        );
         let log = RxLog::shared();
         // All ToR-0 hosts blast a ToR-2 host with distinct sports.
         let dst = tb.hosts_of_tor(2).start as u32 + 1;
@@ -245,7 +266,10 @@ mod tests {
             b.sport = 40 + i as u16;
             sim.set_agent(tb.hosts[h], Box::new(b));
         }
-        sim.set_agent(tb.hosts[dst as usize], Box::new(CountingSink { log: log.clone() }));
+        sim.set_agent(
+            tb.hosts[dst as usize],
+            Box::new(CountingSink { log: log.clone() }),
+        );
         sim.run_to_quiescence();
         assert_eq!(log.borrow().arrivals.len(), 4 * 8);
         // Traffic should use more than one of the 4 uplinks of ToR 0.
@@ -258,7 +282,11 @@ mod tests {
     #[test]
     fn same_tor_traffic_stays_local() {
         let mut sim = Simulator::new(9);
-        let tb = build_testbed(&mut sim, TestbedParams::tiny(), SwitchConfig::commodity(HashConfig::FiveTupleAndVField));
+        let tb = build_testbed(
+            &mut sim,
+            TestbedParams::tiny(),
+            SwitchConfig::commodity(HashConfig::FiveTupleAndVField),
+        );
         let log = RxLog::shared();
         // Host 0 -> host 1 (same ToR).
         sim.set_agent(tb.hosts[0], Box::new(Blaster::new(1, 5, log.clone())));

@@ -13,7 +13,9 @@
 
 use std::collections::HashMap;
 
-use netsim::{register_flows, Agent, Ctx, Flags, FlowId, FlowSpec, HostId, Packet, Proto, Simulator};
+use netsim::{
+    register_flows, Agent, Ctx, Flags, FlowId, FlowSpec, HostId, Packet, Proto, Simulator,
+};
 
 use crate::config::TcpConfig;
 use crate::receiver::Receiver;
@@ -108,16 +110,23 @@ impl HostAgent {
             match spec.proto {
                 Proto::Tcp => {
                     let cached = self.reorder_cache.get(&spec.dst).copied();
-                    let mut sender =
-                        TcpSender::new(spec.id, spec.key(), spec.bytes, self.cfg.clone(), cached, ctx);
+                    let mut sender = TcpSender::new(
+                        spec.id,
+                        spec.key(),
+                        spec.bytes,
+                        self.cfg.clone(),
+                        cached,
+                        ctx,
+                    );
                     if let Some(deadline) = sender.start(ctx) {
                         ctx.set_timer(deadline, token(spec.id, KIND_RTO));
                     }
                     self.senders.insert(spec.id, sender);
                 }
                 Proto::Udp => {
-                    let mut udp = UdpSender::new(spec.id, spec.key(), spec.udp_rate_bps, spec.bytes)
-                        .with_spray(spec.udp_spray_every);
+                    let mut udp =
+                        UdpSender::new(spec.id, spec.key(), spec.udp_rate_bps, spec.bytes)
+                            .with_spray(spec.udp_spray_every);
                     if let Some(next) = udp.tick(ctx) {
                         ctx.set_timer(next, token(spec.id, KIND_UDP));
                         self.udp_senders.insert(spec.id, udp);
@@ -148,20 +157,18 @@ impl HostAgent {
     fn on_data(&mut self, pkt: &Packet, ctx: &mut Ctx<'_>) {
         match pkt.key.proto {
             Proto::Tcp => {
-                let rx = self
-                    .receivers
-                    .get_mut(&pkt.flow)
-                    .unwrap_or_else(|| panic!("host {}: data for unknown flow {}", ctx.host(), pkt.flow));
+                let rx = self.receivers.get_mut(&pkt.flow).unwrap_or_else(|| {
+                    panic!("host {}: data for unknown flow {}", ctx.host(), pkt.flow)
+                });
                 if let Some(deadline) = rx.on_data(pkt, ctx) {
                     ctx.set_timer(deadline, token(pkt.flow, KIND_DELACK));
                 }
             }
             Proto::Udp => {
                 ctx.recorder().bump(netsim::Counter::DataPktsRcvd);
-                let bytes = self
-                    .udp_rx_bytes
-                    .get_mut(&pkt.flow)
-                    .unwrap_or_else(|| panic!("host {}: UDP for unknown flow {}", ctx.host(), pkt.flow));
+                let bytes = self.udp_rx_bytes.get_mut(&pkt.flow).unwrap_or_else(|| {
+                    panic!("host {}: UDP for unknown flow {}", ctx.host(), pkt.flow)
+                });
                 *bytes += pkt.payload as u64;
             }
         }
@@ -241,9 +248,7 @@ pub fn install_agents(sim: &mut Simulator, specs: &[FlowSpec], cfg: &TcpConfig) 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netsim::{
-        Counter, HashConfig, LinkSpec, RoutingTable, SimTime, SwitchConfig,
-    };
+    use netsim::{Counter, HashConfig, LinkSpec, RoutingTable, SimTime, SwitchConfig};
 
     /// Two hosts through one switch; `specs` run under `cfg`.
     fn run_dumbbell(specs: Vec<FlowSpec>, cfg: TcpConfig, seed: u64) -> netsim::Recorder {
@@ -305,8 +310,9 @@ mod tests {
         }
         rt.set(n, vec![n as u16]);
         sim.set_routes(sw, rt);
-        let specs: Vec<FlowSpec> =
-            (0..n).map(|i| FlowSpec::tcp(i, i, n, bytes, SimTime::from_us(i as u64))).collect();
+        let specs: Vec<FlowSpec> = (0..n)
+            .map(|i| FlowSpec::tcp(i, i, n, bytes, SimTime::from_us(i as u64)))
+            .collect();
         install_agents(&mut sim, &specs, &cfg);
         sim.run_until(SimTime::from_secs(10));
         sim.into_recorder()
@@ -329,7 +335,11 @@ mod tests {
         // drops and no timeouts.
         let rec = run_star(8, 500_000, TcpConfig::default(), 7);
         assert_eq!(rec.completed_count(), 8);
-        assert_eq!(rec.get(Counter::Timeouts), 0, "DCTCP should avoid timeouts here");
+        assert_eq!(
+            rec.get(Counter::Timeouts),
+            0,
+            "DCTCP should avoid timeouts here"
+        );
         assert!(rec.get(Counter::MarkedAcksRcvd) > 100);
     }
 
@@ -415,7 +425,11 @@ mod tests {
                 .collect();
             let rec = run_dumbbell(specs, TcpConfig::default(), 42);
             let fcts: Vec<_> = rec.flows().iter().map(|f| f.end).collect();
-            (fcts, rec.get(Counter::Retransmits), rec.get(Counter::MarkedAcksRcvd))
+            (
+                fcts,
+                rec.get(Counter::Retransmits),
+                rec.get(Counter::MarkedAcksRcvd),
+            )
         };
         assert_eq!(mk(), mk());
     }

@@ -79,14 +79,20 @@ impl Default for TcpConfig {
 impl TcpConfig {
     /// The FlowBender stack: DCTCP plus FlowBender with the given config.
     pub fn flowbender(fb: flowbender::Config) -> Self {
-        TcpConfig { flowbender: Some(fb), ..TcpConfig::default() }
+        TcpConfig {
+            flowbender: Some(fb),
+            ..TcpConfig::default()
+        }
     }
 
     /// The DeTail host stack: DCTCP with fast retransmit disabled (the
     /// paper disables it because per-packet adaptive routing reorders
     /// heavily and PFC makes the fabric lossless).
     pub fn detail() -> Self {
-        TcpConfig { dupack_threshold: None, ..TcpConfig::default() }
+        TcpConfig {
+            dupack_threshold: None,
+            ..TcpConfig::default()
+        }
     }
 
     /// Initial congestion window in bytes.
@@ -156,6 +162,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn zero_mss_rejected() {
-        TcpConfig { mss: 0, ..TcpConfig::default() }.validate();
+        TcpConfig {
+            mss: 0,
+            ..TcpConfig::default()
+        }
+        .validate();
     }
 }

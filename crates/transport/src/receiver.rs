@@ -33,7 +33,10 @@ pub struct DelAckConfig {
 
 impl Default for DelAckConfig {
     fn default() -> Self {
-        DelAckConfig { every: 2, timeout: SimTime::from_us(500) }
+        DelAckConfig {
+            every: 2,
+            timeout: SimTime::from_us(500),
+        }
     }
 }
 
@@ -169,8 +172,7 @@ impl Receiver {
             self.ce_state = ce;
         }
         self.pending += 1;
-        let dsack = duplicate
-            || self.pending_ack.as_ref().is_some_and(|&(_, _, _, d)| d);
+        let dsack = duplicate || self.pending_ack.as_ref().is_some_and(|&(_, _, _, d)| d);
         self.pending_ack = Some((pkt.key, pkt.vfield, pkt.tstamp, dsack));
 
         let must_ack_now = !arrived_in_order          // dup-ACK or OOO
@@ -179,8 +181,8 @@ impl Receiver {
             || self.complete
             || pkt.flags.has(Flags::FIN)
             || self.pending >= cfg.every
-            || ce_flip;                               // state already acked, but
-                                                      // echo the new state promptly
+            || ce_flip; // state already acked, but
+                        // echo the new state promptly
         if must_ack_now {
             self.flush_ack(ctx);
             None

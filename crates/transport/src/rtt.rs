@@ -23,7 +23,13 @@ const MAX_BACKOFF_EXP: u32 = 6;
 impl RttEstimator {
     /// New estimator with no samples yet.
     pub fn new(rto_min: SimTime, rto_initial: SimTime) -> Self {
-        RttEstimator { srtt: None, rttvar: 0.0, rto_min, rto_initial, backoff_exp: 0 }
+        RttEstimator {
+            srtt: None,
+            rttvar: 0.0,
+            rto_min,
+            rto_initial,
+            backoff_exp: 0,
+        }
     }
 
     /// Incorporate a fresh RTT sample (timestamp-echo based, so valid even

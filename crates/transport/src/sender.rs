@@ -16,7 +16,7 @@
 //!   retransmissions, which is exactly what routes around failures.
 
 use flowbender::FlowBender;
-use netsim::{Counter, Ctx, Flags, FlowId, FlowKey, Packet, SimTime};
+use netsim::{Counter, Ctx, Flags, FlowId, FlowKey, Packet, ProbeKind, SeriesKey, SimTime};
 
 use crate::config::TcpConfig;
 use crate::rtt::RttEstimator;
@@ -202,6 +202,12 @@ impl TcpSender {
     /// Start the flow: open the window and arm the timer. Returns the
     /// deadline the caller must arm a timer for, if any.
     pub fn start(&mut self, ctx: &mut Ctx<'_>) -> Option<SimTime> {
+        if let Some(fb) = &self.fb {
+            // Anchor the reroute trace: where did this flow start hashing?
+            let (now, v) = (ctx.now(), fb.vfield());
+            ctx.recorder()
+                .probe(now, SeriesKey::Vfield { flow: self.flow }, v as f64);
+        }
         self.transmit_window(ctx);
         // The first DCTCP/FlowBender epoch spans the initial window.
         self.window_end = self.snd_nxt.saturating_sub(1);
@@ -212,9 +218,7 @@ impl TcpSender {
     /// clamped by the receiver window `max_cwnd`).
     fn transmit_window(&mut self, ctx: &mut Ctx<'_>) {
         self.cwnd = self.cwnd.min(self.cfg.max_cwnd as f64);
-        while self.snd_nxt < self.size
-            && (self.snd_nxt - self.snd_una) < self.cwnd as u64
-        {
+        while self.snd_nxt < self.size && (self.snd_nxt - self.snd_una) < self.cwnd as u64 {
             let payload = (self.size - self.snd_nxt).min(self.cfg.mss as u64) as u32;
             self.send_segment(self.snd_nxt, payload, ctx);
             self.snd_nxt += payload as u64;
@@ -334,13 +338,23 @@ impl TcpSender {
 
         // --- window/epoch boundary: alpha update + FlowBender RTT end ---
         if self.snd_una > self.window_end {
+            let f = if self.win_bytes_acked > 0 {
+                self.win_bytes_marked as f64 / self.win_bytes_acked as f64
+            } else {
+                0.0
+            };
             if let Some(d) = self.cfg.dctcp {
-                let f = if self.win_bytes_acked > 0 {
-                    self.win_bytes_marked as f64 / self.win_bytes_acked as f64
-                } else {
-                    0.0
-                };
                 self.alpha = (1.0 - d.g) * self.alpha + d.g * f;
+            }
+            if ctx.recorder().wants(ProbeKind::Cwnd) {
+                let (now, cwnd) = (ctx.now(), self.cwnd);
+                ctx.recorder()
+                    .probe(now, SeriesKey::Cwnd { flow: self.flow }, cwnd);
+            }
+            if ctx.recorder().wants(ProbeKind::FFraction) {
+                let now = ctx.now();
+                ctx.recorder()
+                    .probe(now, SeriesKey::FFraction { flow: self.flow }, f);
             }
             self.win_bytes_acked = 0;
             self.win_bytes_marked = 0;
@@ -350,6 +364,9 @@ impl TcpSender {
                 if fb.on_rtt_end(ctx.rng()).rerouted() {
                     ctx.recorder().bump(Counter::Reroutes);
                     self.fb_skip_until = self.snd_nxt;
+                    let (now, v) = (ctx.now(), fb.vfield());
+                    ctx.recorder()
+                        .probe(now, SeriesKey::Vfield { flow: self.flow }, v as f64);
                 }
             }
         }
@@ -367,8 +384,8 @@ impl TcpSender {
                 // Partial ACK: the next hole is lost too. Retransmit it and
                 // deflate.
                 self.retransmit_una(ctx);
-                self.cwnd = (self.cwnd - newly_acked as f64 + self.cfg.mss as f64)
-                    .max(self.cfg.mss as f64);
+                self.cwnd =
+                    (self.cwnd - newly_acked as f64 + self.cfg.mss as f64).max(self.cfg.mss as f64);
             }
             None => {
                 self.dup_acks = 0;
@@ -394,11 +411,14 @@ impl TcpSender {
         let extent =
             ((self.peer_high.saturating_sub(self.snd_una)) / self.cfg.mss as u64) as u32 + 1;
         const REORDER_CAP: u32 = 300; // Linux's default sysctl cap
-        // Repeated DSACKs mean the estimate is still too low; grow
-        // multiplicatively so persistent reordering (packet spraying)
-        // converges in a few events.
-        self.reorder_threshold =
-            self.reorder_threshold.max(extent).max(self.reorder_threshold * 2).min(REORDER_CAP);
+                                      // Repeated DSACKs mean the estimate is still too low; grow
+                                      // multiplicatively so persistent reordering (packet spraying)
+                                      // converges in a few events.
+        self.reorder_threshold = self
+            .reorder_threshold
+            .max(extent)
+            .max(self.reorder_threshold * 2)
+            .min(REORDER_CAP);
         if self.recover.is_some() {
             if let Some((cwnd, ssthresh)) = self.undo.take() {
                 self.cwnd = cwnd;
@@ -468,6 +488,9 @@ impl TcpSender {
             if fb.on_timeout(ctx.rng()).rerouted() {
                 ctx.recorder().bump(Counter::TimeoutReroutes);
                 self.fb_skip_until = self.snd_nxt;
+                let (now, v) = (ctx.now(), fb.vfield());
+                ctx.recorder()
+                    .probe(now, SeriesKey::Vfield { flow: self.flow }, v as f64);
             }
         }
 

@@ -70,11 +70,18 @@ impl UdpSender {
         if self.remaining == 0 {
             return None;
         }
-        if self.spray_every > 0 && self.sent_pkts % self.spray_every == 0 {
+        if self.spray_every > 0 && self.sent_pkts.is_multiple_of(self.spray_every) {
             self.vfield = ctx.rng().gen_range(self.v_range as u32) as u8;
         }
         let payload = (self.remaining.min(MSS as u64)) as u32;
-        let pkt = Packet::data(self.flow, self.key, self.vfield, self.seq, payload, ctx.now());
+        let pkt = Packet::data(
+            self.flow,
+            self.key,
+            self.vfield,
+            self.seq,
+            payload,
+            ctx.now(),
+        );
         ctx.send(pkt);
         self.seq += payload as u64;
         self.sent_pkts += 1;
@@ -89,7 +96,13 @@ mod tests {
 
     #[test]
     fn gap_matches_rate() {
-        let key = FlowKey { src: 0, dst: 1, sport: 1, dport: 2, proto: netsim::Proto::Udp };
+        let key = FlowKey {
+            src: 0,
+            dst: 1,
+            sport: 1,
+            dport: 2,
+            proto: netsim::Proto::Udp,
+        };
         // 6 Gbps, 1500B frames: 2 us per frame.
         let u = UdpSender::new(0, key, 6_000_000_000, u64::MAX);
         assert_eq!(u.gap, SimTime::from_ns(2000));

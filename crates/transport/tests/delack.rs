@@ -1,6 +1,8 @@
 //! Delayed-ACK (DCTCP receiver state machine) behaviour.
 
-use netsim::{Counter, FlowSpec, HashConfig, LinkSpec, RoutingTable, SimTime, Simulator, SwitchConfig};
+use netsim::{
+    Counter, FlowSpec, HashConfig, LinkSpec, RoutingTable, SimTime, Simulator, SwitchConfig,
+};
 use transport::{install_agents, DelAckConfig, TcpConfig};
 
 /// `n` sender hosts with one flow each into a single receiver.
@@ -19,15 +21,19 @@ fn run_star(n: u32, bytes: u64, cfg: TcpConfig, seed: u64) -> netsim::Recorder {
     }
     rt.set(n, vec![n as u16]);
     sim.set_routes(sw, rt);
-    let specs: Vec<FlowSpec> =
-        (0..n).map(|i| FlowSpec::tcp(i, i, n, bytes, SimTime::ZERO)).collect();
+    let specs: Vec<FlowSpec> = (0..n)
+        .map(|i| FlowSpec::tcp(i, i, n, bytes, SimTime::ZERO))
+        .collect();
     install_agents(&mut sim, &specs, &cfg);
     sim.run_until(SimTime::from_secs(10));
     sim.into_recorder()
 }
 
 fn delack_cfg() -> TcpConfig {
-    TcpConfig { delack: Some(DelAckConfig::default()), ..TcpConfig::default() }
+    TcpConfig {
+        delack: Some(DelAckConfig::default()),
+        ..TcpConfig::default()
+    }
 }
 
 #[test]
@@ -63,9 +69,16 @@ fn delack_does_not_change_completion_or_health_under_congestion() {
     let da = run_star(8, 500_000, delack_cfg(), 7);
     assert_eq!(pp.completed_count(), 8);
     assert_eq!(da.completed_count(), 8);
-    assert!(da.get(Counter::MarkedAcksRcvd) > 0, "ECN echoes must survive delack");
+    assert!(
+        da.get(Counter::MarkedAcksRcvd) > 0,
+        "ECN echoes must survive delack"
+    );
     let last = |r: &netsim::Recorder| {
-        r.flows().iter().filter_map(|f| f.fct()).map(|t| t.as_secs_f64()).fold(0.0, f64::max)
+        r.flows()
+            .iter()
+            .filter_map(|f| f.fct())
+            .map(|t| t.as_secs_f64())
+            .fold(0.0, f64::max)
     };
     let (l_pp, l_da) = (last(&pp), last(&da));
     assert!(
@@ -81,11 +94,15 @@ fn delack_with_flowbender_still_bends() {
     let mut sim = Simulator::new(11);
     let tb = topology::build_testbed(
         &mut sim,
-        topology::TestbedParams { servers_per_tor: vec![4; 2], ..topology::TestbedParams::tiny() },
+        topology::TestbedParams {
+            servers_per_tor: vec![4; 2],
+            ..topology::TestbedParams::tiny()
+        },
         SwitchConfig::commodity(HashConfig::FiveTupleAndVField),
     );
-    let specs: Vec<FlowSpec> =
-        (0..4).map(|i| FlowSpec::tcp(i, i, 4 + i, 10_000_000, SimTime::ZERO)).collect();
+    let specs: Vec<FlowSpec> = (0..4)
+        .map(|i| FlowSpec::tcp(i, i, 4 + i, 10_000_000, SimTime::ZERO))
+        .collect();
     let cfg = TcpConfig {
         delack: Some(DelAckConfig::default()),
         ..TcpConfig::flowbender(flowbender::Config::default())

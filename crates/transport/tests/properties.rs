@@ -1,10 +1,10 @@
-//! Property-based tests of the transport's pure components: the receiver's
+//! Randomized tests of the transport's pure components: the receiver's
 //! reassembly (against a bitmap reference model) and the RTT estimator.
-
-use proptest::prelude::*;
+//! Arrival orders are generated from seeded [`DetRng`] streams so every
+//! failure reproduces exactly.
 
 use netsim::{
-    FlowKey, HashConfig, LinkSpec, Packet, Proto, RoutingTable, SimTime, Simulator,
+    DetRng, FlowKey, HashConfig, LinkSpec, Packet, Proto, RoutingTable, SimTime, Simulator,
     SwitchConfig,
 };
 use transport::{Receiver, RttEstimator};
@@ -23,11 +23,19 @@ impl netsim::Agent for Replay {
     fn on_start(&mut self, ctx: &mut netsim::Ctx<'_>) {
         // Feed all scripted segments directly to the receiver.
         let mut rx = self.rx.take().expect("receiver present");
-        let key = FlowKey { src: 1, dst: 0, sport: 5, dport: 6, proto: Proto::Tcp };
+        let key = FlowKey {
+            src: 1,
+            dst: 0,
+            sport: 5,
+            dport: 6,
+            proto: Proto::Tcp,
+        };
         for &(seq, len) in &self.segments {
             let pkt = Packet::data(0, key, 0, seq, len, ctx.now());
             rx.on_data(&pkt, ctx);
-            self.log.borrow_mut().push((rx.expected(), rx.is_complete(), false));
+            self.log
+                .borrow_mut()
+                .push((rx.expected(), rx.is_complete(), false));
         }
         let _ = self.size;
         self.rx = Some(rx);
@@ -70,39 +78,44 @@ fn replay(size: u64, segments: Vec<(u64, u32)>) -> (Vec<(u64, bool, bool)>, usiz
     // Count ACKs at the peer.
     let acks = netsim::testutil::RxLog::shared();
     sim.set_agent(h0, Box::new(replay));
-    sim.set_agent(h1, Box::new(netsim::testutil::CountingSink { log: acks.clone() }));
+    sim.set_agent(
+        h1,
+        Box::new(netsim::testutil::CountingSink { log: acks.clone() }),
+    );
     sim.run_to_quiescence();
     let n_acks = acks.borrow().arrivals.len();
     let out = log.borrow().clone();
     (out, n_acks)
 }
 
-/// Segment a flow of `n_segs` MSS-sized pieces, then permute/duplicate.
-fn arrival_orders(max_segs: usize) -> impl Strategy<Value = (u64, Vec<(u64, u32)>)> {
-    (1usize..max_segs).prop_flat_map(|n| {
-        let size = n as u64 * 1000;
-        let base: Vec<(u64, u32)> = (0..n).map(|i| (i as u64 * 1000, 1000u32)).collect();
-        // A shuffled copy plus some duplicated segments.
-        (
-            Just(size),
-            proptest::sample::subsequence(base.clone(), 0..=n).prop_flat_map(move |dups| {
-                let mut all = base.clone();
-                all.extend(dups);
-                Just(all).prop_shuffle()
-            }),
-        )
-    })
+/// Segment a flow into `n` MSS-sized pieces, append some duplicates, and
+/// shuffle the lot (Fisher–Yates on `rng`).
+fn arrival_order(rng: &mut DetRng, max_segs: usize) -> (u64, Vec<(u64, u32)>) {
+    let n = 1 + rng.gen_index(max_segs - 1);
+    let size = n as u64 * 1000;
+    let base: Vec<(u64, u32)> = (0..n).map(|i| (i as u64 * 1000, 1000u32)).collect();
+    let mut all = base.clone();
+    let n_dups = rng.gen_index(n + 1);
+    for _ in 0..n_dups {
+        all.push(base[rng.gen_index(n)]);
+    }
+    for i in (1..all.len()).rev() {
+        all.swap(i, rng.gen_index(i + 1));
+    }
+    (size, all)
 }
 
-proptest! {
-    /// Whatever the arrival order (including duplicates):
-    /// * `expected` is monotone non-decreasing,
-    /// * one cumulative ACK is emitted per arriving segment,
-    /// * the flow completes exactly once every byte has arrived.
-    #[test]
-    fn reassembly_matches_bitmap_model((size, order) in arrival_orders(40)) {
+/// Whatever the arrival order (including duplicates):
+/// * `expected` is monotone non-decreasing,
+/// * one cumulative ACK is emitted per arriving segment,
+/// * the flow completes exactly once every byte has arrived.
+#[test]
+fn reassembly_matches_bitmap_model() {
+    for seed in 0..60u64 {
+        let mut rng = DetRng::new(seed, 0x20);
+        let (size, order) = arrival_order(&mut rng, 40);
         let (log, n_acks) = replay(size, order.clone());
-        prop_assert_eq!(n_acks, order.len(), "one ACK per data segment");
+        assert_eq!(n_acks, order.len(), "seed {seed}: one ACK per data segment");
         let mut covered = vec![false; (size / 1000) as usize];
         let mut prev_expected = 0;
         for (i, &(seq, len)) in order.iter().enumerate() {
@@ -116,44 +129,51 @@ proptest! {
                 .map(|p| p as u64 * 1000)
                 .unwrap_or(size);
             let (expected, complete, _) = log[i];
-            prop_assert_eq!(expected, model_expected, "at arrival {}", i);
-            prop_assert!(expected >= prev_expected, "ACK went backwards");
+            assert_eq!(expected, model_expected, "seed {seed}: at arrival {i}");
+            assert!(expected >= prev_expected, "seed {seed}: ACK went backwards");
             prev_expected = expected;
-            prop_assert_eq!(complete, model_expected >= size);
+            assert_eq!(complete, model_expected >= size, "seed {seed}");
         }
         // All segments present at least once -> must be complete.
-        prop_assert!(log.last().unwrap().1, "flow never completed");
+        assert!(log.last().unwrap().1, "seed {seed}: flow never completed");
     }
+}
 
-    /// RTO is always >= the floor, and SRTT stays within the sample range.
-    #[test]
-    fn rtt_estimator_bounds(samples in prop::collection::vec(1u64..1_000_000, 1..200)) {
+/// RTO is always >= the floor, and SRTT stays within the sample range.
+#[test]
+fn rtt_estimator_bounds() {
+    for seed in 0..60u64 {
+        let mut rng = DetRng::new(seed, 0x21);
+        let n = 1 + rng.gen_index(200);
         let floor = SimTime::from_ms(10);
         let mut est = RttEstimator::new(floor, floor);
         let mut lo = u64::MAX;
         let mut hi = 0;
-        for &s in &samples {
+        for _ in 0..n {
+            let s = 1 + rng.gen_range(999_999) as u64;
             est.sample(SimTime::from_ns(s));
             lo = lo.min(s);
             hi = hi.max(s);
-            prop_assert!(est.rto() >= floor);
+            assert!(est.rto() >= floor, "seed {seed}");
             let srtt = est.srtt().unwrap().as_ps();
-            prop_assert!(srtt >= SimTime::from_ns(lo).as_ps());
-            prop_assert!(srtt <= SimTime::from_ns(hi).as_ps());
+            assert!(srtt >= SimTime::from_ns(lo).as_ps(), "seed {seed}");
+            assert!(srtt <= SimTime::from_ns(hi).as_ps(), "seed {seed}");
         }
     }
+}
 
-    /// Backoff multiplies the RTO monotonically and caps.
-    #[test]
-    fn rtt_backoff_is_monotone(n_backoffs in 0u32..12) {
+/// Backoff multiplies the RTO monotonically and caps.
+#[test]
+fn rtt_backoff_is_monotone() {
+    for n_backoffs in 0u32..12 {
         let floor = SimTime::from_ms(10);
         let mut est = RttEstimator::new(floor, floor);
         let mut prev = est.rto();
         for _ in 0..n_backoffs {
             est.backoff();
             let now = est.rto();
-            prop_assert!(now >= prev);
-            prop_assert!(now <= floor.saturating_mul(64));
+            assert!(now >= prev);
+            assert!(now <= floor.saturating_mul(64));
             prev = now;
         }
     }

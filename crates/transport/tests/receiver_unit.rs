@@ -6,7 +6,13 @@ use netsim::{Flags, FlowKey, FlowRecord, Packet, Proto, SimTime, MSS};
 use transport::{DelAckConfig, Receiver};
 
 fn key() -> FlowKey {
-    FlowKey { src: 1, dst: 0, sport: 7, dport: 8, proto: Proto::Tcp }
+    FlowKey {
+        src: 1,
+        dst: 0,
+        sport: 7,
+        dport: 8,
+        proto: Proto::Tcp,
+    }
 }
 
 fn data(seq: u64, ce: bool) -> Packet {
@@ -43,7 +49,11 @@ fn per_packet_mode_acks_every_segment_with_exact_echo() {
     let (pkts, _) = h.drain();
     assert_eq!(pkts.len(), 4);
     let eces: Vec<bool> = pkts.iter().map(|p| p.flags.has(Flags::ECE)).collect();
-    assert_eq!(eces, vec![false, true, false, true], "echo must be exact per packet");
+    assert_eq!(
+        eces,
+        vec![false, true, false, true],
+        "echo must be exact per packet"
+    );
     assert_eq!(pkts[3].ack, 4 * MSS as u64);
 }
 
@@ -97,7 +107,11 @@ fn delack_ce_state_change_forces_immediate_echo() {
         rx.on_data(&data(MSS as u64, true), &mut ctx);
     }
     let (pkts, _) = h.drain();
-    assert_eq!(pkts.len(), 2, "CE flip yields two ACKs: old state, then new");
+    assert_eq!(
+        pkts.len(),
+        2,
+        "CE flip yields two ACKs: old state, then new"
+    );
     assert!(!pkts[0].flags.has(Flags::ECE));
     assert_eq!(pkts[0].ack, MSS as u64);
     assert!(pkts[1].flags.has(Flags::ECE));

@@ -8,7 +8,13 @@ use netsim::{Flags, FlowKey, Packet, Proto, SimTime, MSS};
 use transport::{TcpConfig, TcpSender, TimerOutcome};
 
 fn key() -> FlowKey {
-    FlowKey { src: 0, dst: 1, sport: 1000, dport: 80, proto: Proto::Tcp }
+    FlowKey {
+        src: 0,
+        dst: 1,
+        sport: 1000,
+        dport: 80,
+        proto: Proto::Tcp,
+    }
 }
 
 fn mk_sender(h: &mut CtxHarness, size: u64, cfg: TcpConfig) -> (TcpSender, Option<SimTime>) {
@@ -78,15 +84,29 @@ fn dctcp_reduction_uses_alpha_once_per_window() {
         let mut ctx = h.ctx();
         s.on_ack(&ack(i * MSS as u64, true, 0, SimTime::ZERO), &mut ctx);
     }
-    assert!((s.cwnd() - w0 / 2.0).abs() < 2.0 * MSS as f64, "cwnd {} vs {}", s.cwnd(), w0);
-    assert_eq!(s.alpha(), 1.0, "alpha updates at the window boundary, not before");
+    assert!(
+        (s.cwnd() - w0 / 2.0).abs() < 2.0 * MSS as f64,
+        "cwnd {} vs {}",
+        s.cwnd(),
+        w0
+    );
+    assert_eq!(
+        s.alpha(),
+        1.0,
+        "alpha updates at the window boundary, not before"
+    );
     // Complete the window: alpha EWMA moves toward the marked fraction.
     for i in 4..=10u64 {
         let mut ctx = h.ctx();
         s.on_ack(&ack(i * MSS as u64, false, 0, SimTime::ZERO), &mut ctx);
     }
     let expect = (1.0 - 1.0 / 16.0) * 1.0 + (1.0 / 16.0) * 0.3;
-    assert!((s.alpha() - expect).abs() < 1e-9, "alpha {} vs {}", s.alpha(), expect);
+    assert!(
+        (s.alpha() - expect).abs() < 1e-9,
+        "alpha {} vs {}",
+        s.alpha(),
+        expect
+    );
 }
 
 #[test]
@@ -123,14 +143,22 @@ fn dsack_undoes_spurious_recovery_and_raises_threshold() {
     // retransmission as a duplicate, cumack jumps past the hole.
     {
         let mut ctx = h.ctx();
-        s.on_ack(&dsack(4 * MSS as u64, 4 * MSS as u64, SimTime::ZERO), &mut ctx);
+        s.on_ack(
+            &dsack(4 * MSS as u64, 4 * MSS as u64, SimTime::ZERO),
+            &mut ctx,
+        );
     }
     assert!(
         s.reorder_threshold() > 3,
         "threshold must rise after DSACK: {}",
         s.reorder_threshold()
     );
-    assert!(s.cwnd() >= w0 * 0.9, "undo must restore cwnd: {} vs {}", s.cwnd(), w0);
+    assert!(
+        s.cwnd() >= w0 * 0.9,
+        "undo must restore cwnd: {} vs {}",
+        s.cwnd(),
+        w0
+    );
 }
 
 #[test]
@@ -138,7 +166,11 @@ fn rto_goes_back_n_and_halves_to_one_segment() {
     let mut h = CtxHarness::new(1);
     let (mut s, deadline) = mk_sender(&mut h, 100_000_000, TcpConfig::default());
     // The sender hands the deadline to its agent (which owns timers).
-    assert_eq!(deadline, Some(SimTime::from_ms(10)), "RTO_min deadline at start");
+    assert_eq!(
+        deadline,
+        Some(SimTime::from_ms(10)),
+        "RTO_min deadline at start"
+    );
     h.drain();
     // Fire the timer after the 10ms deadline: genuine RTO.
     h.now = SimTime::from_ms(11);
@@ -148,7 +180,10 @@ fn rto_goes_back_n_and_halves_to_one_segment() {
     };
     assert!(matches!(outcome, TimerOutcome::Rearm(_)));
     assert_eq!(s.timeout_count(), 1);
-    assert!((s.cwnd() - MSS as f64).abs() < 1.0, "cwnd collapses to 1 MSS");
+    assert!(
+        (s.cwnd() - MSS as f64).abs() < 1.0,
+        "cwnd collapses to 1 MSS"
+    );
     let (pkts, _) = h.drain();
     assert_eq!(pkts.len(), 1, "go-back-N: retransmit from snd_una only");
     assert_eq!(pkts[0].seq, 0);
@@ -239,8 +274,19 @@ fn fin_flag_set_on_last_segment_only() {
 fn cached_reorder_metric_raises_initial_threshold() {
     let mut h = CtxHarness::new(1);
     let mut ctx = h.ctx();
-    let s = TcpSender::new(0, key(), 1_000_000, TcpConfig::default(), Some(40), &mut ctx);
-    assert_eq!(s.reorder_threshold(), 40, "per-destination cache must seed the threshold");
+    let s = TcpSender::new(
+        0,
+        key(),
+        1_000_000,
+        TcpConfig::default(),
+        Some(40),
+        &mut ctx,
+    );
+    assert_eq!(
+        s.reorder_threshold(),
+        40,
+        "per-destination cache must seed the threshold"
+    );
     let s2 = TcpSender::new(1, key(), 1_000_000, TcpConfig::default(), None, &mut ctx);
     assert_eq!(s2.reorder_threshold(), 3);
 }

@@ -23,7 +23,10 @@ fn uplink_udp_bytes(spray_every: u64) -> Vec<u64> {
     install_agents(&mut sim, &[spec], &TcpConfig::default());
     sim.run_until(SimTime::from_ms(20));
     (0..4)
-        .map(|a| sim.port_stats(tb.tors[0], tb.tor_uplinks[0][a]).tx_bytes_udp)
+        .map(|a| {
+            sim.port_stats(tb.tors[0], tb.tor_uplinks[0][a])
+                .tx_bytes_udp
+        })
         .collect()
 }
 

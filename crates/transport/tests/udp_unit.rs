@@ -5,7 +5,13 @@ use netsim::{FlowKey, Proto, SimTime, MSS};
 use transport::UdpSender;
 
 fn key() -> FlowKey {
-    FlowKey { src: 0, dst: 1, sport: 9, dport: 10, proto: Proto::Udp }
+    FlowKey {
+        src: 0,
+        dst: 1,
+        sport: 9,
+        dport: 10,
+        proto: Proto::Udp,
+    }
 }
 
 #[test]
@@ -85,7 +91,6 @@ fn spraying_sender_redraws_v_on_schedule() {
         assert!(burst.iter().all(|p| p.vfield == burst[0].vfield));
     }
     // ...and across the 8 bursts at least two distinct V values appear.
-    let vs: std::collections::HashSet<u8> =
-        pkts.chunks(8).map(|b| b[0].vfield).collect();
+    let vs: std::collections::HashSet<u8> = pkts.chunks(8).map(|b| b[0].vfield).collect();
     assert!(vs.len() >= 2, "spray never moved: {vs:?}");
 }

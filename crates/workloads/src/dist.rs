@@ -76,9 +76,7 @@ impl FlowSizeDist {
     pub fn sample(&self, rng: &mut DetRng) -> u64 {
         match self {
             FlowSizeDist::Fixed(b) => *b,
-            FlowSizeDist::Uniform(lo, hi) => {
-                lo + (rng.gen_f64() * (hi - lo + 1) as f64) as u64
-            }
+            FlowSizeDist::Uniform(lo, hi) => lo + (rng.gen_f64() * (hi - lo + 1) as f64) as u64,
             FlowSizeDist::Cdf(knots) => Self::inverse(knots, rng.gen_f64()),
         }
     }
@@ -181,9 +179,15 @@ mod tests {
         let small_frac = small as f64 / n as f64;
         let big_frac = big as f64 / n as f64;
         let big_byte_share = big_bytes as f64 / total_bytes as f64;
-        assert!((0.45..0.55).contains(&small_frac), "small flows: {small_frac}");
+        assert!(
+            (0.45..0.55).contains(&small_frac),
+            "small flows: {small_frac}"
+        );
         assert!((0.07..0.13).contains(&big_frac), "big flows: {big_frac}");
-        assert!(big_byte_share > 0.75, "byte share of >1MB flows: {big_byte_share}");
+        assert!(
+            big_byte_share > 0.75,
+            "byte share of >1MB flows: {big_byte_share}"
+        );
     }
 
     #[test]
@@ -200,7 +204,9 @@ mod tests {
     #[test]
     fn inverse_cdf_is_monotone() {
         let d = FlowSizeDist::web_search();
-        let FlowSizeDist::Cdf(knots) = &d else { unreachable!() };
+        let FlowSizeDist::Cdf(knots) = &d else {
+            unreachable!()
+        };
         let mut prev = 0;
         for i in 0..1000 {
             let p = i as f64 / 1000.0;

@@ -180,7 +180,13 @@ pub fn hotspot(
         .collect();
     let udp_src = src_hosts.start as HostId;
     let udp_dst = dst_hosts.start as HostId;
-    specs.push(FlowSpec::udp(specs.len() as u32, udp_src, udp_dst, udp_bps, SimTime::ZERO));
+    specs.push(FlowSpec::udp(
+        specs.len() as u32,
+        udp_src,
+        udp_dst,
+        udp_bps,
+        SimTime::ZERO,
+    ));
     specs
 }
 
@@ -189,12 +195,7 @@ pub fn hotspot(
 /// flows share a destination), all starting at `start`. The classic
 /// worst-case-for-static-hashing benchmark: offered load is perfectly
 /// balanceable, so any residual slowdown is pure collision damage.
-pub fn permutation(
-    n_hosts: usize,
-    bytes: u64,
-    start: SimTime,
-    rng: &mut DetRng,
-) -> Vec<FlowSpec> {
+pub fn permutation(n_hosts: usize, bytes: u64, start: SimTime, rng: &mut DetRng) -> Vec<FlowSpec> {
     assert!(n_hosts >= 2);
     // Fisher-Yates a candidate mapping until it is a derangement on every
     // index (retry whole shuffles; expected ~e tries).
@@ -220,7 +221,10 @@ pub fn permutation(
 /// core tier maximally.
 pub fn stride(n_hosts: usize, stride: usize, bytes: u64, start: SimTime) -> Vec<FlowSpec> {
     assert!(n_hosts >= 2);
-    assert!(stride % n_hosts != 0, "stride must move traffic off-host");
+    assert!(
+        !stride.is_multiple_of(n_hosts),
+        "stride must move traffic off-host"
+    );
     (0..n_hosts)
         .map(|i| {
             let d = ((i + stride) % n_hosts) as u32;
@@ -287,7 +291,7 @@ mod tests {
         let p = FatTreeParams::paper();
         let dist = FlowSizeDist::Fixed(100_000);
         let specs = all_to_all(&p, 0.4, SimTime::from_ms(200), &dist, &mut rng());
-        let mut dst_seen = vec![false; 128];
+        let mut dst_seen = [false; 128];
         for s in &specs {
             dst_seen[s.dst as usize] = true;
         }
@@ -298,8 +302,7 @@ mod tests {
     #[test]
     fn partition_aggregate_structure() {
         let p = FatTreeParams::paper();
-        let specs =
-            partition_aggregate(&p, 0.4, 8, 1_000_000, SimTime::from_ms(100), &mut rng());
+        let specs = partition_aggregate(&p, 0.4, 8, 1_000_000, SimTime::from_ms(100), &mut rng());
         assert!(!specs.is_empty());
         // Group by job: every job has exactly 8 flows of 125KB to one
         // aggregator, all starting together.

@@ -22,4 +22,6 @@ pub mod gen;
 pub mod load;
 
 pub use dist::FlowSizeDist;
-pub use gen::{all_to_all, hotspot, microbench, partition_aggregate, permutation, stride, testbed_one_tor};
+pub use gen::{
+    all_to_all, hotspot, microbench, partition_aggregate, permutation, stride, testbed_one_tor,
+};

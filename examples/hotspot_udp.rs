@@ -14,11 +14,17 @@
 use experiments::{hotspot, report::Opts, Scheme};
 
 fn main() {
-    let opts = Opts { scale: 1.0, seed: 4 };
+    let opts = Opts {
+        scale: 1.0,
+        seed: 4,
+    };
     println!("14 Gbps TCP shuffle + 6 Gbps UDP pinned to one of 4 ToR-to-ToR paths\n");
     let loads = hotspot::sweep(
         &opts,
-        &[Scheme::Ecmp, Scheme::FlowBender(flowbender::Config::default())],
+        &[
+            Scheme::Ecmp,
+            Scheme::FlowBender(flowbender::Config::default()),
+        ],
     );
     for pl in &loads {
         let hot = pl.hotspot_path();
@@ -30,7 +36,10 @@ fn main() {
                 t + u
             );
         }
-        println!("  -> TCP riding on the hotspot: {:.2} Gbps\n", pl.tcp_on_hotspot());
+        println!(
+            "  -> TCP riding on the hotspot: {:.2} Gbps\n",
+            pl.tcp_on_hotspot()
+        );
     }
     println!("paper: ECMP leaves ~3.5 Gbps of TCP on U; FlowBender ~1.5 Gbps.");
 }

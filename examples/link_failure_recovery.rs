@@ -35,15 +35,23 @@ fn run(label: &str, tcp: TcpConfig) {
     sim.run_until(SimTime::from_secs(30));
 
     let rec = sim.recorder();
-    let fcts: Vec<f64> =
-        rec.flows().iter().filter_map(|f| f.fct()).map(|t| t.as_secs_f64()).collect();
+    let fcts: Vec<f64> = rec
+        .flows()
+        .iter()
+        .filter_map(|f| f.fct())
+        .map(|t| t.as_secs_f64())
+        .collect();
     let worst = fcts.iter().cloned().fold(0.0, f64::max);
     println!(
         "{label:12} completed {:2}/16   timeouts {:3}   timeout-reroutes {:3}   worst FCT {}",
         fcts.len(),
         rec.get(Counter::Timeouts),
         rec.get(Counter::TimeoutReroutes),
-        if fcts.len() == 16 { format!("{:.1} ms", worst * 1e3) } else { "stuck".into() },
+        if fcts.len() == 16 {
+            format!("{:.1} ms", worst * 1e3)
+        } else {
+            "stuck".into()
+        },
     );
 }
 

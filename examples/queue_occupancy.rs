@@ -29,8 +29,9 @@ fn main() {
     sim.set_routes(sw, rt);
 
     // Four long flows into host 4; the switch's port 4 is the bottleneck.
-    let specs: Vec<FlowSpec> =
-        (0..4).map(|i| FlowSpec::tcp(i, i, 4, 20_000_000, SimTime::ZERO)).collect();
+    let specs: Vec<FlowSpec> = (0..4)
+        .map(|i| FlowSpec::tcp(i, i, 4, 20_000_000, SimTime::ZERO))
+        .collect();
     install_agents(&mut sim, &specs, &TcpConfig::default());
 
     // Sample the bottleneck queue every 100 us for 60 ms.
@@ -55,7 +56,10 @@ fn main() {
         println!("{:>8.2}ms {:>7}B {}", t.as_ms_f64(), b, line);
     }
     let mean = samples.iter().map(|&(_, b)| b as f64).sum::<f64>() / samples.len() as f64;
-    println!("\nmean occupancy {:.0}B vs K = {}B — DCTCP parks the queue at the", mean, k);
+    println!(
+        "\nmean occupancy {:.0}B vs K = {}B — DCTCP parks the queue at the",
+        mean, k
+    );
     println!("threshold, which is what makes the marked-ACK fraction a prompt,");
     println!("proportional congestion signal for FlowBender to act on.");
 }

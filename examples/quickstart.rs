@@ -33,8 +33,12 @@ fn run(label: &str, tcp: TcpConfig) {
     sim.run_until(SimTime::from_secs(30));
 
     let rec = sim.recorder();
-    let fcts: Vec<f64> =
-        rec.flows().iter().filter_map(|f| f.fct()).map(|t| t.as_secs_f64()).collect();
+    let fcts: Vec<f64> = rec
+        .flows()
+        .iter()
+        .filter_map(|f| f.fct())
+        .map(|t| t.as_secs_f64())
+        .collect();
     let mean = fcts.iter().sum::<f64>() / fcts.len() as f64;
     let max = fcts.iter().cloned().fold(0.0, f64::max);
     println!(

@@ -48,7 +48,11 @@ fn conservation_data_packets_received_cover_flow_bytes() {
 #[test]
 fn ecmp_never_reorders_or_reroutes() {
     let rec = tiny_all_to_all(&experiments::Scheme::Ecmp, 7);
-    assert_eq!(rec.get(Counter::OooPktsRcvd), 0, "static hashing cannot reorder");
+    assert_eq!(
+        rec.get(Counter::OooPktsRcvd),
+        0,
+        "static hashing cannot reorder"
+    );
     assert_eq!(rec.get(Counter::Reroutes), 0);
     assert_eq!(rec.get(Counter::TimeoutReroutes), 0);
 }
@@ -56,19 +60,25 @@ fn ecmp_never_reorders_or_reroutes() {
 #[test]
 fn reordering_ranks_match_the_paper() {
     // FlowBender reorders a little; RPS and DeTail reorder a lot.
-    let fb = tiny_all_to_all(
-        &experiments::Scheme::FlowBender(FbConfig::default()),
-        7,
-    );
+    let fb = tiny_all_to_all(&experiments::Scheme::FlowBender(FbConfig::default()), 7);
     let rps = tiny_all_to_all(&experiments::Scheme::Rps, 7);
     let detail = tiny_all_to_all(&experiments::Scheme::DeTail, 7);
     let frac = |r: &netsim::Recorder| {
         r.get(Counter::OooPktsRcvd) as f64 / r.get(Counter::DataPktsRcvd).max(1) as f64
     };
     let (f, p, d) = (frac(&fb), frac(&rps), frac(&detail));
-    assert!(f > 0.0, "FlowBender should reroute (and thus reorder) a little");
-    assert!(p > 3.0 * f, "RPS ({p:.4}) should reorder much more than FlowBender ({f:.4})");
-    assert!(d > 3.0 * f, "DeTail ({d:.4}) should reorder much more than FlowBender ({f:.4})");
+    assert!(
+        f > 0.0,
+        "FlowBender should reroute (and thus reorder) a little"
+    );
+    assert!(
+        p > 3.0 * f,
+        "RPS ({p:.4}) should reorder much more than FlowBender ({f:.4})"
+    );
+    assert!(
+        d > 3.0 * f,
+        "DeTail ({d:.4}) should reorder much more than FlowBender ({f:.4})"
+    );
 }
 
 #[test]
@@ -76,9 +86,17 @@ fn full_paper_fat_tree_microbenchmark_runs_deterministically() {
     let run = || {
         let params = FatTreeParams::paper();
         let mut sim = Simulator::new(11);
-        build_fat_tree(&mut sim, params, netsim::SwitchConfig::commodity(netsim::HashConfig::FiveTupleAndVField));
+        build_fat_tree(
+            &mut sim,
+            params,
+            netsim::SwitchConfig::commodity(netsim::HashConfig::FiveTupleAndVField),
+        );
         let specs = microbench(&params, 16, 2_000_000);
-        install_agents(&mut sim, &specs, &TcpConfig::flowbender(FbConfig::default()));
+        install_agents(
+            &mut sim,
+            &specs,
+            &TcpConfig::flowbender(FbConfig::default()),
+        );
         sim.run_until(SimTime::from_secs(10));
         let ends: Vec<_> = sim.recorder().flows().iter().map(|f| f.end).collect();
         (ends, sim.events_processed())
@@ -93,8 +111,12 @@ fn full_paper_fat_tree_microbenchmark_runs_deterministically() {
 fn different_seeds_change_microscopic_but_not_macroscopic_outcomes() {
     let fcts = |seed: u64| {
         let rec = tiny_all_to_all(&experiments::Scheme::FlowBender(FbConfig::default()), seed);
-        let v: Vec<f64> =
-            rec.flows().iter().filter_map(|f| f.fct()).map(|t| t.as_secs_f64()).collect();
+        let v: Vec<f64> = rec
+            .flows()
+            .iter()
+            .filter_map(|f| f.fct())
+            .map(|t| t.as_secs_f64())
+            .collect();
         v
     };
     let a = fcts(100);
@@ -104,7 +126,10 @@ fn different_seeds_change_microscopic_but_not_macroscopic_outcomes() {
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     assert_ne!(a, b);
     let (ma, mb) = (mean(&a), mean(&b));
-    assert!(ma / mb < 3.0 && mb / ma < 3.0, "means diverged: {ma} vs {mb}");
+    assert!(
+        ma / mb < 3.0 && mb / ma < 3.0,
+        "means diverged: {ma} vs {mb}"
+    );
 }
 
 #[test]
@@ -115,17 +140,31 @@ fn testbed_and_fat_tree_share_transport_behaviour() {
         let mut sim = Simulator::new(13);
         let specs = vec![FlowSpec::tcp(0, 0, 60, 2_000_000, SimTime::ZERO)];
         if is_testbed {
-            build_testbed(&mut sim, TestbedParams::paper(), netsim::SwitchConfig::commodity(netsim::HashConfig::FiveTupleAndVField));
+            build_testbed(
+                &mut sim,
+                TestbedParams::paper(),
+                netsim::SwitchConfig::commodity(netsim::HashConfig::FiveTupleAndVField),
+            );
         } else {
-            build_fat_tree(&mut sim, FatTreeParams::paper(), netsim::SwitchConfig::commodity(netsim::HashConfig::FiveTupleAndVField));
+            build_fat_tree(
+                &mut sim,
+                FatTreeParams::paper(),
+                netsim::SwitchConfig::commodity(netsim::HashConfig::FiveTupleAndVField),
+            );
         }
         install_agents(&mut sim, &specs, &TcpConfig::default());
         sim.run_until(SimTime::from_secs(5));
-        sim.recorder().flows()[0].fct().expect("flow completes").as_secs_f64()
+        sim.recorder().flows()[0]
+            .fct()
+            .expect("flow completes")
+            .as_secs_f64()
     };
     let tb = fct_on(true);
     let ft = fct_on(false);
-    assert!((tb / ft) < 1.5 && (ft / tb) < 1.5, "testbed {tb} vs fat-tree {ft}");
+    assert!(
+        (tb / ft) < 1.5 && (ft / tb) < 1.5,
+        "testbed {tb} vs fat-tree {ft}"
+    );
 }
 
 #[test]
@@ -135,7 +174,11 @@ fn flowbender_with_two_v_options_still_effective() {
     let params = FatTreeParams::tiny();
     let mk = |cfg: TcpConfig| {
         let mut sim = Simulator::new(21);
-        build_fat_tree(&mut sim, params, netsim::SwitchConfig::commodity(netsim::HashConfig::FiveTupleAndVField));
+        build_fat_tree(
+            &mut sim,
+            params,
+            netsim::SwitchConfig::commodity(netsim::HashConfig::FiveTupleAndVField),
+        );
         let specs: Vec<FlowSpec> = (0..8)
             .map(|i| FlowSpec::tcp(i, i, 8 + i, 5_000_000, SimTime::ZERO))
             .collect();
