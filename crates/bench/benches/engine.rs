@@ -8,7 +8,7 @@ use fb_bench::Harness;
 use netsim::testutil::{Blaster, CountingSink, RxLog};
 use netsim::{
     DetRng, EcmpHasher, EcnQueue, FlowKey, HashConfig, LinkSpec, Packet, Proto, RoutingTable,
-    SimTime, Simulator, SwitchConfig, MSS,
+    SimTime, Simulator, SwitchConfig, MSS, MTU,
 };
 
 fn bench_scheduler(h: &Harness) {
@@ -49,24 +49,16 @@ fn bench_hashing(h: &Harness) {
 }
 
 fn bench_queue(h: &Harness) {
-    let key = FlowKey {
-        src: 1,
-        dst: 2,
-        sport: 3,
-        dport: 4,
-        proto: Proto::Tcp,
-    };
     h.bench_with_setup(
         "queue/enqueue_dequeue_1k",
         1_000,
         || EcnQueue::new(10_000_000, 90_000),
         |mut q| {
-            for i in 0..1_000u64 {
-                let pkt = Packet::data(0, key, 0, i * MSS as u64, MSS, SimTime::ZERO);
-                q.enqueue(pkt);
+            for i in 0..1_000u32 {
+                q.enqueue(i, MTU, true);
             }
-            while let Some(p) = q.dequeue() {
-                black_box(p.seq);
+            while let Some(id) = q.dequeue() {
+                black_box(id);
             }
         },
     );
@@ -118,4 +110,6 @@ fn main() {
     bench_queue(&h);
     bench_rng(&h);
     bench_forwarding(&h);
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    h.write_json(out).expect("write BENCH_engine.json");
 }

@@ -235,4 +235,6 @@ fn main() {
     bench_ablation(&h);
     bench_asym(&h);
     bench_topo_dep(&h);
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_paper.json");
+    h.write_json(out).expect("write BENCH_paper.json");
 }

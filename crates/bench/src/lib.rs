@@ -15,12 +15,21 @@
 //! time per iteration and, where an element count is declared, the derived
 //! elements-per-second throughput. Full-size artifact reproduction lives
 //! in the `experiments` binary.
+//!
+//! Passing `--smoke` runs every benchmark exactly once — a CI-friendly
+//! compile-and-run check that costs seconds, not minutes. Each bench
+//! target also records its results and writes them as machine-readable
+//! JSON (`BENCH_engine.json` / `BENCH_paper.json` at the repo root) via
+//! [`Harness::write_json`], so perf can be tracked commit over commit.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use std::cell::RefCell;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
+
+use stats::Json;
 
 /// Target wall-clock budget per benchmark (measurement phase).
 const BUDGET: Duration = Duration::from_millis(500);
@@ -29,23 +38,41 @@ const MAX_ITERS: usize = 50;
 /// Minimum measured iterations, so the median is meaningful.
 const MIN_ITERS: usize = 5;
 
+/// One finished benchmark: what [`Harness::write_json`] serializes.
+#[derive(Debug, Clone)]
+struct BenchRecord {
+    name: String,
+    median_ns: u64,
+    elements: u64,
+    iters: usize,
+}
+
 /// A minimal wall-clock benchmark runner.
 ///
 /// Construct one with [`Harness::from_args`] at the top of a bench
 /// target's `main`, then call [`Harness::bench`] (or
 /// [`Harness::bench_with_setup`] when per-iteration state must be built
-/// outside the timed region) once per benchmark.
+/// outside the timed region) once per benchmark, and finish with
+/// [`Harness::write_json`] to persist the results.
 pub struct Harness {
     filter: Option<String>,
+    smoke: bool,
+    results: RefCell<Vec<BenchRecord>>,
 }
 
 impl Harness {
     /// Build a harness from the process arguments. `cargo bench` passes
     /// `--bench` (and sometimes other flags); any non-flag argument is
-    /// treated as a substring filter on benchmark names.
+    /// treated as a substring filter on benchmark names, and `--smoke`
+    /// switches to single-iteration smoke mode.
     pub fn from_args() -> Self {
         let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
-        Harness { filter }
+        let smoke = std::env::args().skip(1).any(|a| a == "--smoke");
+        Harness {
+            filter,
+            smoke,
+            results: RefCell::new(Vec::new()),
+        }
     }
 
     fn skip(&self, name: &str) -> bool {
@@ -77,18 +104,57 @@ impl Harness {
         black_box(routine(input));
         let first = t0.elapsed();
 
-        let budgeted = (BUDGET.as_nanos() / first.as_nanos().max(1)) as usize;
-        let iters = budgeted.clamp(MIN_ITERS, MAX_ITERS);
-        let mut samples = Vec::with_capacity(iters);
-        for _ in 0..iters {
-            let input = setup();
-            let t = Instant::now();
-            black_box(routine(input));
-            samples.push(t.elapsed());
-        }
-        samples.sort();
-        let median = samples[samples.len() / 2];
+        let (median, iters) = if self.smoke {
+            // Smoke mode: the warm-up run is the measurement. This keeps a
+            // CI check to one execution per benchmark.
+            (first, 1)
+        } else {
+            let budgeted = (BUDGET.as_nanos() / first.as_nanos().max(1)) as usize;
+            let iters = budgeted.clamp(MIN_ITERS, MAX_ITERS);
+            let mut samples = Vec::with_capacity(iters);
+            for _ in 0..iters {
+                let input = setup();
+                let t = Instant::now();
+                black_box(routine(input));
+                samples.push(t.elapsed());
+            }
+            samples.sort();
+            (samples[samples.len() / 2], iters)
+        };
         report(name, elements, median, iters);
+        self.results.borrow_mut().push(BenchRecord {
+            name: name.to_string(),
+            median_ns: median.as_nanos() as u64,
+            elements,
+            iters,
+        });
+    }
+
+    /// Serialize every recorded result to `path` as pretty-printed JSON:
+    /// `{"smoke": bool, "benchmarks": [{name, median_ns, elements,
+    /// elems_per_sec, iters}, ...]}` in run order.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        let mut benches = Json::arr();
+        for r in self.results.borrow().iter() {
+            let mut b = Json::obj();
+            b.set("name", Json::str(r.name.as_str()));
+            b.set("median_ns", Json::U64(r.median_ns));
+            b.set("elements", Json::U64(r.elements));
+            let eps = if r.elements > 0 {
+                Json::Num(r.elements as f64 / (r.median_ns as f64 / 1e9).max(1e-12))
+            } else {
+                Json::Null
+            };
+            b.set("elems_per_sec", eps);
+            b.set("iters", Json::U64(r.iters as u64));
+            benches.push(b);
+        }
+        let mut root = Json::obj();
+        root.set("smoke", Json::Bool(self.smoke));
+        root.set("benchmarks", benches);
+        std::fs::write(path, root.to_string_pretty())?;
+        println!("wrote {} results to {path}", self.results.borrow().len());
+        Ok(())
     }
 }
 
@@ -156,6 +222,8 @@ mod tests {
     fn harness_runs_and_respects_filter() {
         let h = Harness {
             filter: Some("match".into()),
+            smoke: false,
+            results: RefCell::new(Vec::new()),
         };
         let mut ran = 0;
         h.bench("no_hit", 0, || 1u32);
@@ -164,5 +232,43 @@ mod tests {
             42u32
         });
         assert!(ran >= 1, "filtered-in benchmark must run");
+        let results = h.results.borrow();
+        assert_eq!(results.len(), 1, "skipped benches must not be recorded");
+        assert_eq!(results[0].name, "does_match");
+    }
+
+    #[test]
+    fn smoke_mode_runs_exactly_once() {
+        let h = Harness {
+            filter: None,
+            smoke: true,
+            results: RefCell::new(Vec::new()),
+        };
+        let mut ran = 0;
+        h.bench("quick", 10, || ran += 1);
+        assert_eq!(ran, 1, "smoke mode must run the routine exactly once");
+        assert_eq!(h.results.borrow()[0].iters, 1);
+    }
+
+    #[test]
+    fn write_json_emits_all_records() {
+        let h = Harness {
+            filter: None,
+            smoke: true,
+            results: RefCell::new(Vec::new()),
+        };
+        h.bench("a", 100, || 1u32);
+        h.bench("b", 0, || 2u32);
+        let path = std::env::temp_dir().join("fb_bench_write_json_test.json");
+        let path = path.to_str().unwrap();
+        h.write_json(path).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        std::fs::remove_file(path).ok();
+        assert!(text.contains("\"name\": \"a\""));
+        assert!(text.contains("\"name\": \"b\""));
+        assert!(text.contains("\"median_ns\""));
+        assert!(text.contains("\"smoke\": true"));
+        // elements == 0 suppresses the throughput figure.
+        assert!(text.contains("\"elems_per_sec\": null"));
     }
 }

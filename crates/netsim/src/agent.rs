@@ -5,11 +5,18 @@
 //! world exclusively through the [`Ctx`] handed to it (sending packets,
 //! arming timers, drawing randomness, recording measurements). The
 //! `transport` crate implements this trait for TCP/DCTCP/UDP endpoints.
+//!
+//! Agents deal in owned [`Packet`]s at this boundary — construction on
+//! send, delivery on receive. The id-based plumbing (packets parked in the
+//! [`PacketSlab`] while events reference them) is invisible here: [`Ctx::send`]
+//! is where a packet enters the slab, [`Agent::on_packet`] is where it has
+//! already left it.
 
 use crate::event::{EventKind, Scheduler};
 use crate::packet::{NodeId, Packet};
 use crate::record::Recorder;
 use crate::rng::DetRng;
+use crate::slab::PacketSlab;
 use crate::time::SimTime;
 
 /// A protocol stack living on one host.
@@ -32,6 +39,7 @@ pub struct Ctx<'a> {
     host: NodeId,
     tx_stack_delay: SimTime,
     sched: &'a mut Scheduler,
+    packets: &'a mut PacketSlab,
     rng: &'a mut DetRng,
     recorder: &'a mut Recorder,
 }
@@ -43,6 +51,7 @@ impl<'a> Ctx<'a> {
         host: NodeId,
         tx_stack_delay: SimTime,
         sched: &'a mut Scheduler,
+        packets: &'a mut PacketSlab,
         rng: &'a mut DetRng,
         recorder: &'a mut Recorder,
     ) -> Self {
@@ -51,6 +60,7 @@ impl<'a> Ctx<'a> {
             host,
             tx_stack_delay,
             sched,
+            packets,
             rng,
             recorder,
         }
@@ -70,13 +80,15 @@ impl<'a> Ctx<'a> {
 
     /// Hand a packet to the host's stack for transmission. It reaches the
     /// NIC queue after the host's TX stack delay (the paper's 20 µs host
-    /// delay) and is serialized from there.
+    /// delay) and is serialized from there. The packet moves into the
+    /// simulator's slab here; events reference it by id from now on.
     pub fn send(&mut self, pkt: Packet) {
+        let id = self.packets.insert(pkt);
         self.sched.schedule(
             self.now + self.tx_stack_delay,
             EventKind::HostTx {
                 host: self.host,
-                pkt,
+                pkt: id,
             },
         );
     }

@@ -1,18 +1,57 @@
-//! The discrete-event core: events and the time-ordered scheduler.
+//! The discrete-event core: compact events and a bucketed ladder scheduler.
 //!
-//! The simulator is a classic discrete-event loop: a binary heap of events
-//! ordered by `(time, insertion sequence)`. The insertion sequence breaks
-//! ties FIFO, which makes runs fully deterministic: two events scheduled for
-//! the same instant always fire in the order they were scheduled.
+//! Events are ordered by `(time, insertion sequence)`. The insertion
+//! sequence breaks ties FIFO, which makes runs fully deterministic: two
+//! events scheduled for the same instant always fire in the order they were
+//! scheduled. Packet-carrying events hold a 4-byte [`PacketId`] into the
+//! simulator's [`crate::slab::PacketSlab`] rather than an inline `Packet`,
+//! so an [`Event`] is a few machine words and moving one through the queue
+//! is cheap.
+//!
+//! ## The ladder
+//!
+//! A single global `BinaryHeap` pays `O(log n)` sift work — and the cache
+//! misses that come with it — on *every* event at *every* scale. Datacenter
+//! workloads schedule overwhelmingly into the near future (serialization
+//! times are ~1.2 µs, hops ~100 ns, host delays ~20 µs), so the scheduler
+//! uses a calendar/ladder-queue layout instead:
+//!
+//! * a ring of [`NUM_BUCKETS`] **near-future buckets**, each spanning
+//!   [`BUCKET_WIDTH_PS`] (≈ one MTU serialization quantum at 10 Gbps), into
+//!   which events are appended unordered in O(1);
+//! * a small **current-bucket heap** holding only the bucket being drained,
+//!   which restores the exact `(time, seq)` order among the handful of
+//!   events sharing one bucket;
+//! * a **far heap** for everything beyond the ring's horizon (retransmit
+//!   timers, far-off administrative events), spilled into the ring as the
+//!   window advances past each event's bucket.
+//!
+//! Every event is therefore popped from a heap whose size is one bucket's
+//! population (or the far-future tail), not the whole pending set. The pop
+//! order is *identical* to the old global heap's: within one bucket the heap
+//! compares `(time, seq)` exactly as before, across buckets time strictly
+//! increases, and a far event is merged into the current-bucket heap before
+//! the window reaches its instant (see `scheduler_matches_reference_heap` in
+//! `tests/properties.rs` for the machine-checked equivalence argument).
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use crate::packet::{NodeId, Packet, PortId};
+use crate::packet::{NodeId, PortId};
+use crate::slab::PacketId;
 use crate::time::SimTime;
 
+/// Near-future bucket width in picoseconds (`1 << 20` ≈ 1.05 µs, about one
+/// 1500-byte serialization quantum at 10 Gbps). A power of two so that
+/// bucket indexing is a shift, not a division.
+pub const BUCKET_WIDTH_PS: u64 = 1 << BUCKET_SHIFT;
+const BUCKET_SHIFT: u32 = 20;
+/// Number of near-future buckets (the ring spans ≈ 268 µs — several RTTs).
+/// A power of two so the ring wrap is a mask.
+pub const NUM_BUCKETS: usize = 256;
+
 /// What happens when an event fires.
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)] // variant fields are described in the variant docs
 pub enum EventKind {
     /// A packet finished propagation (and ingress processing delay) and is
@@ -20,18 +59,18 @@ pub enum EventKind {
     Arrive {
         node: NodeId,
         port: PortId,
-        pkt: Packet,
+        pkt: PacketId,
     },
     /// Serialization of `pkt` on `(node, port)` finished; the packet leaves
     /// onto the wire and the port may start its next transmission.
     TxDone {
         node: NodeId,
         port: PortId,
-        pkt: Packet,
+        pkt: PacketId,
     },
     /// A host's protocol stack finished processing an outbound packet
     /// (models the 20 µs host delay); enqueue it at the NIC.
-    HostTx { host: NodeId, pkt: Packet },
+    HostTx { host: NodeId, pkt: PacketId },
     /// A timer set by a host agent fired.
     Timer { host: NodeId, token: u64 },
     /// A PFC pause (`pause == true`) or resume frame arrived at the egress
@@ -54,7 +93,7 @@ pub enum EventKind {
 
 /// An event: a `kind` firing at `time`, with `seq` as the deterministic
 /// tie-breaker.
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 pub struct Event {
     /// When the event fires.
     pub time: SimTime,
@@ -88,55 +127,193 @@ impl Ord for Event {
     }
 }
 
-/// Time-ordered event queue.
-#[derive(Debug, Default)]
+/// Time-ordered event queue (bucketed ladder; see the module docs).
+#[derive(Debug)]
 pub struct Scheduler {
-    heap: BinaryHeap<Event>,
     next_seq: u64,
     scheduled: u64,
+    len: usize,
+    /// Watermark: the time of the last popped event. Scheduling before this
+    /// is time travel and trips a debug assertion.
+    now: SimTime,
+    /// Exact-order heap of the bucket currently being drained.
+    current: BinaryHeap<Event>,
+    /// Ring of near-future buckets; slot `cursor` is the current bucket
+    /// (drained through `current`), slot `cursor + k` covers times
+    /// `[cursor_start + k*W, cursor_start + (k+1)*W)`.
+    buckets: Box<[Vec<Event>]>,
+    cursor: usize,
+    /// Start (ps) of the current bucket's time range.
+    cursor_start: u64,
+    /// Events resident in the ring (excluding `current`).
+    near: usize,
+    /// Events at or beyond the ring's horizon when they were scheduled.
+    far: BinaryHeap<Event>,
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Scheduler::new()
+    }
 }
 
 impl Scheduler {
     /// Create an empty scheduler.
     pub fn new() -> Self {
-        Scheduler::default()
+        Scheduler {
+            next_seq: 0,
+            scheduled: 0,
+            len: 0,
+            now: SimTime::ZERO,
+            current: BinaryHeap::new(),
+            buckets: (0..NUM_BUCKETS)
+                .map(|_| Vec::new())
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            cursor: 0,
+            cursor_start: 0,
+            near: 0,
+            far: BinaryHeap::new(),
+        }
     }
 
     /// Schedule `kind` to fire at absolute time `at`.
+    ///
+    /// Debug builds reject time travel: scheduling before the last popped
+    /// event's time is always a logic error (the event could never fire in
+    /// order) and panics immediately instead of corrupting the run.
+    #[inline]
     pub fn schedule(&mut self, at: SimTime, kind: EventKind) {
+        debug_assert!(
+            at >= self.now,
+            "time travel: scheduling an event at {at} but the clock is already at {}",
+            self.now
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled += 1;
-        self.heap.push(Event {
+        self.len += 1;
+        let ev = Event {
             time: at,
             seq,
             kind,
-        });
+        };
+        // saturating_sub guards the (release-mode-only) past-time case: such
+        // events land in `current` and still pop earliest-first.
+        let offset = at.as_ps().saturating_sub(self.cursor_start) >> BUCKET_SHIFT;
+        if offset == 0 {
+            self.current.push(ev);
+        } else if offset < NUM_BUCKETS as u64 {
+            let slot = (self.cursor + offset as usize) & (NUM_BUCKETS - 1);
+            self.buckets[slot].push(ev);
+            self.near += 1;
+        } else {
+            self.far.push(ev);
+        }
+    }
+
+    /// Remove and return the earliest event, if its time is `<= deadline`.
+    /// Events beyond the deadline stay queued. This is the event loop's
+    /// primitive: one call replaces the old peek-then-pop double heap walk.
+    #[inline]
+    pub fn pop_before(&mut self, deadline: SimTime) -> Option<Event> {
+        loop {
+            if let Some(e) = self.current.peek() {
+                if e.time > deadline {
+                    return None;
+                }
+                let e = self.current.pop().expect("peeked event must pop");
+                self.len -= 1;
+                self.now = e.time;
+                return Some(e);
+            }
+            if self.len == 0 {
+                return None;
+            }
+            self.advance_window();
+        }
     }
 
     /// Remove and return the earliest event.
+    #[inline]
     pub fn pop(&mut self) -> Option<Event> {
-        self.heap.pop()
+        self.pop_before(SimTime::MAX)
+    }
+
+    /// Move the window forward one bucket (or jump it to the earliest far
+    /// event when the ring is empty), pulling the new current bucket and any
+    /// far events that now fall inside it into the exact-order heap.
+    fn advance_window(&mut self) {
+        debug_assert!(self.current.is_empty() && self.len > 0);
+        if self.near == 0 {
+            // Ring is empty: everything pending lives in `far`. Jump the
+            // window straight to the earliest far event's bucket.
+            let t = self
+                .far
+                .peek()
+                .expect("len > 0 with empty ring and current")
+                .time
+                .as_ps();
+            self.cursor_start = t & !(BUCKET_WIDTH_PS - 1);
+        } else {
+            self.cursor = (self.cursor + 1) & (NUM_BUCKETS - 1);
+            self.cursor_start += BUCKET_WIDTH_PS;
+        }
+        let slot = &mut self.buckets[self.cursor];
+        self.near -= slot.len();
+        for ev in slot.drain(..) {
+            self.current.push(ev);
+        }
+        // Far events whose bucket the window just reached merge here —
+        // before anything in this bucket pops — preserving global order.
+        let end = self.cursor_start.saturating_add(BUCKET_WIDTH_PS);
+        while self.far.peek().is_some_and(|e| e.time.as_ps() < end) {
+            let ev = self.far.pop().expect("peeked event must pop");
+            self.current.push(ev);
+        }
     }
 
     /// Time of the earliest pending event, if any.
+    ///
+    /// O(pending near events) — it scans the ring. Fine for tests and
+    /// diagnostics; the event loop uses [`Scheduler::pop_before`] instead.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        let mut best: Option<SimTime> = self.current.peek().map(|e| e.time);
+        if self.near > 0 {
+            for slot in self.buckets.iter() {
+                for ev in slot {
+                    if best.is_none_or(|b| ev.time < b) {
+                        best = Some(ev.time);
+                    }
+                }
+            }
+        }
+        if let Some(e) = self.far.peek() {
+            if best.is_none_or(|b| e.time < b) {
+                best = Some(e.time);
+            }
+        }
+        best
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// True if no event is pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
     /// Total number of events ever scheduled.
     pub fn total_scheduled(&self) -> u64 {
         self.scheduled
+    }
+
+    /// The watermark: time of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
     }
 }
 
@@ -144,19 +321,26 @@ impl Scheduler {
 mod tests {
     use super::*;
 
-    #[test]
-    fn pops_in_time_order() {
-        let mut s = Scheduler::new();
-        s.schedule(SimTime::from_us(3), EventKind::Timer { host: 0, token: 3 });
-        s.schedule(SimTime::from_us(1), EventKind::Timer { host: 0, token: 1 });
-        s.schedule(SimTime::from_us(2), EventKind::Timer { host: 0, token: 2 });
-        let order: Vec<u64> = std::iter::from_fn(|| s.pop())
+    fn timer(token: u64) -> EventKind {
+        EventKind::Timer { host: 0, token }
+    }
+
+    fn drain_tokens(s: &mut Scheduler) -> Vec<u64> {
+        std::iter::from_fn(|| s.pop())
             .map(|e| match e.kind {
                 EventKind::Timer { token, .. } => token,
                 _ => unreachable!(),
             })
-            .collect();
-        assert_eq!(order, vec![1, 2, 3]);
+            .collect()
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_us(3), timer(3));
+        s.schedule(SimTime::from_us(1), timer(1));
+        s.schedule(SimTime::from_us(2), timer(2));
+        assert_eq!(drain_tokens(&mut s), vec![1, 2, 3]);
     }
 
     #[test]
@@ -164,15 +348,9 @@ mod tests {
         let mut s = Scheduler::new();
         let t = SimTime::from_us(5);
         for token in 0..100 {
-            s.schedule(t, EventKind::Timer { host: 0, token });
+            s.schedule(t, timer(token));
         }
-        let order: Vec<u64> = std::iter::from_fn(|| s.pop())
-            .map(|e| match e.kind {
-                EventKind::Timer { token, .. } => token,
-                _ => unreachable!(),
-            })
-            .collect();
-        assert_eq!(order, (0..100).collect::<Vec<_>>());
+        assert_eq!(drain_tokens(&mut s), (0..100).collect::<Vec<_>>());
     }
 
     #[test]
@@ -180,10 +358,88 @@ mod tests {
         let mut s = Scheduler::new();
         assert!(s.is_empty());
         assert_eq!(s.peek_time(), None);
-        s.schedule(SimTime::from_ms(1), EventKind::Timer { host: 1, token: 0 });
-        s.schedule(SimTime::from_us(1), EventKind::Timer { host: 1, token: 1 });
+        s.schedule(SimTime::from_ms(1), timer(0));
+        s.schedule(SimTime::from_us(1), timer(1));
         assert_eq!(s.len(), 2);
         assert_eq!(s.peek_time(), Some(SimTime::from_us(1)));
         assert_eq!(s.total_scheduled(), 2);
+    }
+
+    #[test]
+    fn far_future_events_spill_back_in_order() {
+        let mut s = Scheduler::new();
+        // Far beyond the ring horizon (~268 us): a 10 ms timer...
+        s.schedule(SimTime::from_ms(10), timer(2));
+        // ...a same-instant tie scheduled later must still fire after it...
+        s.schedule(SimTime::from_ms(10), timer(3));
+        // ...and near events fire first.
+        s.schedule(SimTime::from_us(7), timer(1));
+        assert_eq!(drain_tokens(&mut s), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_keeps_order() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_us(10), timer(0));
+        let e = s.pop().unwrap();
+        assert_eq!(e.time, SimTime::from_us(10));
+        // Scheduling "now" (same instant as the popped event) is legal and
+        // fires next, before later events.
+        s.schedule(SimTime::from_ms(50), timer(9));
+        s.schedule(SimTime::from_us(10), timer(1));
+        s.schedule(SimTime::from_us(11), timer(2));
+        assert_eq!(drain_tokens(&mut s), vec![1, 2, 9]);
+    }
+
+    #[test]
+    fn pop_before_respects_deadline_and_preserves_state() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_us(1), timer(1));
+        s.schedule(SimTime::from_us(100), timer(2));
+        assert_eq!(
+            s.pop_before(SimTime::from_us(50)).map(|e| e.time),
+            Some(SimTime::from_us(1))
+        );
+        assert!(s.pop_before(SimTime::from_us(50)).is_none());
+        assert_eq!(s.len(), 1);
+        // The deferred event is intact and pops once the deadline allows.
+        let e = s.pop_before(SimTime::from_us(100)).unwrap();
+        assert_eq!(e.time, SimTime::from_us(100));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn window_jumps_over_long_idle_gaps() {
+        let mut s = Scheduler::new();
+        // Two events separated by ~1 s of dead time: the window must jump,
+        // not crawl bucket by bucket.
+        s.schedule(SimTime::from_us(1), timer(1));
+        s.schedule(SimTime::from_secs(1), timer(2));
+        assert_eq!(drain_tokens(&mut s), vec![1, 2]);
+        // After the jump, nearby scheduling still works.
+        s.schedule(SimTime::from_secs(1), timer(3));
+        assert_eq!(drain_tokens(&mut s), vec![3]);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "time travel")]
+    fn scheduling_into_the_past_panics_in_debug() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_us(10), timer(0));
+        s.pop();
+        // The clock watermark is now 10 us; 5 us is the past.
+        s.schedule(SimTime::from_us(5), timer(1));
+    }
+
+    #[test]
+    fn event_is_compact() {
+        // The point of the packet slab: events are a few words, not a
+        // packet. Guard against regressions re-inlining payloads.
+        assert!(
+            std::mem::size_of::<Event>() <= 32,
+            "Event grew to {} bytes",
+            std::mem::size_of::<Event>()
+        );
     }
 }

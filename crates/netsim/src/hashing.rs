@@ -11,6 +11,17 @@
 //! included. Each switch uses its own random salt, modelling the per-switch
 //! hash-seed diversity of real silicon (without it, consecutive hops would
 //! make correlated choices and some paths would be unreachable).
+//!
+//! The module also hosts [`FxHasher`]/[`FxBuildHasher`]: an in-tree,
+//! dependency-free FxHash-style [`std::hash::Hasher`] for the simulator's
+//! per-packet hash maps. `std`'s default SipHash is keyed with per-process
+//! random state — both slow (per-packet cost on the flowlet path) and
+//! non-deterministic in iteration order. FxHash is a few-cycle multiply-mix,
+//! with no random state, so [`DetHashMap`] is deterministic across runs and
+//! processes.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hasher};
 
 use crate::packet::{Packet, Proto};
 
@@ -84,6 +95,92 @@ impl EcmpHasher {
         unreachable!("point must fall within total weight")
     }
 }
+
+/// Multiplier used by the FxHash word mixer (the golden-ratio-derived
+/// constant rustc's own FxHash uses for 64-bit words).
+const FX_K: u64 = 0x517c_c1b7_2722_0a95;
+
+/// An FxHash-style streaming hasher: rotate, xor, multiply per word.
+///
+/// Not cryptographic and not DoS-resistant — exactly right for interior
+/// simulator state keyed by trusted values (flow hashes, flow ids), where
+/// per-packet SipHash latency is pure waste.
+#[derive(Debug, Clone, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]: stateless, so every map built with it
+/// hashes identically in every process.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FxBuildHasher;
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
+    }
+}
+
+/// A `HashMap` with deterministic, cheap hashing — the map type for all
+/// per-packet interior state (flowlet tables, flow demux maps, telemetry
+/// series indices).
+pub type DetHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
 
 /// splitmix64-style finalizer: a fast, well-mixed 64-bit permutation.
 #[inline]
@@ -188,5 +285,46 @@ mod tests {
     fn empty_group_panics() {
         let h = EcmpHasher::new(HashConfig::FiveTuple, 9);
         h.select(&pkt(1, 1, 0), 0);
+    }
+
+    #[test]
+    fn fx_hasher_is_deterministic_and_spreads() {
+        let hash_one = |x: u64| {
+            let mut h = FxBuildHasher.build_hasher();
+            h.write_u64(x);
+            h.finish()
+        };
+        // Same input, same output — across fresh hashers (no hidden state).
+        assert_eq!(hash_one(42), hash_one(42));
+        assert_ne!(hash_one(42), hash_one(43));
+        // Sequential keys must not collide in the low bits a HashMap uses.
+        let low: std::collections::HashSet<u64> = (0..1024u64).map(|x| hash_one(x) % 64).collect();
+        assert!(low.len() > 32, "low-bit spread too poor: {}", low.len());
+    }
+
+    #[test]
+    fn fx_hasher_byte_stream_matches_tail_padding() {
+        // write() must consume any length; differing tails must differ.
+        let digest = |bytes: &[u8]| {
+            let mut h = FxHasher::default();
+            h.write(bytes);
+            h.finish()
+        };
+        assert_eq!(digest(b"abcdefghij"), digest(b"abcdefghij"));
+        assert_ne!(digest(b"abcdefghij"), digest(b"abcdefghik"));
+        // A difference confined to the sub-8-byte tail must still matter.
+        assert_ne!(digest(b"abcdefgh\x01"), digest(b"abcdefgh\x02"));
+    }
+
+    #[test]
+    fn det_hash_map_behaves_like_a_map() {
+        let mut m: DetHashMap<u64, u32> = DetHashMap::default();
+        for i in 0..100u64 {
+            m.insert(i, (i * 2) as u32);
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.get(&40), Some(&80));
+        assert_eq!(m.remove(&40), Some(80));
+        assert_eq!(m.get(&40), None);
     }
 }

@@ -54,6 +54,7 @@ pub mod queue;
 pub mod record;
 pub mod rng;
 pub mod sim;
+pub mod slab;
 pub mod switch;
 pub mod telemetry;
 pub mod testutil;
@@ -61,7 +62,7 @@ pub mod time;
 
 pub use agent::{Agent, Ctx, NullAgent};
 pub use flow::{register_flows, FlowSpec};
-pub use hashing::{EcmpHasher, HashConfig};
+pub use hashing::{DetHashMap, EcmpHasher, FxBuildHasher, FxHasher, HashConfig};
 pub use packet::{
     Flags, FlowId, FlowKey, HostId, NodeId, Packet, PortId, Proto, ACK_BYTES, HEADER_BYTES, MSS,
     MTU,
@@ -70,6 +71,7 @@ pub use queue::{EcnQueue, EnqueueResult, QueueStats};
 pub use record::{Counter, FlowRecord, Recorder, RunResults, Sink};
 pub use rng::DetRng;
 pub use sim::{LinkSpec, PortStats, QueueSpec, Simulator, SwitchConfig};
+pub use slab::{PacketId, PacketSlab};
 pub use switch::{FlowletState, ForwardingScheme, PfcConfig, RoutingTable};
 pub use telemetry::{ProbeKind, Series, SeriesKey, Telemetry, TelemetryConfig};
 pub use time::SimTime;

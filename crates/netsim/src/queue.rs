@@ -7,24 +7,42 @@
 //! "a congested switch marks every packet exceeding a desired queue size
 //! threshold", K = 90 KB for 10 Gbps links). Non-ECN packets (or any packet
 //! once the byte capacity is exhausted) are dropped at the tail.
+//!
+//! The queue stores `(PacketId, size)` entries, not packets — packets live
+//! in the simulator's [`crate::slab::PacketSlab`]. The marking decision is
+//! returned in [`EnqueueResult::Queued`]; the caller (which owns the slab)
+//! applies the CE bit. This keeps the hot enqueue/dequeue path free of
+//! packet copies: one entry is 8 bytes.
 
 use std::collections::VecDeque;
 
-use crate::packet::{Flags, Packet};
+use crate::slab::PacketId;
 
 /// Outcome of an enqueue attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EnqueueResult {
-    /// Packet accepted (possibly CE-marked).
-    Queued,
+    /// Packet accepted. `marked` reports the AQM decision: the caller must
+    /// set the packet's CE bit when true.
+    Queued {
+        /// The packet crossed the marking threshold and was ECN-capable.
+        marked: bool,
+    },
     /// Packet dropped: the queue was at capacity.
     Dropped,
 }
 
-/// A byte-bounded FIFO with single-threshold ECN marking.
+/// One queued packet: its slab id and wire size (cached here so dequeue and
+/// byte accounting never touch the slab).
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    id: PacketId,
+    size: u32,
+}
+
+/// A byte-bounded FIFO of packet ids with single-threshold ECN marking.
 #[derive(Debug)]
 pub struct EcnQueue {
-    fifo: VecDeque<Packet>,
+    fifo: VecDeque<Entry>,
     bytes: u64,
     /// Maximum occupancy in bytes; arrivals beyond this are dropped.
     capacity: u64,
@@ -65,34 +83,38 @@ impl EcnQueue {
         Self::new(capacity, u64::MAX)
     }
 
-    /// Attempt to enqueue `pkt`, applying drop-tail and ECN marking.
+    /// Attempt to enqueue the packet behind `id` (of wire size `size`),
+    /// applying drop-tail and ECN marking. `ecn_capable` is the packet's
+    /// ECT codepoint; non-capable packets are never marked.
     ///
     /// The marking decision uses the occupancy *before* the packet is added
     /// (instantaneous queue length seen by the arriving packet), matching
     /// DCTCP's specification.
-    pub fn enqueue(&mut self, mut pkt: Packet) -> EnqueueResult {
-        if self.bytes + pkt.size as u64 > self.capacity {
+    #[inline]
+    pub fn enqueue(&mut self, id: PacketId, size: u32, ecn_capable: bool) -> EnqueueResult {
+        if self.bytes + size as u64 > self.capacity {
             self.stats.dropped += 1;
             return EnqueueResult::Dropped;
         }
-        if self.bytes >= self.mark_threshold && pkt.ecn_capable() {
-            pkt.flags.set(Flags::CE);
+        let marked = self.bytes >= self.mark_threshold && ecn_capable;
+        if marked {
             self.stats.marked += 1;
         }
-        self.bytes += pkt.size as u64;
+        self.bytes += size as u64;
         self.stats.enqueued += 1;
         if self.bytes > self.stats.max_bytes {
             self.stats.max_bytes = self.bytes;
         }
-        self.fifo.push_back(pkt);
-        EnqueueResult::Queued
+        self.fifo.push_back(Entry { id, size });
+        EnqueueResult::Queued { marked }
     }
 
-    /// Remove and return the head-of-line packet, if any.
-    pub fn dequeue(&mut self) -> Option<Packet> {
-        let pkt = self.fifo.pop_front()?;
-        self.bytes -= pkt.size as u64;
-        Some(pkt)
+    /// Remove and return the head-of-line packet id, if any.
+    #[inline]
+    pub fn dequeue(&mut self) -> Option<PacketId> {
+        let e = self.fifo.pop_front()?;
+        self.bytes -= e.size as u64;
+        Some(e.id)
     }
 
     /// Current occupancy in bytes.
@@ -130,48 +152,34 @@ impl EcnQueue {
         self.stats
     }
 
-    /// Drop every queued packet (used when a link fails), returning how many
-    /// packets were discarded.
-    pub fn clear(&mut self) -> usize {
-        let n = self.fifo.len();
-        self.stats.dropped += n as u64;
-        self.fifo.clear();
+    /// Drop every queued packet (used when a link fails), returning the
+    /// discarded ids so the caller can free their slab slots.
+    pub fn clear(&mut self) -> Vec<PacketId> {
+        let ids: Vec<PacketId> = self.fifo.drain(..).map(|e| e.id).collect();
+        self.stats.dropped += ids.len() as u64;
         self.bytes = 0;
-        n
+        ids
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::{FlowKey, Proto, MSS};
-    use crate::time::SimTime;
+    use crate::packet::MTU;
 
-    fn pkt(size_payload: u32) -> Packet {
-        let key = FlowKey {
-            src: 1,
-            dst: 2,
-            sport: 9,
-            dport: 80,
-            proto: Proto::Tcp,
-        };
-        Packet::data(0, key, 0, 0, size_payload, SimTime::ZERO)
-    }
+    const QUEUED: EnqueueResult = EnqueueResult::Queued { marked: false };
+    const MARKED: EnqueueResult = EnqueueResult::Queued { marked: true };
 
     #[test]
     fn fifo_order_and_byte_accounting() {
         let mut q = EcnQueue::drop_tail(1_000_000);
-        let mut a = pkt(100);
-        a.seq = 1;
-        let mut b = pkt(200);
-        b.seq = 2;
-        q.enqueue(a);
-        q.enqueue(b);
+        q.enqueue(1, 140, true);
+        q.enqueue(2, 240, true);
         assert_eq!(q.len(), 2);
-        assert_eq!(q.bytes(), 100 + 40 + 200 + 40);
-        assert_eq!(q.dequeue().unwrap().seq, 1);
+        assert_eq!(q.bytes(), 140 + 240);
+        assert_eq!(q.dequeue(), Some(1));
         assert_eq!(q.bytes(), 240);
-        assert_eq!(q.dequeue().unwrap().seq, 2);
+        assert_eq!(q.dequeue(), Some(2));
         assert!(q.dequeue().is_none());
         assert_eq!(q.bytes(), 0);
     }
@@ -179,10 +187,10 @@ mod tests {
     #[test]
     fn drops_when_full() {
         let mut q = EcnQueue::drop_tail(3000);
-        assert_eq!(q.enqueue(pkt(MSS)), EnqueueResult::Queued);
-        assert_eq!(q.enqueue(pkt(MSS)), EnqueueResult::Queued);
+        assert_eq!(q.enqueue(0, MTU, true), QUEUED);
+        assert_eq!(q.enqueue(1, MTU, true), QUEUED);
         // Third full-size packet exceeds 3000 bytes.
-        assert_eq!(q.enqueue(pkt(MSS)), EnqueueResult::Dropped);
+        assert_eq!(q.enqueue(2, MTU, true), EnqueueResult::Dropped);
         assert_eq!(q.stats().dropped, 1);
         assert_eq!(q.len(), 2);
     }
@@ -192,41 +200,34 @@ mod tests {
         // Threshold = one full packet: the second packet sees occupancy 1500
         // >= 1500 and is marked; the first sees 0 and is not.
         let mut q = EcnQueue::new(1_000_000, 1500);
-        q.enqueue(pkt(MSS));
-        q.enqueue(pkt(MSS));
-        let first = q.dequeue().unwrap();
-        let second = q.dequeue().unwrap();
-        assert!(!first.flags.has(Flags::CE));
-        assert!(second.flags.has(Flags::CE));
+        assert_eq!(q.enqueue(0, MTU, true), QUEUED);
+        assert_eq!(q.enqueue(1, MTU, true), MARKED);
         assert_eq!(q.stats().marked, 1);
     }
 
     #[test]
     fn non_ect_packets_are_not_marked() {
         let mut q = EcnQueue::new(1_000_000, 0); // mark everything eligible
-        let mut p = pkt(100);
-        p.flags.clear(Flags::ECT);
-        q.enqueue(p);
-        assert!(!q.dequeue().unwrap().flags.has(Flags::CE));
+        assert_eq!(q.enqueue(0, 140, false), QUEUED);
         assert_eq!(q.stats().marked, 0);
     }
 
     #[test]
     fn max_bytes_high_watermark() {
         let mut q = EcnQueue::drop_tail(1_000_000);
-        q.enqueue(pkt(MSS));
-        q.enqueue(pkt(MSS));
+        q.enqueue(0, MTU, true);
+        q.enqueue(1, MTU, true);
         q.dequeue();
-        q.enqueue(pkt(100));
-        assert_eq!(q.stats().max_bytes, 3000);
+        q.enqueue(2, 140, true);
+        assert_eq!(q.stats().max_bytes, 2 * MTU as u64);
     }
 
     #[test]
-    fn clear_empties_and_counts_drops() {
+    fn clear_empties_counts_drops_and_returns_ids() {
         let mut q = EcnQueue::drop_tail(1_000_000);
-        q.enqueue(pkt(100));
-        q.enqueue(pkt(100));
-        assert_eq!(q.clear(), 2);
+        q.enqueue(7, 140, true);
+        q.enqueue(9, 140, true);
+        assert_eq!(q.clear(), vec![7, 9]);
         assert!(q.is_empty());
         assert_eq!(q.bytes(), 0);
         assert_eq!(q.stats().dropped, 2);

@@ -24,10 +24,11 @@
 use crate::agent::{Agent, Ctx, NullAgent};
 use crate::event::{EventKind, Scheduler};
 use crate::hashing::{EcmpHasher, HashConfig};
-use crate::packet::{NodeId, Packet, PortId, Proto, INGRESS_NONE};
+use crate::packet::{Flags, NodeId, PortId, Proto, INGRESS_NONE};
 use crate::queue::{EcnQueue, EnqueueResult, QueueStats};
 use crate::record::{Counter, Recorder, RunResults};
 use crate::rng::DetRng;
+use crate::slab::{PacketId, PacketSlab};
 use crate::switch::{
     select_port, FlowletState, ForwardingScheme, PfcAction, PfcConfig, PfcState, RoutingTable,
 };
@@ -252,6 +253,9 @@ struct QueueWatcher {
 pub struct Simulator {
     now: SimTime,
     sched: Scheduler,
+    /// Every in-flight packet, referenced by [`PacketId`] from events and
+    /// queues. Packets enter in [`Ctx::send`] and leave on delivery or drop.
+    packets: PacketSlab,
     nodes: Vec<Node>,
     agents: Vec<Option<Box<dyn Agent>>>,
     host_rngs: Vec<DetRng>,
@@ -270,6 +274,7 @@ impl Simulator {
         Simulator {
             now: SimTime::ZERO,
             sched: Scheduler::new(),
+            packets: PacketSlab::new(),
             nodes: Vec::new(),
             agents: Vec::new(),
             host_rngs: Vec::new(),
@@ -512,6 +517,16 @@ impl Simulator {
         self.events_processed
     }
 
+    /// Packets currently in flight (parked in the slab).
+    pub fn packets_in_flight(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// High-water mark of simultaneously in-flight packets.
+    pub fn packets_peak(&self) -> usize {
+        self.packets.peak()
+    }
+
     // ------------------------------------------------------------------
     // Event loop
     // ------------------------------------------------------------------
@@ -533,11 +548,7 @@ impl Simulator {
 
     fn run_core(&mut self, deadline: SimTime) {
         self.start_agents();
-        while let Some(t) = self.sched.peek_time() {
-            if t > deadline {
-                break;
-            }
-            let ev = self.sched.pop().expect("peeked event must pop");
+        while let Some(ev) = self.sched.pop_before(deadline) {
             self.now = ev.time;
             self.events_processed += 1;
             self.dispatch(ev.kind);
@@ -595,6 +606,7 @@ impl Simulator {
             host,
             tx_stack_delay,
             &mut self.sched,
+            &mut self.packets,
             &mut self.host_rngs[host as usize],
             &mut self.recorder,
         );
@@ -602,21 +614,26 @@ impl Simulator {
         self.agents[host as usize] = Some(agent);
     }
 
-    fn handle_arrive(&mut self, node: NodeId, port: PortId, pkt: Packet) {
+    fn handle_arrive(&mut self, node: NodeId, port: PortId, id: PacketId) {
         match &self.nodes[node as usize].kind {
             NodeKind::Host(_) => {
+                // The packet leaves the slab here: the agent owns it now.
+                let pkt = self.packets.remove(id);
                 self.with_agent(node, |agent, ctx| agent.on_packet(pkt, ctx));
             }
-            NodeKind::Switch(_) => self.forward(node, port, pkt),
+            NodeKind::Switch(_) => self.forward(node, port, id),
         }
     }
 
     /// Switch forwarding: scheme-based egress selection, enqueue with
     /// AQM, PFC accounting, and TX kick.
-    fn forward(&mut self, sw: NodeId, in_port: PortId, mut pkt: Packet) {
-        let size = pkt.size as u64;
+    fn forward(&mut self, sw: NodeId, in_port: PortId, id: PacketId) {
         // Phase 1: pick egress and enqueue, collecting any PFC action.
+        // The slab and the node table are disjoint fields, so the packet
+        // can be read while the switch is mutably borrowed.
         let (enq, egress, pfc_send, qbytes) = {
+            let pkt = self.packets.get_mut(id);
+            let size = pkt.size as u64;
             let node = &mut self.nodes[sw as usize];
             let NodeKind::Switch(meta) = &mut node.kind else {
                 unreachable!()
@@ -628,7 +645,7 @@ impl Simulator {
                 ForwardingScheme::Flowlet { gap } => meta.flowlets.select(
                     self.now,
                     gap,
-                    meta.hasher.hash(&pkt),
+                    meta.hasher.hash(pkt),
                     eligible,
                     &mut meta.rng,
                 ),
@@ -636,7 +653,7 @@ impl Simulator {
                     scheme,
                     &meta.hasher,
                     &mut meta.rng,
-                    &pkt,
+                    pkt,
                     eligible,
                     weights,
                     |p| ports[p as usize].queue.bytes(),
@@ -644,11 +661,16 @@ impl Simulator {
                 ),
             };
             pkt.ingress_tag = in_port;
-            let enq = node.ports[egress as usize].queue.enqueue(pkt);
+            let enq = node.ports[egress as usize]
+                .queue
+                .enqueue(id, pkt.size, pkt.ecn_capable());
+            if let EnqueueResult::Queued { marked: true } = enq {
+                pkt.flags.set(Flags::CE);
+            }
             let qbytes = node.ports[egress as usize].queue.bytes();
             // PFC: account the buffered packet against its ingress.
             let mut pfc_send = None;
-            if enq == EnqueueResult::Queued {
+            if matches!(enq, EnqueueResult::Queued { .. }) {
                 if let NodeKind::Switch(meta) = &mut node.kind {
                     if let Some(pfc) = &mut meta.pfc {
                         if pfc.on_buffered(in_port, size) == PfcAction::SendPause {
@@ -661,8 +683,11 @@ impl Simulator {
             (enq, egress, pfc_send, qbytes)
         };
         match enq {
-            EnqueueResult::Dropped => self.recorder.bump(Counter::QueueDrops),
-            EnqueueResult::Queued => {
+            EnqueueResult::Dropped => {
+                self.packets.remove(id);
+                self.recorder.bump(Counter::QueueDrops);
+            }
+            EnqueueResult::Queued { .. } => {
                 if self.recorder.wants(ProbeKind::QueueDepth) {
                     self.recorder.probe(
                         self.now,
@@ -689,15 +714,29 @@ impl Simulator {
         }
     }
 
-    fn handle_host_tx(&mut self, host: NodeId, pkt: Packet) {
+    fn handle_host_tx(&mut self, host: NodeId, id: PacketId) {
         debug_assert!(
             !self.nodes[host as usize].ports.is_empty(),
             "host {host} has no NIC link"
         );
-        let enq = self.nodes[host as usize].ports[0].queue.enqueue(pkt);
+        let (size, ect) = {
+            let pkt = self.packets.get(id);
+            (pkt.size, pkt.ecn_capable())
+        };
+        let enq = self.nodes[host as usize].ports[0]
+            .queue
+            .enqueue(id, size, ect);
         match enq {
-            EnqueueResult::Dropped => self.recorder.bump(Counter::QueueDrops),
-            EnqueueResult::Queued => self.try_start_tx(host, 0),
+            EnqueueResult::Dropped => {
+                self.packets.remove(id);
+                self.recorder.bump(Counter::QueueDrops);
+            }
+            EnqueueResult::Queued { marked } => {
+                if marked {
+                    self.packets.get_mut(id).flags.set(Flags::CE);
+                }
+                self.try_start_tx(host, 0);
+            }
         }
     }
 
@@ -705,53 +744,63 @@ impl Simulator {
     /// queued packet. Packets destined for a dead link are black-holed.
     fn try_start_tx(&mut self, node: NodeId, port: PortId) {
         loop {
-            let (pkt, ser, link_up) = {
+            let (id, link_up) = {
                 let p = &mut self.nodes[node as usize].ports[port as usize];
                 if p.busy || p.paused {
                     return;
                 }
-                let Some(pkt) = p.queue.dequeue() else { return };
-                let ser = SimTime::serialization(pkt.size as u64, p.rate_bps);
-                (pkt, ser, p.up)
+                let Some(id) = p.queue.dequeue() else { return };
+                (id, p.up)
+            };
+            let (size, ingress_tag, proto) = {
+                let pkt = self.packets.get(id);
+                (pkt.size as u64, pkt.ingress_tag, pkt.key.proto)
             };
             // PFC release: the packet left this switch's buffer.
-            self.pfc_release(node, &pkt);
+            self.pfc_release(node, ingress_tag, size);
             if !link_up {
+                self.packets.remove(id);
                 self.recorder.bump(Counter::LinkDrops);
                 continue;
             }
-            {
+            let ser = {
                 let p = &mut self.nodes[node as usize].ports[port as usize];
                 p.busy = true;
-                p.tx_bytes[proto_index(pkt.key.proto)] += pkt.size as u64;
+                p.tx_bytes[proto_index(proto)] += size;
                 p.tx_pkts += 1;
                 if self.recorder.wants(ProbeKind::LinkUtil) {
                     let total = p.tx_bytes[0] + p.tx_bytes[1];
                     self.recorder
                         .probe(self.now, SeriesKey::LinkUtil { node, port }, total as f64);
                 }
-            }
-            self.sched
-                .schedule(self.now + ser, EventKind::TxDone { node, port, pkt });
+                SimTime::serialization(size, p.rate_bps)
+            };
+            self.sched.schedule(
+                self.now + ser,
+                EventKind::TxDone {
+                    node,
+                    port,
+                    pkt: id,
+                },
+            );
             return;
         }
     }
 
     /// Decrement PFC ingress accounting for a departing packet; send RESUME
     /// upstream if occupancy dropped below the resume threshold.
-    fn pfc_release(&mut self, node: NodeId, pkt: &Packet) {
-        if pkt.ingress_tag == INGRESS_NONE {
+    fn pfc_release(&mut self, node: NodeId, ingress_tag: u16, size: u64) {
+        if ingress_tag == INGRESS_NONE {
             return;
         }
-        let size = pkt.size as u64;
         let resume = {
             let n = &mut self.nodes[node as usize];
             let NodeKind::Switch(meta) = &mut n.kind else {
                 return;
             };
             let Some(pfc) = &mut meta.pfc else { return };
-            if pfc.on_released(pkt.ingress_tag, size) == PfcAction::SendResume {
-                let ip = &n.ports[pkt.ingress_tag as usize];
+            if pfc.on_released(ingress_tag, size) == PfcAction::SendResume {
+                let ip = &n.ports[ingress_tag as usize];
                 Some((ip.peer, ip.peer_port, ip.delay))
             } else {
                 None
@@ -770,7 +819,7 @@ impl Simulator {
         }
     }
 
-    fn handle_tx_done(&mut self, node: NodeId, port: PortId, mut pkt: Packet) {
+    fn handle_tx_done(&mut self, node: NodeId, port: PortId, id: PacketId) {
         let (peer, peer_port, delay, link_up) = {
             let p = &mut self.nodes[node as usize].ports[port as usize];
             p.busy = false;
@@ -780,16 +829,17 @@ impl Simulator {
         if link_up {
             // Clear simulator-internal state before the packet enters the
             // next node.
-            pkt.ingress_tag = INGRESS_NONE;
+            self.packets.get_mut(id).ingress_tag = INGRESS_NONE;
             self.sched.schedule(
                 arrive_at,
                 EventKind::Arrive {
                     node: peer,
                     port: peer_port,
-                    pkt,
+                    pkt: id,
                 },
             );
         } else {
+            self.packets.remove(id);
             self.recorder.bump(Counter::LinkDrops);
         }
         self.try_start_tx(node, port);
@@ -828,7 +878,7 @@ fn proto_index(p: Proto) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::{FlowKey, HostId, MSS};
+    use crate::packet::{FlowKey, HostId, Packet, MSS};
 
     /// An agent that sends `count` MSS-sized packets to `dst` at start and
     /// counts everything it receives.

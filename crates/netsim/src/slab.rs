@@ -1,0 +1,159 @@
+//! A free-list slab owning every in-flight [`Packet`].
+//!
+//! The event queue used to carry whole `Packet`s inside event payloads, so
+//! every heap sift copied ~80 bytes. Instead, the simulator owns a
+//! [`PacketSlab`] and events carry a 4-byte [`PacketId`]; the packet is
+//! materialised exactly once (when an agent hands it to [`crate::Ctx::send`])
+//! and moved out exactly once (delivery to the destination agent, or a
+//! drop). Slots are recycled through a LIFO free list, which keeps the slab
+//! dense, cache-warm, and — because ids are handed out by a deterministic
+//! rule — bit-for-bit reproducible across runs.
+
+use crate::packet::Packet;
+
+/// Index of a live packet in a [`PacketSlab`].
+///
+/// Ids are only meaningful to the slab that issued them and only until the
+/// packet is removed; the slab panics on stale or foreign ids rather than
+/// returning garbage.
+pub type PacketId = u32;
+
+/// Slab of in-flight packets with LIFO slot reuse.
+#[derive(Debug, Default)]
+pub struct PacketSlab {
+    slots: Vec<Option<Packet>>,
+    free: Vec<PacketId>,
+    live: usize,
+    peak: usize,
+}
+
+impl PacketSlab {
+    /// An empty slab.
+    pub fn new() -> Self {
+        PacketSlab::default()
+    }
+
+    /// Insert `pkt`, returning its id. Reuses the most recently freed slot
+    /// if one exists (LIFO keeps hot slots hot).
+    #[inline]
+    pub fn insert(&mut self, pkt: Packet) -> PacketId {
+        self.live += 1;
+        if self.live > self.peak {
+            self.peak = self.live;
+        }
+        match self.free.pop() {
+            Some(id) => {
+                debug_assert!(self.slots[id as usize].is_none());
+                self.slots[id as usize] = Some(pkt);
+                id
+            }
+            None => {
+                let id = self.slots.len() as PacketId;
+                self.slots.push(Some(pkt));
+                id
+            }
+        }
+    }
+
+    /// Move the packet out of the slab, freeing its slot.
+    ///
+    /// Panics if `id` is stale (already removed) or was never issued.
+    #[inline]
+    pub fn remove(&mut self, id: PacketId) -> Packet {
+        let pkt = self.slots[id as usize]
+            .take()
+            .expect("stale packet id: slot already freed");
+        self.live -= 1;
+        self.free.push(id);
+        pkt
+    }
+
+    /// Borrow the packet behind `id`. Panics on stale ids.
+    #[inline]
+    pub fn get(&self, id: PacketId) -> &Packet {
+        self.slots[id as usize]
+            .as_ref()
+            .expect("stale packet id: slot already freed")
+    }
+
+    /// Mutably borrow the packet behind `id`. Panics on stale ids.
+    #[inline]
+    pub fn get_mut(&mut self, id: PacketId) -> &mut Packet {
+        self.slots[id as usize]
+            .as_mut()
+            .expect("stale packet id: slot already freed")
+    }
+
+    /// Number of live (in-flight) packets.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no packet is in flight.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// High-water mark of simultaneously live packets (diagnostics: the
+    /// slab's memory footprint is `peak * size_of::<Packet>()`).
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowKey, Proto, MSS};
+    use crate::time::SimTime;
+
+    fn pkt(seq: u64) -> Packet {
+        let key = FlowKey {
+            src: 1,
+            dst: 2,
+            sport: 3,
+            dport: 4,
+            proto: Proto::Tcp,
+        };
+        Packet::data(0, key, 0, seq, MSS, SimTime::ZERO)
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut slab = PacketSlab::new();
+        let a = slab.insert(pkt(1));
+        let b = slab.insert(pkt(2));
+        assert_ne!(a, b);
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(a).seq, 1);
+        slab.get_mut(b).seq = 99;
+        assert_eq!(slab.remove(b).seq, 99);
+        assert_eq!(slab.remove(a).seq, 1);
+        assert!(slab.is_empty());
+        assert_eq!(slab.peak(), 2);
+    }
+
+    #[test]
+    fn slots_are_recycled_lifo() {
+        let mut slab = PacketSlab::new();
+        let a = slab.insert(pkt(1));
+        let b = slab.insert(pkt(2));
+        slab.remove(a);
+        slab.remove(b);
+        // LIFO: b's slot comes back first, then a's; no new slots grown.
+        assert_eq!(slab.insert(pkt(3)), b);
+        assert_eq!(slab.insert(pkt(4)), a);
+        assert_eq!(slab.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale packet id")]
+    fn stale_id_panics() {
+        let mut slab = PacketSlab::new();
+        let a = slab.insert(pkt(1));
+        slab.remove(a);
+        slab.get(a);
+    }
+}

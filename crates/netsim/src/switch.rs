@@ -15,9 +15,7 @@
 //! Routing tables map destination host → the set of eligible egress ports,
 //! as computed by the `topology` crate.
 
-use std::collections::HashMap;
-
-use crate::hashing::EcmpHasher;
+use crate::hashing::{DetHashMap, EcmpHasher};
 use crate::packet::{Packet, PortId};
 use crate::rng::DetRng;
 use crate::time::SimTime;
@@ -51,9 +49,11 @@ pub enum ForwardingScheme {
 ///
 /// Entries are never evicted — at simulation scale the table stays small,
 /// and keeping them preserves the "same port while active" invariant.
+/// Backed by a [`DetHashMap`]: the lookup runs once per packet on the
+/// flowlet fast path, where SipHash would dominate the whole selection.
 #[derive(Debug, Default)]
 pub struct FlowletState {
-    table: HashMap<u64, (SimTime, PortId)>,
+    table: DetHashMap<u64, (SimTime, PortId)>,
 }
 
 impl FlowletState {

@@ -14,7 +14,7 @@
 //! Series live inside the run's `Recorder` and come out through
 //! `RunResults` for the `stats`/`experiments` crates to serialize.
 
-use std::collections::HashMap;
+use crate::hashing::DetHashMap;
 
 use crate::packet::{FlowId, NodeId, PortId};
 use crate::time::SimTime;
@@ -199,7 +199,7 @@ impl Series {
 #[derive(Debug, Default)]
 pub struct Telemetry {
     cfg: TelemetryConfig,
-    index: HashMap<SeriesKey, usize>,
+    index: DetHashMap<SeriesKey, usize>,
     series: Vec<Series>,
 }
 

@@ -120,6 +120,7 @@ impl Agent for Blaster {
 /// inspect what was sent and which timers were armed.
 pub struct CtxHarness {
     sched: crate::event::Scheduler,
+    packets: crate::slab::PacketSlab,
     rng: crate::rng::DetRng,
     recorder: crate::record::Recorder,
     /// The simulated instant handed to the next [`CtxHarness::ctx`] call.
@@ -131,6 +132,7 @@ impl CtxHarness {
     pub fn new(seed: u64) -> Self {
         CtxHarness {
             sched: crate::event::Scheduler::new(),
+            packets: crate::slab::PacketSlab::new(),
             rng: crate::rng::DetRng::new(seed, 0x7E57),
             recorder: crate::record::Recorder::new(),
             now: SimTime::ZERO,
@@ -145,6 +147,7 @@ impl CtxHarness {
             0,
             SimTime::ZERO,
             &mut self.sched,
+            &mut self.packets,
             &mut self.rng,
             &mut self.recorder,
         )
@@ -152,13 +155,15 @@ impl CtxHarness {
 
     /// Drain and return everything scheduled so far as
     /// `(fire_time, sent_packet_or_timer_token)` pairs, splitting packets
-    /// from timers.
+    /// from timers. Sent packets are pulled back out of the harness slab.
     pub fn drain(&mut self) -> (Vec<Packet>, Vec<(SimTime, u64)>) {
         let mut pkts = Vec::new();
         let mut timers = Vec::new();
         while let Some(ev) = self.sched.pop() {
             match ev.kind {
-                crate::event::EventKind::HostTx { pkt, .. } => pkts.push(pkt),
+                crate::event::EventKind::HostTx { pkt, .. } => {
+                    pkts.push(self.packets.remove(pkt));
+                }
                 crate::event::EventKind::Timer { token, .. } => timers.push((ev.time, token)),
                 other => panic!("unexpected event in harness: {other:?}"),
             }

@@ -28,42 +28,37 @@ fn queue_matches_reference_model() {
         let capacity = 2_000 + rng.next_u32() as u64 % 98_000;
         let n_ops = 1 + rng.gen_index(200);
         let mut q = EcnQueue::new(capacity, capacity / 2);
-        let mut model: std::collections::VecDeque<(u64, u64)> = Default::default(); // (seq, size)
+        let mut model: std::collections::VecDeque<(u32, u64)> = Default::default(); // (id, size)
         let mut bytes = 0u64;
-        let mut next_seq = 0u64;
+        let mut next_id = 0u32;
         for _ in 0..n_ops {
             let enq = rng.gen_range(2) == 0;
             let payload = 1 + rng.gen_range(1_999);
             if enq {
-                let pkt = mk_pkt(next_seq, payload, 7, 0);
-                let size = pkt.size as u64;
-                match q.enqueue(pkt) {
-                    EnqueueResult::Queued => {
-                        model.push_back((next_seq, size));
-                        bytes += size;
+                let size = mk_pkt(0, payload, 7, 0).size;
+                match q.enqueue(next_id, size, true) {
+                    EnqueueResult::Queued { .. } => {
+                        model.push_back((next_id, size as u64));
+                        bytes += size as u64;
                         assert!(bytes <= capacity, "seed {seed}: over capacity");
                     }
                     EnqueueResult::Dropped => {
                         assert!(
-                            bytes + size > capacity,
+                            bytes + size as u64 > capacity,
                             "seed {seed}: dropped below capacity"
                         );
                     }
                 }
-                next_seq += 1;
+                next_id += 1;
             } else {
                 match (q.dequeue(), model.pop_front()) {
-                    (Some(p), Some((seq, size))) => {
-                        assert_eq!(p.seq, seq, "seed {seed}: FIFO order broken");
+                    (Some(got), Some((id, size))) => {
+                        assert_eq!(got, id, "seed {seed}: FIFO order broken");
                         bytes -= size;
                     }
                     (None, None) => {}
                     (a, b) => {
-                        panic!(
-                            "seed {seed}: queue/model disagree: {:?} vs {:?}",
-                            a.map(|p| p.seq),
-                            b
-                        )
+                        panic!("seed {seed}: queue/model disagree: {a:?} vs {b:?}")
                     }
                 }
             }
@@ -73,7 +68,7 @@ fn queue_matches_reference_model() {
     }
 }
 
-/// Packets enqueued while occupancy >= K come out CE-marked; packets
+/// Packets enqueued while occupancy >= K report `marked`; packets
 /// enqueued below K do not.
 #[test]
 fn queue_marks_exactly_above_threshold() {
@@ -84,16 +79,15 @@ fn queue_marks_exactly_above_threshold() {
         let k = 10_000u64;
         let mut q = EcnQueue::new(1_000_000, k);
         let mut occupancy = 0u64;
-        let mut expect_marks = Vec::new();
         for (i, p) in payloads.iter().enumerate() {
-            let pkt = mk_pkt(i as u64, *p, 7, 0);
-            expect_marks.push(occupancy >= k);
-            occupancy += pkt.size as u64;
-            q.enqueue(pkt);
-        }
-        for expect in expect_marks {
-            let pkt = q.dequeue().unwrap();
-            assert_eq!(pkt.flags.has(netsim::Flags::CE), expect, "seed {seed}");
+            let size = mk_pkt(0, *p, 7, 0).size;
+            let expect = occupancy >= k;
+            occupancy += size as u64;
+            assert_eq!(
+                q.enqueue(i as u32, size, true),
+                EnqueueResult::Queued { marked: expect },
+                "seed {seed}"
+            );
         }
     }
 }
@@ -130,6 +124,74 @@ fn scheduler_is_a_stable_priority_queue() {
             }
         }
         assert!(s.pop().is_none(), "seed {seed}");
+    }
+}
+
+/// The ladder scheduler and a plain binary heap agree on every pop, under
+/// random interleavings of schedules and pops that exercise same-instant
+/// ties, in-ring buckets, beyond-ring spills, and deep far-future jumps.
+#[test]
+fn scheduler_matches_reference_heap() {
+    use std::cmp::Reverse;
+    for seed in 0..30u64 {
+        let mut rng = DetRng::new(seed, 0x18);
+        let mut s = Scheduler::new();
+        let mut reference: std::collections::BinaryHeap<Reverse<(u64, u64)>> = Default::default();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        let mut last_scheduled = 0u64;
+        let n_ops = 200 + rng.gen_index(600);
+        let check = |e: netsim::event::Event, t: u64, token: u64, seed: u64| {
+            assert_eq!(e.time.as_ps(), t, "seed {seed}: pop time diverged");
+            match e.kind {
+                EventKind::Timer { token: got, .. } => {
+                    assert_eq!(got, token, "seed {seed}: pop order diverged")
+                }
+                _ => panic!("unexpected kind"),
+            }
+        };
+        for _ in 0..n_ops {
+            if rng.gen_range(3) < 2 || reference.is_empty() {
+                // Deltas spanning every scheduler regime: same-instant ties,
+                // sub-bucket, in-ring, beyond-ring (far heap), deep far future.
+                let delta = match rng.gen_range(6) {
+                    0 => 0,
+                    1 => rng.gen_range(1_000) as u64,
+                    2 => rng.gen_range(1_000_000) as u64,
+                    3 => rng.gen_range(200_000_000) as u64,
+                    4 => rng.gen_range(2_000_000_000) as u64,
+                    _ => 50_000_000_000 + rng.gen_range(1_000_000_000) as u64,
+                };
+                // Occasionally reuse an earlier future instant to force
+                // cross-call (time, seq) ties.
+                let at = if rng.gen_range(4) == 0 && last_scheduled >= now {
+                    last_scheduled
+                } else {
+                    now + delta
+                };
+                last_scheduled = at;
+                s.schedule(
+                    SimTime::from_ps(at),
+                    EventKind::Timer {
+                        host: 0,
+                        token: seq,
+                    },
+                );
+                reference.push(Reverse((at, seq)));
+                seq += 1;
+            } else {
+                let e = s.pop().expect("scheduler empty while reference is not");
+                let Reverse((t, token)) = reference.pop().unwrap();
+                check(e, t, token, seed);
+                now = t;
+            }
+        }
+        // Drain the remainder in lockstep.
+        while let Some(Reverse((t, token))) = reference.pop() {
+            let e = s.pop().expect("scheduler drained early");
+            check(e, t, token, seed);
+        }
+        assert!(s.pop().is_none(), "seed {seed}: scheduler has extra events");
     }
 }
 

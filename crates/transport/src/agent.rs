@@ -11,10 +11,9 @@
 //! * services retransmit-timer events (deadline-based, so stale timer
 //!   events are cheap no-ops).
 
-use std::collections::HashMap;
-
 use netsim::{
-    register_flows, Agent, Ctx, Flags, FlowId, FlowSpec, HostId, Packet, Proto, Simulator,
+    register_flows, Agent, Ctx, DetHashMap, Flags, FlowId, FlowSpec, HostId, Packet, Proto,
+    Simulator,
 };
 
 use crate::config::TcpConfig;
@@ -42,16 +41,16 @@ pub struct HostAgent {
     /// Flows originating here, sorted by start time.
     outgoing: Vec<FlowSpec>,
     next_out: usize,
-    senders: HashMap<FlowId, TcpSender>,
-    udp_senders: HashMap<FlowId, UdpSender>,
-    receivers: HashMap<FlowId, Receiver>,
+    senders: DetHashMap<FlowId, TcpSender>,
+    udp_senders: DetHashMap<FlowId, UdpSender>,
+    receivers: DetHashMap<FlowId, Receiver>,
     /// Bytes received per incoming UDP flow (UDP has no reassembly).
-    udp_rx_bytes: HashMap<FlowId, u64>,
+    udp_rx_bytes: DetHashMap<FlowId, u64>,
     /// Flows fully sent and acknowledged (senders dropped).
     completed_sends: u64,
     /// Per-destination reordering estimate, persisted across connections
     /// like Linux's `tcp_metrics` cache.
-    reorder_cache: HashMap<HostId, u32>,
+    reorder_cache: DetHashMap<HostId, u32>,
 }
 
 impl HostAgent {
@@ -60,8 +59,8 @@ impl HostAgent {
     pub fn new(cfg: TcpConfig, mut outgoing: Vec<FlowSpec>, incoming: &[FlowSpec]) -> Self {
         cfg.validate();
         outgoing.sort_by_key(|f| (f.start, f.id));
-        let mut receivers = HashMap::new();
-        let mut udp_rx_bytes = HashMap::new();
+        let mut receivers = DetHashMap::default();
+        let mut udp_rx_bytes = DetHashMap::default();
         for f in incoming {
             match f.proto {
                 Proto::Tcp => {
@@ -80,12 +79,12 @@ impl HostAgent {
             cfg,
             outgoing,
             next_out: 0,
-            senders: HashMap::new(),
-            udp_senders: HashMap::new(),
+            senders: DetHashMap::default(),
+            udp_senders: DetHashMap::default(),
             receivers,
             udp_rx_bytes,
             completed_sends: 0,
-            reorder_cache: HashMap::new(),
+            reorder_cache: DetHashMap::default(),
         }
     }
 
@@ -229,8 +228,8 @@ impl Agent for HostAgent {
 pub fn install_agents(sim: &mut Simulator, specs: &[FlowSpec], cfg: &TcpConfig) {
     register_flows(sim.recorder_mut(), specs);
     let hosts: Vec<HostId> = sim.hosts().to_vec();
-    let mut outgoing: HashMap<HostId, Vec<FlowSpec>> = HashMap::new();
-    let mut incoming: HashMap<HostId, Vec<FlowSpec>> = HashMap::new();
+    let mut outgoing: DetHashMap<HostId, Vec<FlowSpec>> = DetHashMap::default();
+    let mut incoming: DetHashMap<HostId, Vec<FlowSpec>> = DetHashMap::default();
     for s in specs {
         outgoing.entry(s.src).or_default().push(s.clone());
         incoming.entry(s.dst).or_default().push(s.clone());
