@@ -16,6 +16,7 @@
 //! | [`hotspot`] | §4.3.1 (UDP hotspot decongestion) |
 //! | [`topo_dep`] | §4.3.3 (path-diversity dependence) |
 //! | [`link_failure`] | §1/§3.3.2 (RTO-scale failure recovery) |
+//! | [`gray_failure`] | extension: silent (gray) loss on one agg-core uplink |
 //! | [`asym`] | §4.3.1 second half (asymmetric links, WCMP, weight misconfiguration) |
 //! | [`buffers`] | substrate sensitivity: buffer depth vs the ECMP gap |
 //! | [`flowlet`] | extension: FlowBender vs LetFlow-style flowlet switching |
@@ -31,6 +32,7 @@ pub mod buffers;
 pub mod fig5;
 pub mod fig8;
 pub mod flowlet;
+pub mod gray_failure;
 pub mod hotspot;
 pub mod link_failure;
 pub mod registry;
@@ -42,7 +44,9 @@ pub mod topo_dep;
 
 pub use registry::{find, registry, Experiment};
 pub use report::{Opts, Report, RunSummary};
-pub use scenario::{parallel_map, run_fat_tree, run_testbed, RunOutput, Scheme, Window};
+pub use scenario::{
+    parallel_map, run_fat_tree, run_fat_tree_faults, run_testbed, RunOutput, Scheme, Window,
+};
 
 /// Run every experiment and return all reports, in registry (paper) order.
 ///

@@ -71,7 +71,10 @@ fn main() -> ExitCode {
             _ => usage(),
         }
     }
-    opts.validate();
+    if let Err(e) = opts.check() {
+        eprintln!("error: {e}");
+        return ExitCode::from(2);
+    }
 
     let started = std::time::Instant::now();
     let reports: Vec<Report> = if command == "all" {
@@ -79,7 +82,12 @@ fn main() -> ExitCode {
     } else {
         match experiments::find(&command) {
             Some(exp) => exp.run(&opts),
-            None => usage(),
+            None => {
+                eprintln!("error: unknown experiment '{command}'");
+                let names: Vec<&str> = experiments::registry().iter().map(|e| e.name()).collect();
+                eprintln!("available: {} (or 'all')", names.join(", "));
+                return ExitCode::from(2);
+            }
         }
     };
 

@@ -111,6 +111,12 @@ experiment!(
     |opts: &Opts| vec![crate::link_failure::run(opts)]
 );
 experiment!(
+    GrayFailure,
+    "gray-failure",
+    "extension: gray failure — silent loss on one agg-core uplink",
+    |opts: &Opts| vec![crate::gray_failure::run(opts)]
+);
+experiment!(
     Asym,
     "asym",
     "S4.3.1: asymmetric links, WCMP, weight misconfiguration",
@@ -135,7 +141,7 @@ experiment!(
     |opts: &Opts| vec![crate::ablation::run(opts)]
 );
 
-static REGISTRY: [&dyn Experiment; 15] = [
+static REGISTRY: [&dyn Experiment; 16] = [
     &Table1,
     &Fig3,
     &Fig4,
@@ -147,6 +153,7 @@ static REGISTRY: [&dyn Experiment; 15] = [
     &Hotspot,
     &TopoDep,
     &LinkFailure,
+    &GrayFailure,
     &Asym,
     &Buffers,
     &FlowletExt,
@@ -158,9 +165,12 @@ pub fn registry() -> &'static [&'static dyn Experiment] {
     &REGISTRY
 }
 
-/// Look up an experiment by its subcommand name.
+/// Look up an experiment by its subcommand name. Underscores are
+/// accepted as hyphens (`gray_failure` finds `gray-failure`), since the
+/// report files on disk use the underscored spelling.
 pub fn find(name: &str) -> Option<&'static dyn Experiment> {
-    registry().iter().copied().find(|e| e.name() == name)
+    let canon = name.replace('_', "-");
+    registry().iter().copied().find(|e| e.name() == canon)
 }
 
 #[cfg(test)]
@@ -180,8 +190,15 @@ mod tests {
             let found = find(e.name()).expect("registered name must resolve");
             assert_eq!(found.name(), e.name());
         }
-        assert_eq!(registry().len(), 15);
+        assert_eq!(registry().len(), 16);
         assert!(find("no-such-experiment").is_none());
+    }
+
+    #[test]
+    fn find_accepts_underscored_spellings() {
+        assert_eq!(find("gray_failure").unwrap().name(), "gray-failure");
+        assert_eq!(find("link_failure").unwrap().name(), "link-failure");
+        assert_eq!(find("topo_dep").unwrap().name(), "topo-dep");
     }
 
     #[test]

@@ -32,13 +32,32 @@ impl Default for Opts {
 }
 
 impl Opts {
-    /// Validate ranges.
+    /// Validate ranges, returning a human-readable error the CLI can
+    /// surface instead of a panic.
+    pub fn check(&self) -> Result<(), String> {
+        if self.scale.is_nan() {
+            return Err("--scale is NaN; pass a positive number like 1.0".into());
+        }
+        if !self.scale.is_finite() {
+            return Err(format!("--scale {} is not finite", self.scale));
+        }
+        if self.scale <= 0.0 {
+            return Err(format!("--scale {} must be positive", self.scale));
+        }
+        if self.scale > 100.0 {
+            return Err(format!(
+                "--scale {} is out of range; the supported range is (0, 100]",
+                self.scale
+            ));
+        }
+        Ok(())
+    }
+
+    /// Panicking form of [`Opts::check`], for library/test call sites.
     pub fn validate(&self) {
-        assert!(
-            self.scale > 0.0 && self.scale <= 100.0,
-            "scale {} out of (0, 100]",
-            self.scale
-        );
+        if let Err(e) = self.check() {
+            panic!("invalid options: {e}");
+        }
     }
 
     /// A duration scaled by `self.scale`.
@@ -72,6 +91,14 @@ pub struct RunSummary {
     pub fct_percentiles: Vec<(String, f64)>,
     /// Telemetry series: `(name, points)` with times in seconds.
     pub series: Vec<(String, Vec<(f64, f64)>)>,
+    /// Per-port drop-reason rows `((node, port), counts-by-reason)`,
+    /// sorted by `(node, port)`. Empty for a loss-free run, in which
+    /// case the JSON omits the `drops` section entirely (keeping
+    /// summaries of fault-free runs byte-identical to earlier layouts).
+    pub drops: Vec<(
+        (netsim::NodeId, netsim::PortId),
+        [u64; netsim::DropReason::COUNT],
+    )>,
     /// Events the simulator processed.
     pub events: u64,
 }
@@ -130,6 +157,7 @@ impl RunSummary {
             counters,
             fct_percentiles,
             series,
+            drops: out.drops().per_port(),
             events: out.events,
         }
     }
@@ -169,9 +197,48 @@ impl RunSummary {
         root.set("meta", meta);
         root.set("events", Json::U64(self.events));
         root.set("counters", counters);
+        if let Some(drops) = self.drops_json() {
+            root.set("drops", drops);
+        }
         root.set("fct_percentiles", fct);
         root.set("series", series);
         root
+    }
+
+    /// The `drops` section: run-wide totals per [`netsim::DropReason`]
+    /// plus per-port rows. `None` when the run dropped nothing, so
+    /// loss-free summaries keep their historical byte layout.
+    fn drops_json(&self) -> Option<Json> {
+        let reasons = netsim::DropReason::all();
+        let mut totals = [0u64; netsim::DropReason::COUNT];
+        for (_, counts) in &self.drops {
+            for (t, c) in totals.iter_mut().zip(counts) {
+                *t += c;
+            }
+        }
+        let total: u64 = totals.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let mut drops = Json::obj();
+        drops.set("total", Json::U64(total));
+        for (reason, t) in reasons.iter().zip(totals) {
+            drops.set(reason.name(), Json::U64(t));
+        }
+        let mut ports = Json::arr();
+        for &((node, port), counts) in &self.drops {
+            let mut row = Json::obj();
+            row.set("node", Json::U64(node as u64));
+            row.set("port", Json::U64(port as u64));
+            for (reason, c) in reasons.iter().zip(counts) {
+                if c > 0 {
+                    row.set(reason.name(), Json::U64(c));
+                }
+            }
+            ports.push(row);
+        }
+        drops.set("ports", ports);
+        Some(drops)
     }
 }
 
@@ -320,6 +387,7 @@ mod tests {
             counters: vec![("reroutes".into(), 2)],
             fct_percentiles: vec![("mean_s".into(), 0.5)],
             series: vec![("vfield.f0".into(), vec![(0.0, 3.0)])],
+            drops: vec![],
             events: 10,
         };
         let j = rs.to_json("demo").to_string();
@@ -336,6 +404,45 @@ mod tests {
         assert!(text.starts_with("{\n  \"meta\""));
         assert!(text.ends_with("}\n"));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn drops_section_appears_only_when_packets_were_lost() {
+        let mut rs = RunSummary {
+            label: "l".into(),
+            scheme: "ECMP".into(),
+            scale: 1.0,
+            seed: 1,
+            counters: vec![],
+            fct_percentiles: vec![],
+            series: vec![],
+            drops: vec![((4, 1), [0, 0, 0, 0])],
+            events: 0,
+        };
+        // All-zero rows count as loss-free: no section.
+        assert!(!rs.to_json("demo").to_string().contains("drops"));
+        rs.drops = vec![((4, 1), [2, 0, 7, 0]), ((9, 0), [0, 1, 0, 3])];
+        let j = rs.to_json("demo").to_string();
+        assert!(j.contains(
+            r#""drops":{"total":13,"queue_full":2,"link_down":1,"gray_loss":7,"corruption":3,"#
+        ));
+        assert!(j.contains(r#"{"node":4,"port":1,"queue_full":2,"gray_loss":7}"#));
+        assert!(j.contains(r#"{"node":9,"port":0,"link_down":1,"corruption":3}"#));
+        // Reasons sum to the advertised total.
+        assert_eq!(2 + 1 + 7 + 3, 13);
+    }
+
+    #[test]
+    fn opts_check_rejects_bad_scales() {
+        let ok = |s: f64| Opts { scale: s, seed: 1 }.check();
+        assert!(ok(1.0).is_ok());
+        assert!(ok(100.0).is_ok());
+        assert!(ok(0.01).is_ok());
+        assert!(ok(f64::NAN).unwrap_err().contains("NaN"));
+        assert!(ok(f64::INFINITY).unwrap_err().contains("not finite"));
+        assert!(ok(0.0).unwrap_err().contains("positive"));
+        assert!(ok(-2.0).unwrap_err().contains("positive"));
+        assert!(ok(101.0).unwrap_err().contains("out of range"));
     }
 
     #[test]

@@ -95,6 +95,9 @@ pub struct RunOutput {
     pub port_stats: Vec<PortStats>,
     /// Events the simulator processed (for performance reporting).
     pub events: u64,
+    /// The end-of-run packet-conservation ledger (already verified to
+    /// balance — every runner asserts it before handing results out).
+    pub conservation: netsim::Conservation,
 }
 
 impl Deref for RunOutput {
@@ -106,15 +109,20 @@ impl Deref for RunOutput {
 
 impl RunOutput {
     fn from_sim(sim: Simulator, watch_ports: &[(netsim::NodeId, netsim::PortId)]) -> Self {
+        // Every experiment run passes the conservation audit, in every
+        // build profile (the simulator itself only debug-asserts it).
+        sim.assert_conservation();
         let port_stats = watch_ports
             .iter()
             .map(|&(n, p)| sim.port_stats(n, p))
             .collect();
         let events = sim.events_processed();
+        let conservation = sim.conservation();
         RunOutput {
             results: sim.into_results(),
             port_stats,
             events,
+            conservation,
         }
     }
 }
@@ -143,6 +151,28 @@ pub fn run_fat_tree_with(
     let mut sim = Simulator::new(seed);
     sim.set_telemetry(telemetry);
     let _ft: FatTree = build_fat_tree(&mut sim, params, scheme.switch_config());
+    install_agents(&mut sim, specs, &scheme.tcp_config());
+    sim.run_until(until);
+    RunOutput::from_sim(sim, &[])
+}
+
+/// [`run_fat_tree_with`] plus a [`netsim::FaultPlan`] built against the
+/// constructed topology (the closure receives the [`FatTree`] so plans can
+/// target specific fabric links before the run starts).
+#[allow(clippy::too_many_arguments)]
+pub fn run_fat_tree_faults(
+    params: FatTreeParams,
+    scheme: &Scheme,
+    specs: &[FlowSpec],
+    until: SimTime,
+    seed: u64,
+    telemetry: TelemetryConfig,
+    plan: impl FnOnce(&FatTree) -> netsim::FaultPlan,
+) -> RunOutput {
+    let mut sim = Simulator::new(seed);
+    sim.set_telemetry(telemetry);
+    let ft: FatTree = build_fat_tree(&mut sim, params, scheme.switch_config());
+    sim.install_faults(&plan(&ft));
     install_agents(&mut sim, specs, &scheme.tcp_config());
     sim.run_until(until);
     RunOutput::from_sim(sim, &[])
@@ -198,14 +228,19 @@ pub fn run_testbed_with(
 /// single-threaded and independent; sweeps parallelize across
 /// configurations). Workers are capped at the machine's available
 /// parallelism and pull indices from a shared queue, so a sweep of any
-/// size never oversubscribes the host. Output order matches input order;
-/// a panic in `f` propagates.
+/// size never oversubscribes the host. Output order matches input order.
+///
+/// Each call of `f` runs under `catch_unwind`: a panic is captured
+/// per-index and re-raised from the calling thread as one panic naming
+/// *which* inputs failed, instead of poisoning the shared result slots and
+/// surfacing as an unrelated mutex error.
 pub fn parallel_map<I, T, F>(inputs: Vec<I>, f: F) -> Vec<T>
 where
     I: Send,
     T: Send,
     F: Fn(I) -> T + Sync,
 {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
 
@@ -218,7 +253,8 @@ where
         .min(n);
     let next = AtomicUsize::new(0);
     let inputs: Vec<Mutex<Option<I>>> = inputs.into_iter().map(|i| Mutex::new(Some(i))).collect();
-    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let results: Vec<Mutex<Option<std::thread::Result<T>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
@@ -227,18 +263,44 @@ where
                     break;
                 }
                 let input = inputs[i].lock().unwrap().take().expect("input taken once");
-                *results[i].lock().unwrap() = Some(f(input));
+                // Capture the panic instead of unwinding through the
+                // worker: the mutexes stay unpoisoned and every other
+                // index still completes.
+                let out = catch_unwind(AssertUnwindSafe(|| f(input)));
+                *results[i].lock().unwrap() = Some(out);
             });
         }
     });
-    results
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .unwrap()
-                .expect("worker finished every claimed index")
-        })
-        .collect()
+    let mut out = Vec::with_capacity(n);
+    let mut failures: Vec<String> = Vec::new();
+    for (i, m) in results.into_iter().enumerate() {
+        match m.into_inner().unwrap() {
+            Some(Ok(v)) => out.push(v),
+            Some(Err(payload)) => {
+                failures.push(format!("input {i}: {}", panic_text(payload.as_ref())))
+            }
+            None => unreachable!("every index is claimed exactly once"),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "parallel_map: {} of {n} inputs panicked:\n  {}",
+        failures.len(),
+        failures.join("\n  ")
+    );
+    out
+}
+
+/// Best-effort text of a captured panic payload (panics carry `&str` or
+/// `String` in practice).
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
+    }
 }
 
 /// Common measurement conventions for windowed workloads.
@@ -353,6 +415,54 @@ mod tests {
     fn parallel_map_empty_input() {
         let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |i| i);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_map_names_the_panicking_inputs() {
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map((0..16).collect::<Vec<_>>(), |i| {
+                if i == 7 || i == 11 {
+                    panic!("scenario {i} exploded");
+                }
+                i
+            })
+        })
+        .expect_err("a worker panic must propagate");
+        let msg = caught
+            .downcast_ref::<String>()
+            .expect("propagated panic carries a message");
+        assert!(msg.contains("input 7"), "names index 7: {msg}");
+        assert!(msg.contains("input 11"), "names index 11: {msg}");
+        assert!(msg.contains("scenario 7 exploded"), "keeps cause: {msg}");
+    }
+
+    #[test]
+    fn fault_runner_injects_and_audits() {
+        let params = FatTreeParams::tiny();
+        let specs: Vec<FlowSpec> = (0..8)
+            .map(|i| FlowSpec::tcp(i, i, 8 + i, 200_000, SimTime::ZERO))
+            .collect();
+        let out = run_fat_tree_faults(
+            params,
+            &Scheme::Ecmp,
+            &specs,
+            SimTime::from_secs(5),
+            1,
+            TelemetryConfig::off(),
+            |ft| {
+                let mut plan = netsim::FaultPlan::new();
+                let (agg, port) = ft.agg_core_link(0, 0);
+                plan.gray_loss(agg, port, 0.05, SimTime::ZERO);
+                plan
+            },
+        );
+        assert!(out.conservation.holds());
+        assert_eq!(
+            out.conservation.injected,
+            out.conservation.delivered
+                + out.conservation.dropped_total()
+                + out.conservation.in_flight
+        );
     }
 
     #[test]

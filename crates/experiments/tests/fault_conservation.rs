@@ -1,0 +1,79 @@
+//! Property test: the packet-conservation ledger balances under
+//! *randomized* fault plans — arbitrary interleavings of link flaps and
+//! gray loss across every agg→core uplink — for both ECMP and
+//! FlowBender, across seeds. Whatever the plan does to the fabric,
+//! every injected packet must end up delivered, dropped with a recorded
+//! reason, or still in flight at the cutoff; nothing leaks, nothing is
+//! double-counted. (`run_fat_tree_faults` additionally asserts the same
+//! audit internally before returning, so a violation fails twice over.)
+
+use experiments::{run_fat_tree_faults, Scheme};
+use netsim::{DetRng, FaultPlan, FlowSpec, SimTime, TelemetryConfig};
+use topology::FatTreeParams;
+
+const SEEDS: u64 = 8;
+
+fn chaos_run(scheme: &Scheme, seed: u64) -> experiments::RunOutput {
+    let params = FatTreeParams::tiny();
+    // 8 cross-pod flows (hosts 0..8 are pod 0, 8..16 pod 1).
+    let specs: Vec<FlowSpec> = (0..8)
+        .map(|i| FlowSpec::tcp(i, i, 8 + i, 200_000, SimTime::ZERO))
+        .collect();
+    run_fat_tree_faults(
+        params,
+        scheme,
+        &specs,
+        SimTime::from_secs(10),
+        seed,
+        TelemetryConfig::off(),
+        |ft| {
+            // Every agg->core uplink in the fabric is fair game: tiny has
+            // 4 aggs x 2 core uplinks each.
+            let links: Vec<_> = (0..4)
+                .flat_map(|a| (0..2).map(move |k| ft.agg_core_link(a, k)))
+                .collect();
+            let mut rng = DetRng::new(seed, 0x4E57);
+            FaultPlan::randomized(&mut rng, &links, SimTime::from_ms(50), 0.15)
+        },
+    )
+}
+
+#[test]
+fn conservation_holds_under_randomized_faults_for_both_schemes() {
+    for seed in 0..SEEDS {
+        for scheme in [
+            Scheme::Ecmp,
+            Scheme::FlowBender(flowbender::Config::default()),
+        ] {
+            let out = chaos_run(&scheme, seed);
+            let c = out.conservation;
+            assert!(c.holds(), "seed {seed}, {}: {c}", scheme.name());
+            assert!(c.injected > 0, "seed {seed}: the run must inject traffic");
+            assert_eq!(
+                c.injected,
+                c.delivered + c.dropped_total() + c.in_flight,
+                "seed {seed}, {}: ledger must balance",
+                scheme.name()
+            );
+            // The audit's per-port rows must agree with its totals.
+            let audit = out.drops();
+            let row_sum: u64 = audit
+                .per_port()
+                .iter()
+                .flat_map(|(_, counts)| counts.iter())
+                .sum();
+            assert_eq!(row_sum, audit.total(), "seed {seed}: rows vs totals");
+            assert_eq!(audit.totals().iter().sum::<u64>(), c.dropped_total());
+        }
+    }
+}
+
+#[test]
+fn randomized_fault_runs_are_seed_deterministic() {
+    let scheme = Scheme::FlowBender(flowbender::Config::default());
+    let a = chaos_run(&scheme, 3);
+    let b = chaos_run(&scheme, 3);
+    assert_eq!(a.conservation, b.conservation);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.drops().per_port(), b.drops().per_port());
+}

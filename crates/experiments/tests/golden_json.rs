@@ -84,3 +84,73 @@ fn golden_run_json_is_reproducible_and_matches_the_committed_file() {
         path.display()
     );
 }
+
+/// The fixture run is loss-free, and the summary layout must reflect
+/// that exactly: zero drop counters and *no* `drops` section at all (the
+/// section is emitted only when packets were actually lost, which is
+/// what keeps the golden bytes identical across the audit's addition).
+#[test]
+fn golden_fixture_is_loss_free_and_omits_the_drops_section() {
+    let json = render_once();
+    assert!(json.contains("\"queue_drops\": 0"));
+    assert!(json.contains("\"link_drops\": 0"));
+    assert!(
+        !json.contains("\"drops\""),
+        "a loss-free run must not emit a drops section"
+    );
+}
+
+/// When a run *does* lose packets, the per-reason drop counts in its
+/// JSON must sum to the advertised total and agree with the audit.
+#[test]
+fn dropful_run_reasons_sum_to_total() {
+    use experiments::run_fat_tree_faults;
+    use netsim::{DropReason, FaultPlan};
+    use topology::FatTreeParams;
+    use workloads::microbench;
+
+    let params = FatTreeParams::tiny();
+    let specs = microbench(&params, 4, 200_000);
+    let out = run_fat_tree_faults(
+        params,
+        &Scheme::Ecmp,
+        &specs,
+        SimTime::from_secs(20),
+        5,
+        TelemetryConfig::off(),
+        |ft| {
+            let (node, port) = ft.agg_core_link(0, 0);
+            let mut plan = FaultPlan::new();
+            plan.gray_loss(node, port, 0.05, SimTime::ZERO);
+            plan
+        },
+    );
+    let audit = out.drops();
+    assert!(audit.total() > 0, "the gray link must drop something");
+    let opts = Opts::default();
+    let summary = experiments::RunSummary::from_run("dropful", "ECMP", &opts, 5, &out);
+    let json = summary.to_json("gray_failure").to_string();
+    // Per-reason counts from the serialized summary must reproduce the
+    // audit: each reason's value, and their sum, match exactly.
+    let grab = |key: &str| -> u64 {
+        json.find(&format!("\"{key}\":"))
+            .map(|i| {
+                json[i + key.len() + 3..]
+                    .chars()
+                    .take_while(|c| c.is_ascii_digit())
+                    .collect::<String>()
+                    .parse()
+                    .unwrap()
+            })
+            .unwrap_or(0)
+    };
+    let total = grab("total");
+    let by_reason: u64 = DropReason::all().iter().map(|r| grab(r.name())).sum();
+    assert_eq!(total, audit.total());
+    assert_eq!(
+        by_reason,
+        audit.total(),
+        "drop reasons must sum to the total"
+    );
+    assert_eq!(grab("gray_loss"), audit.by_reason(DropReason::GrayLoss));
+}

@@ -62,11 +62,15 @@ pub enum EventKind {
         pkt: PacketId,
     },
     /// Serialization of `pkt` on `(node, port)` finished; the packet leaves
-    /// onto the wire and the port may start its next transmission.
+    /// onto the wire and the port may start its next transmission. `epoch`
+    /// stamps the port's serialization epoch at scheduling time: a mid-run
+    /// link-rate change reschedules the in-flight serialization under a
+    /// bumped epoch, and the superseded event is ignored when it fires.
     TxDone {
         node: NodeId,
         port: PortId,
         pkt: PacketId,
+        epoch: u16,
     },
     /// A host's protocol stack finished processing an outbound packet
     /// (models the 20 µs host delay); enqueue it at the NIC.
@@ -89,6 +93,9 @@ pub enum EventKind {
     },
     /// Take one sample for the queue watcher with this index.
     Sample { watcher: usize },
+    /// Apply the fault action at this index in the simulator's installed
+    /// fault table (see [`crate::Simulator::install_faults`]).
+    Fault { action: u32 },
 }
 
 /// An event: a `kind` firing at `time`, with `seq` as the deterministic

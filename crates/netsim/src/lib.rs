@@ -15,6 +15,10 @@
 //!   [`Agent`]s (TCP/DCTCP/UDP live in the `transport` crate),
 //! * administrative link failures (black-holing until "routing reconverges",
 //!   which in these experiments never happens — that is the point),
+//! * deterministic fault injection via [`FaultPlan`] — gray (probabilistic)
+//!   loss, link flaps, mid-run rate degradation, and bit-error corruption —
+//!   with per-port drop-reason accounting and an end-of-run conservation
+//!   audit ([`Simulator::conservation`]),
 //! * a run-wide [`Recorder`] of flow completions, event counters, and
 //!   (opt-in, via [`TelemetryConfig`]) named time-series probes — queue
 //!   depths, link utilization, per-flow cwnd/`F`, V-field reroute traces.
@@ -47,6 +51,7 @@
 
 pub mod agent;
 pub mod event;
+pub mod faults;
 pub mod flow;
 pub mod hashing;
 pub mod packet;
@@ -61,6 +66,7 @@ pub mod testutil;
 pub mod time;
 
 pub use agent::{Agent, Ctx, NullAgent};
+pub use faults::{FaultAction, FaultPlan};
 pub use flow::{register_flows, FlowSpec};
 pub use hashing::{DetHashMap, EcmpHasher, FxBuildHasher, FxHasher, HashConfig};
 pub use packet::{
@@ -68,9 +74,9 @@ pub use packet::{
     MTU,
 };
 pub use queue::{EcnQueue, EnqueueResult, QueueStats};
-pub use record::{Counter, FlowRecord, Recorder, RunResults, Sink};
+pub use record::{Counter, DropAudit, DropReason, FlowRecord, Recorder, RunResults, Sink};
 pub use rng::DetRng;
-pub use sim::{LinkSpec, PortStats, QueueSpec, Simulator, SwitchConfig};
+pub use sim::{Conservation, LinkSpec, PortStats, QueueSpec, Simulator, SwitchConfig};
 pub use slab::{PacketId, PacketSlab};
 pub use switch::{FlowletState, ForwardingScheme, PfcConfig, RoutingTable};
 pub use telemetry::{ProbeKind, Series, SeriesKey, Telemetry, TelemetryConfig};

@@ -15,7 +15,8 @@
 //!   `stats` and `experiments` crates once a run finishes
 //!   ([`Recorder::finish`]).
 
-use crate::packet::{FlowId, HostId, Proto};
+use crate::hashing::DetHashMap;
+use crate::packet::{FlowId, HostId, NodeId, PortId, Proto};
 use crate::telemetry::{ProbeKind, Series, SeriesKey, Telemetry, TelemetryConfig};
 use crate::time::SimTime;
 
@@ -133,6 +134,105 @@ impl Counter {
     }
 }
 
+/// Why a packet left the simulation without being delivered.
+///
+/// Every drop site in the simulator reports through
+/// [`Sink::drop_packet`] with one of these reasons; the per-port tallies
+/// feed the end-of-run conservation audit
+/// (`injected == delivered + dropped(reason) + in-flight`). The first two
+/// reasons mirror the legacy [`Counter::QueueDrops`] / [`Counter::LinkDrops`]
+/// counters (which keep incrementing for backwards compatibility); the last
+/// two are produced only by the fault-injection layer (`netsim::faults`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum DropReason {
+    /// Drop-tail: the egress queue was at capacity.
+    QueueFull,
+    /// Black-holed on an administratively-down link.
+    LinkDown,
+    /// Lost to a gray failure (per-port probabilistic loss).
+    GrayLoss,
+    /// Corrupted on the wire (bit-error-rate loss) and discarded.
+    Corruption,
+}
+
+impl DropReason {
+    /// Number of drop reasons.
+    pub const COUNT: usize = 4;
+
+    /// Stable machine-readable name (used as a JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            DropReason::QueueFull => "queue_full",
+            DropReason::LinkDown => "link_down",
+            DropReason::GrayLoss => "gray_loss",
+            DropReason::Corruption => "corruption",
+        }
+    }
+
+    /// All variants, in `repr` order.
+    pub fn all() -> [DropReason; DropReason::COUNT] {
+        [
+            DropReason::QueueFull,
+            DropReason::LinkDown,
+            DropReason::GrayLoss,
+            DropReason::Corruption,
+        ]
+    }
+}
+
+/// Per-port, per-reason drop tallies for one run.
+///
+/// Rows are kept in first-drop order internally (deterministic, since the
+/// event order is); [`DropAudit::per_port`] returns them sorted by
+/// `(node, port)` for stable rendering.
+#[derive(Debug, Default)]
+pub struct DropAudit {
+    index: DetHashMap<(NodeId, PortId), usize>,
+    rows: Vec<((NodeId, PortId), [u64; DropReason::COUNT])>,
+    totals: [u64; DropReason::COUNT],
+}
+
+impl DropAudit {
+    /// Record one dropped packet at `(node, port)`.
+    pub fn record(&mut self, reason: DropReason, node: NodeId, port: PortId) {
+        self.totals[reason as usize] += 1;
+        let rows = &mut self.rows;
+        let idx = *self.index.entry((node, port)).or_insert_with(|| {
+            rows.push(((node, port), [0; DropReason::COUNT]));
+            rows.len() - 1
+        });
+        self.rows[idx].1[reason as usize] += 1;
+    }
+
+    /// Total packets dropped, all reasons.
+    pub fn total(&self) -> u64 {
+        self.totals.iter().sum()
+    }
+
+    /// Total packets dropped for `reason`.
+    pub fn by_reason(&self, reason: DropReason) -> u64 {
+        self.totals[reason as usize]
+    }
+
+    /// Per-reason totals, indexed by `DropReason as usize`.
+    pub fn totals(&self) -> [u64; DropReason::COUNT] {
+        self.totals
+    }
+
+    /// True if no packet was dropped.
+    pub fn is_empty(&self) -> bool {
+        self.totals.iter().all(|&n| n == 0)
+    }
+
+    /// Per-port tallies, sorted by `(node, port)`.
+    pub fn per_port(&self) -> Vec<((NodeId, PortId), [u64; DropReason::COUNT])> {
+        let mut rows = self.rows.clone();
+        rows.sort_unstable_by_key(|&(k, _)| k);
+        rows
+    }
+}
+
 /// The write-side interface to run-wide measurement collection.
 ///
 /// The simulator core and transports report through this trait; they never
@@ -150,6 +250,17 @@ pub trait Sink {
     fn bump(&mut self, c: Counter) {
         self.add(c, 1);
     }
+    /// Record one packet dropped at `(node, port)` for `reason`. Every drop
+    /// site must report here (the conservation audit counts on it); the
+    /// default implementation also feeds the legacy aggregate counters.
+    fn drop_packet(&mut self, now: SimTime, reason: DropReason, node: NodeId, port: PortId) {
+        let _ = (now, node, port);
+        match reason {
+            DropReason::QueueFull => self.bump(Counter::QueueDrops),
+            DropReason::LinkDown => self.bump(Counter::LinkDrops),
+            DropReason::GrayLoss | DropReason::Corruption => {}
+        }
+    }
     /// Is the probe family of `kind` being collected? Lets call sites skip
     /// value computation entirely when telemetry is off.
     fn wants(&self, kind: ProbeKind) -> bool;
@@ -162,6 +273,7 @@ pub trait Sink {
 pub struct Recorder {
     flows: Vec<FlowRecord>,
     counters: [u64; Counter::COUNT],
+    drops: DropAudit,
     telemetry: Telemetry,
 }
 
@@ -170,6 +282,7 @@ impl Default for Recorder {
         Recorder {
             flows: Vec::new(),
             counters: [0; Counter::COUNT],
+            drops: DropAudit::default(),
             telemetry: Telemetry::new(),
         }
     }
@@ -217,6 +330,26 @@ impl Recorder {
         self.counters[c as usize]
     }
 
+    /// Record one dropped packet at `(node, port)` for `reason`, updating
+    /// both the per-port audit and the legacy aggregate counters. Emits a
+    /// `drops.*` trace point when that telemetry family is enabled.
+    pub fn drop_packet(&mut self, now: SimTime, reason: DropReason, node: NodeId, port: PortId) {
+        self.drops.record(reason, node, port);
+        match reason {
+            DropReason::QueueFull => self.bump(Counter::QueueDrops),
+            DropReason::LinkDown => self.bump(Counter::LinkDrops),
+            DropReason::GrayLoss | DropReason::Corruption => {}
+        }
+        if self.wants(ProbeKind::Drops) {
+            self.probe(now, SeriesKey::Drops { node, port }, reason as usize as f64);
+        }
+    }
+
+    /// Per-port, per-reason drop tallies so far.
+    pub fn drops(&self) -> &DropAudit {
+        &self.drops
+    }
+
     /// All flow records (completed and not).
     pub fn flows(&self) -> &[FlowRecord] {
         &self.flows
@@ -261,6 +394,7 @@ impl Recorder {
         RunResults {
             flows: self.flows,
             counters: self.counters,
+            drops: self.drops,
             series: self.telemetry.into_series(),
         }
     }
@@ -275,6 +409,9 @@ impl Sink for Recorder {
     }
     fn add(&mut self, c: Counter, n: u64) {
         Recorder::add(self, c, n);
+    }
+    fn drop_packet(&mut self, now: SimTime, reason: DropReason, node: NodeId, port: PortId) {
+        Recorder::drop_packet(self, now, reason, node, port);
     }
     fn wants(&self, kind: ProbeKind) -> bool {
         Recorder::wants(self, kind)
@@ -294,6 +431,7 @@ pub struct RunResults {
     /// All flow records (completed and not).
     pub flows: Vec<FlowRecord>,
     counters: [u64; Counter::COUNT],
+    drops: DropAudit,
     series: Vec<Series>,
 }
 
@@ -316,6 +454,11 @@ impl RunResults {
     /// Number of flows that completed.
     pub fn completed_count(&self) -> usize {
         self.flows.iter().filter(|f| f.end != SimTime::MAX).count()
+    }
+
+    /// Per-port, per-reason drop tallies for the run.
+    pub fn drops(&self) -> &DropAudit {
+        &self.drops
     }
 
     /// All collected time series, in order of first recording.
@@ -399,6 +542,43 @@ mod tests {
         use_sink(&mut r);
         assert_eq!(r.get(Counter::Timeouts), 1);
         assert!(r.telemetry().series().is_empty());
+    }
+
+    #[test]
+    fn drop_audit_tallies_per_port_and_reason() {
+        let mut r = Recorder::new();
+        r.drop_packet(SimTime::ZERO, DropReason::QueueFull, 5, 1);
+        r.drop_packet(SimTime::ZERO, DropReason::QueueFull, 5, 1);
+        r.drop_packet(SimTime::ZERO, DropReason::GrayLoss, 5, 1);
+        r.drop_packet(SimTime::ZERO, DropReason::LinkDown, 2, 0);
+        r.drop_packet(SimTime::ZERO, DropReason::Corruption, 9, 3);
+        let audit = r.drops();
+        assert_eq!(audit.total(), 5);
+        assert_eq!(audit.by_reason(DropReason::QueueFull), 2);
+        assert_eq!(audit.by_reason(DropReason::GrayLoss), 1);
+        assert_eq!(audit.totals().iter().sum::<u64>(), audit.total());
+        // Legacy counters track only their historical reasons.
+        assert_eq!(r.get(Counter::QueueDrops), 2);
+        assert_eq!(r.get(Counter::LinkDrops), 1);
+        // Per-port rows come back sorted by (node, port).
+        let rows = audit.per_port();
+        assert_eq!(
+            rows.iter().map(|&(k, _)| k).collect::<Vec<_>>(),
+            vec![(2, 0), (5, 1), (9, 3)]
+        );
+        let port5: u64 = rows[1].1.iter().sum();
+        assert_eq!(port5, 3);
+    }
+
+    #[test]
+    fn drop_reason_names_unique_and_complete() {
+        let all = DropReason::all();
+        assert_eq!(all.len(), DropReason::COUNT);
+        let names: std::collections::HashSet<_> = all.iter().map(|r| r.name()).collect();
+        assert_eq!(names.len(), DropReason::COUNT);
+        for (i, r) in all.iter().enumerate() {
+            assert_eq!(*r as usize, i, "repr order must match all() order");
+        }
     }
 
     #[test]

@@ -21,12 +21,15 @@
 //!    and performs PFC accounting. At a host, `Arrive` is delivered to the
 //!    agent.
 
+use std::fmt;
+
 use crate::agent::{Agent, Ctx, NullAgent};
 use crate::event::{EventKind, Scheduler};
+use crate::faults::{FaultAction, FaultPlan};
 use crate::hashing::{EcmpHasher, HashConfig};
 use crate::packet::{Flags, NodeId, PortId, Proto, INGRESS_NONE};
 use crate::queue::{EcnQueue, EnqueueResult, QueueStats};
-use crate::record::{Counter, Recorder, RunResults};
+use crate::record::{Counter, DropReason, Recorder, RunResults};
 use crate::rng::DetRng;
 use crate::slab::{PacketId, PacketSlab};
 use crate::switch::{
@@ -133,6 +136,19 @@ struct Port {
     busy: bool,
     /// The downstream ingress has PFC-paused us.
     paused: bool,
+    /// Gray-failure loss probability per departing packet (0 = healthy).
+    loss_rate: f64,
+    /// Bit error rate: a departing packet of `b` bits is corrupted (and
+    /// dropped) with probability `1 - (1 - ber)^b` (0 = healthy).
+    ber: f64,
+    /// Serialization epoch. Bumped when a mid-run rate change reschedules
+    /// the in-flight `TxDone`; a pending `TxDone` carrying a stale epoch is
+    /// ignored when it fires.
+    tx_epoch: u16,
+    /// While `busy`: when the current serialization completes.
+    tx_end: SimTime,
+    /// While `busy`: the packet being serialized.
+    tx_pkt: PacketId,
     /// Transmitted wire bytes by protocol ([Tcp, Udp]).
     tx_bytes: [u64; 2],
     /// Transmitted packets.
@@ -249,6 +265,52 @@ struct QueueWatcher {
     samples: Vec<(SimTime, u64)>,
 }
 
+/// The packet-conservation ledger: every packet the slab ever issued must
+/// be delivered to an agent, dropped with a [`DropReason`], or still in
+/// flight. Produced by [`Simulator::conservation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conservation {
+    /// Packets ever inserted into the slab ([`Ctx::send`]).
+    pub injected: u64,
+    /// Packets handed to destination agents.
+    pub delivered: u64,
+    /// Packets dropped, by [`DropReason`] index.
+    pub dropped: [u64; DropReason::COUNT],
+    /// Packets still parked in the slab.
+    pub in_flight: u64,
+}
+
+impl Conservation {
+    /// Total dropped packets across all reasons.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped.iter().sum()
+    }
+
+    /// Does `injected == delivered + dropped + in-flight` hold?
+    pub fn holds(&self) -> bool {
+        self.injected == self.delivered + self.dropped_total() + self.in_flight
+    }
+}
+
+impl fmt::Display for Conservation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "injected {} != delivered {} + dropped {} (",
+            self.injected,
+            self.delivered,
+            self.dropped_total()
+        )?;
+        for (i, reason) in DropReason::all().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", reason.name(), self.dropped[i])?;
+        }
+        write!(f, ") + in-flight {}", self.in_flight)
+    }
+}
+
 /// The discrete-event network simulator.
 pub struct Simulator {
     now: SimTime,
@@ -261,6 +323,16 @@ pub struct Simulator {
     host_rngs: Vec<DetRng>,
     recorder: Recorder,
     master_rng: DetRng,
+    /// RNG for gray-loss / corruption draws. A dedicated stream, consulted
+    /// only when a port has a nonzero loss rate or BER — fault-free runs
+    /// never touch it, so they stay byte-identical with or without faults
+    /// installed elsewhere.
+    faults_rng: DetRng,
+    /// Installed fault actions; `EventKind::Fault` events index into this.
+    fault_actions: Vec<FaultAction>,
+    /// Packets handed to destination agents (the conservation audit's
+    /// "delivered" term).
+    delivered: u64,
     started: bool,
     events_processed: u64,
     host_ids: Vec<NodeId>,
@@ -280,6 +352,9 @@ impl Simulator {
             host_rngs: Vec::new(),
             recorder: Recorder::new(),
             master_rng: DetRng::new(seed, 0xF10B),
+            faults_rng: DetRng::new(seed, 0xF10B).split(0xFA17_5EED),
+            fault_actions: Vec::new(),
+            delivered: 0,
             started: false,
             events_processed: 0,
             host_ids: Vec::new(),
@@ -349,6 +424,11 @@ impl Simulator {
             up: true,
             busy: false,
             paused: false,
+            loss_rate: 0.0,
+            ber: 0.0,
+            tx_epoch: 0,
+            tx_end: SimTime::ZERO,
+            tx_pkt: 0,
             tx_bytes: [0; 2],
             tx_pkts: 0,
         });
@@ -361,6 +441,11 @@ impl Simulator {
             up: true,
             busy: false,
             paused: false,
+            loss_rate: 0.0,
+            ber: 0.0,
+            tx_epoch: 0,
+            tx_end: SimTime::ZERO,
+            tx_pkt: 0,
             tx_bytes: [0; 2],
             tx_pkts: 0,
         });
@@ -400,14 +485,78 @@ impl Simulator {
 
     /// Change the rate of the link attached at `(node, port)` — both
     /// directions. Models heterogeneous or degraded links (partial
-    /// upgrades, the §4.3.1 WCMP discussion). Must be called before the
-    /// simulation starts; packets already being serialized keep their old
-    /// timing.
+    /// upgrades, the §4.3.1 WCMP discussion) and mid-run renegotiation
+    /// (fault injection). Legal at any time: a packet being serialized when
+    /// the rate changes has its remaining bits rescaled to the new rate and
+    /// its completion event rescheduled.
     pub fn set_link_rate(&mut self, node: NodeId, port: PortId, rate_bps: u64) {
         assert!(rate_bps > 0, "link rate must be positive");
         let (peer, peer_port) = self.peer_of(node, port);
-        self.nodes[node as usize].ports[port as usize].rate_bps = rate_bps;
-        self.nodes[peer as usize].ports[peer_port as usize].rate_bps = rate_bps;
+        self.apply_rate(node, port, rate_bps);
+        self.apply_rate(peer, peer_port, rate_bps);
+    }
+
+    /// Apply a rate change to one directed port, rescheduling the in-flight
+    /// serialization if there is one.
+    fn apply_rate(&mut self, node: NodeId, port: PortId, rate_bps: u64) {
+        let now = self.now;
+        let p = &mut self.nodes[node as usize].ports[port as usize];
+        let old = p.rate_bps;
+        p.rate_bps = rate_bps;
+        if old == rate_bps || !p.busy {
+            return;
+        }
+        // Rescale the un-serialized remainder: `remaining * old / new` bits
+        // take the same wire time expressed under the new rate. u128 keeps
+        // the product exact for any sane rate pair.
+        let rem_ps = (p.tx_end.as_ps().saturating_sub(now.as_ps())) as u128;
+        let new_rem = (rem_ps * old as u128 / rate_bps as u128) as u64;
+        p.tx_epoch = p.tx_epoch.wrapping_add(1);
+        p.tx_end = now + SimTime::from_ps(new_rem);
+        let ev = EventKind::TxDone {
+            node,
+            port,
+            pkt: p.tx_pkt,
+            epoch: p.tx_epoch,
+        };
+        let at = p.tx_end;
+        self.sched.schedule(at, ev);
+    }
+
+    /// Set the gray-failure loss probability on the directed egress
+    /// `(node, port)`, effective immediately. `0.0` restores a healthy link.
+    pub fn set_gray_loss(&mut self, node: NodeId, port: PortId, loss: f64) {
+        assert!((0.0..=1.0).contains(&loss), "loss {loss} outside [0, 1]");
+        self.nodes[node as usize].ports[port as usize].loss_rate = loss;
+    }
+
+    /// Set the bit error rate on the directed egress `(node, port)`,
+    /// effective immediately. `0.0` restores a healthy link.
+    pub fn set_corruption(&mut self, node: NodeId, port: PortId, ber: f64) {
+        assert!((0.0..=1.0).contains(&ber), "ber {ber} outside [0, 1]");
+        self.nodes[node as usize].ports[port as usize].ber = ber;
+    }
+
+    /// Install a [`FaultPlan`]: validate every referenced port and schedule
+    /// each step as a [`EventKind::Fault`] event at its time. May be called
+    /// repeatedly (plans accumulate) and mid-run for future times.
+    pub fn install_faults(&mut self, plan: &FaultPlan) {
+        for &(at, action) in plan.steps() {
+            let (node, port) = match action {
+                FaultAction::LinkState { node, port, .. }
+                | FaultAction::LinkRate { node, port, .. }
+                | FaultAction::GrayLoss { node, port, .. }
+                | FaultAction::Corruption { node, port, .. } => (node, port),
+            };
+            assert!(
+                (node as usize) < self.nodes.len()
+                    && (port as usize) < self.nodes[node as usize].ports.len(),
+                "fault plan references nonexistent port ({node}, {port})"
+            );
+            let idx = self.fault_actions.len() as u32;
+            self.fault_actions.push(action);
+            self.sched.schedule(at, EventKind::Fault { action: idx });
+        }
     }
 
     /// The current rate of the directed link out of `(node, port)`.
@@ -522,6 +671,32 @@ impl Simulator {
         self.packets.len()
     }
 
+    /// Packets delivered to destination agents so far.
+    pub fn packets_delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Snapshot the packet-conservation ledger. The invariant
+    /// `injected == delivered + dropped(reason) + in-flight` holds at every
+    /// event boundary (each slab removal is accounted at the site it
+    /// happens); [`Conservation::holds`] checks it.
+    pub fn conservation(&self) -> Conservation {
+        Conservation {
+            injected: self.packets.total_inserted(),
+            delivered: self.delivered,
+            dropped: self.recorder.drops().totals(),
+            in_flight: self.packets.len() as u64,
+        }
+    }
+
+    /// Panic (in every build profile) if the conservation invariant is
+    /// violated. The event loop also checks it at the end of every run in
+    /// debug builds; release-mode harnesses call this explicitly.
+    pub fn assert_conservation(&self) {
+        let c = self.conservation();
+        assert!(c.holds(), "packet conservation violated: {c}");
+    }
+
     /// High-water mark of simultaneously in-flight packets.
     pub fn packets_peak(&self) -> usize {
         self.packets.peak()
@@ -553,6 +728,11 @@ impl Simulator {
             self.events_processed += 1;
             self.dispatch(ev.kind);
         }
+        debug_assert!(
+            self.conservation().holds(),
+            "packet conservation violated: {}",
+            self.conservation()
+        );
     }
 
     fn start_agents(&mut self) {
@@ -568,7 +748,12 @@ impl Simulator {
     fn dispatch(&mut self, kind: EventKind) {
         match kind {
             EventKind::Arrive { node, port, pkt } => self.handle_arrive(node, port, pkt),
-            EventKind::TxDone { node, port, pkt } => self.handle_tx_done(node, port, pkt),
+            EventKind::TxDone {
+                node,
+                port,
+                pkt,
+                epoch,
+            } => self.handle_tx_done(node, port, pkt, epoch),
             EventKind::HostTx { host, pkt } => self.handle_host_tx(host, pkt),
             EventKind::Timer { host, token } => {
                 self.with_agent(host, |agent, ctx| agent.on_timer(token, ctx));
@@ -576,6 +761,20 @@ impl Simulator {
             EventKind::Pfc { node, port, pause } => self.handle_pfc(node, port, pause),
             EventKind::LinkState { node, port, up } => self.handle_link_state(node, port, up),
             EventKind::Sample { watcher } => self.handle_sample(watcher),
+            EventKind::Fault { action } => self.apply_fault(action),
+        }
+    }
+
+    fn apply_fault(&mut self, idx: u32) {
+        match self.fault_actions[idx as usize] {
+            FaultAction::LinkState { node, port, up } => self.handle_link_state(node, port, up),
+            FaultAction::LinkRate {
+                node,
+                port,
+                rate_bps,
+            } => self.set_link_rate(node, port, rate_bps),
+            FaultAction::GrayLoss { node, port, loss } => self.set_gray_loss(node, port, loss),
+            FaultAction::Corruption { node, port, ber } => self.set_corruption(node, port, ber),
         }
     }
 
@@ -619,6 +818,7 @@ impl Simulator {
             NodeKind::Host(_) => {
                 // The packet leaves the slab here: the agent owns it now.
                 let pkt = self.packets.remove(id);
+                self.delivered += 1;
                 self.with_agent(node, |agent, ctx| agent.on_packet(pkt, ctx));
             }
             NodeKind::Switch(_) => self.forward(node, port, id),
@@ -685,7 +885,8 @@ impl Simulator {
         match enq {
             EnqueueResult::Dropped => {
                 self.packets.remove(id);
-                self.recorder.bump(Counter::QueueDrops);
+                self.recorder
+                    .drop_packet(self.now, DropReason::QueueFull, sw, egress);
             }
             EnqueueResult::Queued { .. } => {
                 if self.recorder.wants(ProbeKind::QueueDepth) {
@@ -729,7 +930,8 @@ impl Simulator {
         match enq {
             EnqueueResult::Dropped => {
                 self.packets.remove(id);
-                self.recorder.bump(Counter::QueueDrops);
+                self.recorder
+                    .drop_packet(self.now, DropReason::QueueFull, host, 0);
             }
             EnqueueResult::Queued { marked } => {
                 if marked {
@@ -760,27 +962,34 @@ impl Simulator {
             self.pfc_release(node, ingress_tag, size);
             if !link_up {
                 self.packets.remove(id);
-                self.recorder.bump(Counter::LinkDrops);
+                self.recorder
+                    .drop_packet(self.now, DropReason::LinkDown, node, port);
                 continue;
             }
-            let ser = {
+            let now = self.now;
+            let (at, epoch) = {
                 let p = &mut self.nodes[node as usize].ports[port as usize];
                 p.busy = true;
                 p.tx_bytes[proto_index(proto)] += size;
                 p.tx_pkts += 1;
-                if self.recorder.wants(ProbeKind::LinkUtil) {
-                    let total = p.tx_bytes[0] + p.tx_bytes[1];
-                    self.recorder
-                        .probe(self.now, SeriesKey::LinkUtil { node, port }, total as f64);
-                }
-                SimTime::serialization(size, p.rate_bps)
+                let ser = SimTime::serialization(size, p.rate_bps);
+                p.tx_end = now + ser;
+                p.tx_pkt = id;
+                (p.tx_end, p.tx_epoch)
             };
+            if self.recorder.wants(ProbeKind::LinkUtil) {
+                let p = &self.nodes[node as usize].ports[port as usize];
+                let total = p.tx_bytes[0] + p.tx_bytes[1];
+                self.recorder
+                    .probe(self.now, SeriesKey::LinkUtil { node, port }, total as f64);
+            }
             self.sched.schedule(
-                self.now + ser,
+                at,
                 EventKind::TxDone {
                     node,
                     port,
                     pkt: id,
+                    epoch,
                 },
             );
             return;
@@ -819,14 +1028,38 @@ impl Simulator {
         }
     }
 
-    fn handle_tx_done(&mut self, node: NodeId, port: PortId, id: PacketId) {
-        let (peer, peer_port, delay, link_up) = {
+    fn handle_tx_done(&mut self, node: NodeId, port: PortId, id: PacketId, epoch: u16) {
+        let (peer, peer_port, delay, link_up, loss_rate, ber) = {
             let p = &mut self.nodes[node as usize].ports[port as usize];
+            if epoch != p.tx_epoch {
+                // Superseded by a mid-run rate change; the rescheduled
+                // TxDone (current epoch) is still pending.
+                return;
+            }
             p.busy = false;
-            (p.peer, p.peer_port, p.delay, p.up)
+            (p.peer, p.peer_port, p.delay, p.up, p.loss_rate, p.ber)
         };
-        let arrive_at = self.now + delay + self.nodes[peer as usize].proc_delay;
-        if link_up {
+        // Fault checks, in severity order. Each consults the dedicated
+        // faults RNG only when its fault is actually configured, so healthy
+        // runs make no draws at all.
+        let dropped = if !link_up {
+            Some(DropReason::LinkDown)
+        } else if loss_rate > 0.0 && self.faults_rng.gen_f64() < loss_rate {
+            Some(DropReason::GrayLoss)
+        } else if ber > 0.0 && {
+            let bits = self.packets.get(id).size as i32 * 8;
+            let survive = (1.0 - ber).powi(bits);
+            self.faults_rng.gen_f64() >= survive
+        } {
+            Some(DropReason::Corruption)
+        } else {
+            None
+        };
+        if let Some(reason) = dropped {
+            self.packets.remove(id);
+            self.recorder.drop_packet(self.now, reason, node, port);
+        } else {
+            let arrive_at = self.now + delay + self.nodes[peer as usize].proc_delay;
             // Clear simulator-internal state before the packet enters the
             // next node.
             self.packets.get_mut(id).ingress_tag = INGRESS_NONE;
@@ -838,9 +1071,6 @@ impl Simulator {
                     pkt: id,
                 },
             );
-        } else {
-            self.packets.remove(id);
-            self.recorder.bump(Counter::LinkDrops);
         }
         self.try_start_tx(node, port);
     }

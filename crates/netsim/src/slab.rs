@@ -25,6 +25,7 @@ pub struct PacketSlab {
     free: Vec<PacketId>,
     live: usize,
     peak: usize,
+    inserted: u64,
 }
 
 impl PacketSlab {
@@ -37,6 +38,7 @@ impl PacketSlab {
     /// if one exists (LIFO keeps hot slots hot).
     #[inline]
     pub fn insert(&mut self, pkt: Packet) -> PacketId {
+        self.inserted += 1;
         self.live += 1;
         if self.live > self.peak {
             self.peak = self.live;
@@ -101,6 +103,13 @@ impl PacketSlab {
     pub fn peak(&self) -> usize {
         self.peak
     }
+
+    /// Total packets ever inserted (the "injected" side of the conservation
+    /// audit: every packet the slab issued must end up delivered, dropped
+    /// with a reason, or still live here).
+    pub fn total_inserted(&self) -> u64 {
+        self.inserted
+    }
 }
 
 #[cfg(test)]
@@ -133,6 +142,7 @@ mod tests {
         assert_eq!(slab.remove(a).seq, 1);
         assert!(slab.is_empty());
         assert_eq!(slab.peak(), 2);
+        assert_eq!(slab.total_inserted(), 2, "inserted never decrements");
     }
 
     #[test]

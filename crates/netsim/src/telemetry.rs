@@ -38,6 +38,9 @@ pub struct TelemetryConfig {
     /// Per-flow V-field value at start and after every reroute (a trace:
     /// never rate-limited).
     pub reroutes: bool,
+    /// Per-port drop trace: one point per dropped packet, valued by its
+    /// [`crate::record::DropReason`] index (a trace: never rate-limited).
+    pub drops: bool,
 }
 
 impl Default for TelemetryConfig {
@@ -57,6 +60,7 @@ impl TelemetryConfig {
             cwnd: false,
             f_fraction: false,
             reroutes: false,
+            drops: false,
         }
     }
 
@@ -71,6 +75,7 @@ impl TelemetryConfig {
             cwnd: true,
             f_fraction: true,
             reroutes: true,
+            drops: true,
         }
     }
 
@@ -84,6 +89,7 @@ impl TelemetryConfig {
                 ProbeKind::Cwnd => self.cwnd,
                 ProbeKind::FFraction => self.f_fraction,
                 ProbeKind::Vfield => self.reroutes,
+                ProbeKind::Drops => self.drops,
             }
     }
 }
@@ -102,6 +108,8 @@ pub enum ProbeKind {
     FFraction,
     /// Per-flow V-field trace.
     Vfield,
+    /// Per-port packet-drop trace.
+    Drops,
 }
 
 /// The identity of one time series.
@@ -136,6 +144,14 @@ pub enum SeriesKey {
         /// Flow id.
         flow: FlowId,
     },
+    /// Drops at the egress `(node, port)`: one point per dropped packet,
+    /// valued by the [`crate::record::DropReason`] index.
+    Drops {
+        /// Owning node.
+        node: NodeId,
+        /// Egress port index on that node.
+        port: PortId,
+    },
 }
 
 impl SeriesKey {
@@ -148,13 +164,14 @@ impl SeriesKey {
             SeriesKey::Cwnd { .. } => ProbeKind::Cwnd,
             SeriesKey::FFraction { .. } => ProbeKind::FFraction,
             SeriesKey::Vfield { .. } => ProbeKind::Vfield,
+            SeriesKey::Drops { .. } => ProbeKind::Drops,
         }
     }
 
     /// Whether this series is rate-limited (`true`) or an exhaustive event
     /// trace (`false`).
     fn sampled(&self) -> bool {
-        !matches!(self, SeriesKey::Vfield { .. })
+        !matches!(self, SeriesKey::Vfield { .. } | SeriesKey::Drops { .. })
     }
 
     /// Stable dotted name, used in reports and JSON output
@@ -166,6 +183,7 @@ impl SeriesKey {
             SeriesKey::Cwnd { flow } => format!("cwnd.f{flow}"),
             SeriesKey::FFraction { flow } => format!("f_fraction.f{flow}"),
             SeriesKey::Vfield { flow } => format!("vfield.f{flow}"),
+            SeriesKey::Drops { node, port } => format!("drops.n{node}.p{port}"),
         }
     }
 }
@@ -349,5 +367,6 @@ mod tests {
         assert_eq!(SeriesKey::Cwnd { flow: 17 }.name(), "cwnd.f17");
         assert_eq!(SeriesKey::FFraction { flow: 1 }.name(), "f_fraction.f1");
         assert_eq!(SeriesKey::Vfield { flow: 0 }.name(), "vfield.f0");
+        assert_eq!(SeriesKey::Drops { node: 4, port: 1 }.name(), "drops.n4.p1");
     }
 }
