@@ -6,7 +6,8 @@
 
 use std::hint::black_box;
 
-use experiments::{run_fat_tree, run_testbed, Scheme, Window};
+use experiments::schemes::{self, SchemeSpec};
+use experiments::{run_fat_tree, run_testbed, Window};
 use fb_bench::Harness;
 use netsim::{DetRng, SimTime, Simulator};
 use topology::{build_fat_tree, FatTreeParams, TestbedParams};
@@ -15,8 +16,8 @@ use workloads::{
     all_to_all, hotspot, microbench, partition_aggregate, testbed_one_tor, FlowSizeDist,
 };
 
-fn fb() -> Scheme {
-    Scheme::FlowBender(flowbender::Config::default())
+fn fb() -> SchemeSpec {
+    schemes::flowbender(flowbender::Config::default())
 }
 
 /// Table 1 miniature: 8 x 1 MB ToR-to-ToR flows under FlowBender.
@@ -44,7 +45,7 @@ fn bench_fig3_fig4(h: &Harness) {
     );
     for (name, scheme) in [
         ("paper/fig3_alltoall_mean_flowbender", fb()),
-        ("paper/fig4_alltoall_tail_ecmp", Scheme::Ecmp),
+        ("paper/fig4_alltoall_tail_ecmp", schemes::ecmp()),
     ] {
         h.bench(name, 0, || {
             let out = run_fat_tree(params, &scheme, &specs, window.drain_until, 1);
@@ -92,7 +93,7 @@ fn bench_fig6_fig7(h: &Harness) {
             black_box(
                 run_fat_tree(
                     params,
-                    &Scheme::FlowBender(cfg),
+                    &schemes::flowbender(cfg),
                     &specs,
                     SimTime::from_ms(200),
                     1,
@@ -181,7 +182,7 @@ fn bench_ablation(h: &Harness) {
             black_box(
                 run_fat_tree(
                     params,
-                    &Scheme::FlowBender(cfg),
+                    &schemes::flowbender(cfg),
                     &specs,
                     SimTime::from_ms(200),
                     1,

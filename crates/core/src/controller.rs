@@ -1,0 +1,303 @@
+//! The host-side path-control abstraction.
+//!
+//! The paper's framing (§3.3) is that FlowBender is *one* member of a
+//! family of end-host policies that steer a flow by rewriting a flexible
+//! header field ("the V-field") that commodity ECMP switches fold into
+//! their hash. [`PathController`] captures the seam those policies share:
+//! the transport reports ACKs, RTT-epoch boundaries, and retransmission
+//! timeouts; the controller answers with a [`Decision`] and exposes the
+//! V-field value to stamp into every outgoing packet.
+//!
+//! Three controllers live here:
+//!
+//! * [`FlowBender`] — the paper's algorithm (the trait impl simply
+//!   delegates to the state machine);
+//! * [`StaticPath`] — the no-op ECMP controller: a fixed V, never any
+//!   reroute, never any RNG draw. With a non-zero V it doubles as the
+//!   building block for replication schemes (RepFlow-style duplicates
+//!   that differ from their primary only in V);
+//! * [`FlowcutGap`] — host-side flowlet/"flowcut" switching (Bonato et
+//!   al. style): when the ACK stream goes idle for longer than a
+//!   configured gap, the pipe has drained and the flow can re-hash onto
+//!   a new path without risking reordering.
+//!
+//! The trait is object-safe — transports hold a `Box<dyn PathController>`
+//! — which is why the hooks take `&mut dyn Rng` rather than a generic
+//! parameter.
+
+use crate::bender::{Decision, FlowBender};
+use crate::rng::Rng;
+
+/// A host-side path-control policy for one flow.
+///
+/// All time arguments are picoseconds since simulation start (a plain
+/// `u64`, so this crate stays free of any simulator's time type).
+pub trait PathController: std::fmt::Debug {
+    /// The value the transport must stamp into the flexible header field
+    /// of every outgoing packet of this flow.
+    fn vfield(&self) -> u8;
+
+    /// Whether this controller can ever change the path. Passive
+    /// controllers (fixed-V) return `false`, letting transports skip
+    /// per-flow telemetry anchors for them.
+    fn active(&self) -> bool {
+        true
+    }
+
+    /// One ACK arrived (`ecn_echo` = it carried the ECN echo) at
+    /// `now_ps`. Controllers that react between RTT boundaries (e.g.
+    /// gap-based flowlet switching) may return a reroute here; pure
+    /// per-epoch controllers accumulate and return [`Decision::Stay`].
+    fn on_ack(&mut self, ecn_echo: bool, now_ps: u64, rng: &mut dyn Rng) -> Decision;
+
+    /// The current RTT epoch closed (the transport's congestion-window
+    /// round ended).
+    fn on_rtt_end(&mut self, rng: &mut dyn Rng) -> Decision;
+
+    /// A retransmission timeout fired.
+    fn on_timeout(&mut self, rng: &mut dyn Rng) -> Decision;
+
+    /// Downcast to the FlowBender state machine, when this controller is
+    /// one (diagnostics: per-flow reroute statistics and epoch history).
+    fn as_flowbender(&self) -> Option<&FlowBender> {
+        None
+    }
+}
+
+impl PathController for FlowBender {
+    fn vfield(&self) -> u8 {
+        FlowBender::vfield(self)
+    }
+
+    fn on_ack(&mut self, ecn_echo: bool, _now_ps: u64, _rng: &mut dyn Rng) -> Decision {
+        FlowBender::on_ack(self, ecn_echo);
+        Decision::Stay
+    }
+
+    fn on_rtt_end(&mut self, rng: &mut dyn Rng) -> Decision {
+        FlowBender::on_rtt_end(self, rng)
+    }
+
+    fn on_timeout(&mut self, rng: &mut dyn Rng) -> Decision {
+        FlowBender::on_timeout(self, rng)
+    }
+
+    fn as_flowbender(&self) -> Option<&FlowBender> {
+        Some(self)
+    }
+}
+
+/// The no-op ECMP controller: the flow keeps whatever V it was born with.
+///
+/// This is what every oblivious scheme (ECMP, RPS, DeTail) runs — the
+/// V-field stays constant so the switches' hash never re-maps the flow.
+/// Replication schemes reuse it with distinct initial values to pin a
+/// primary and its duplicate onto independently hashed paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticPath {
+    v: u8,
+}
+
+impl StaticPath {
+    /// A controller pinned to `v`.
+    pub fn new(v: u8) -> Self {
+        StaticPath { v }
+    }
+}
+
+impl PathController for StaticPath {
+    fn vfield(&self) -> u8 {
+        self.v
+    }
+
+    fn active(&self) -> bool {
+        false
+    }
+
+    fn on_ack(&mut self, _ecn_echo: bool, _now_ps: u64, _rng: &mut dyn Rng) -> Decision {
+        Decision::Stay
+    }
+
+    fn on_rtt_end(&mut self, _rng: &mut dyn Rng) -> Decision {
+        Decision::Stay
+    }
+
+    fn on_timeout(&mut self, _rng: &mut dyn Rng) -> Decision {
+        Decision::Stay
+    }
+}
+
+/// Host-side flowlet/"flowcut" switching: re-draw V whenever the ACK
+/// stream has been idle for longer than `gap_ps`.
+///
+/// The safety argument is the flowlet one, applied at the sender: if no
+/// ACK arrived for longer than the path's drain time, no packet of this
+/// flow is still queued along the old path, so switching paths cannot
+/// reorder. Unlike switch-side flowlet tables (LetFlow), this needs no
+/// fabric support beyond the same V-field hash FlowBender uses.
+#[derive(Debug, Clone)]
+pub struct FlowcutGap {
+    gap_ps: u64,
+    v_range: u8,
+    v: u8,
+    /// Time of the last observed ACK (or the last reroute), ps.
+    last_seen_ps: Option<u64>,
+    /// Gap-triggered path switches so far.
+    switches: u64,
+}
+
+impl FlowcutGap {
+    /// A gap controller with `v_range` path options and a uniformly
+    /// random initial V, like [`FlowBender::new`].
+    pub fn new<R: Rng + ?Sized>(gap_ps: u64, v_range: u8, rng: &mut R) -> Self {
+        assert!(gap_ps > 0, "flowcut gap must be positive");
+        assert!(v_range >= 1, "v_range must be at least 1");
+        let v = rng.gen_range(v_range as u32) as u8;
+        FlowcutGap {
+            gap_ps,
+            v_range,
+            v,
+            last_seen_ps: None,
+            switches: 0,
+        }
+    }
+
+    /// Gap-triggered path switches so far.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    fn redraw<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Decision {
+        let from = self.v;
+        let range = self.v_range as u32;
+        if range > 1 {
+            let step = 1 + rng.gen_range(range - 1);
+            self.v = ((self.v as u32 + step) % range) as u8;
+        }
+        self.switches += 1;
+        Decision::Reroute { from, to: self.v }
+    }
+}
+
+impl PathController for FlowcutGap {
+    fn vfield(&self) -> u8 {
+        self.v
+    }
+
+    fn on_ack(&mut self, _ecn_echo: bool, now_ps: u64, rng: &mut dyn Rng) -> Decision {
+        let idle = self
+            .last_seen_ps
+            .map(|last| now_ps.saturating_sub(last) > self.gap_ps);
+        self.last_seen_ps = Some(now_ps);
+        match idle {
+            Some(true) => self.redraw(rng),
+            _ => Decision::Stay,
+        }
+    }
+
+    fn on_rtt_end(&mut self, _rng: &mut dyn Rng) -> Decision {
+        Decision::Stay
+    }
+
+    fn on_timeout(&mut self, rng: &mut dyn Rng) -> Decision {
+        // An RTO is a longer silence than any gap threshold: the pipe is
+        // certainly drained (and possibly broken) — switch immediately,
+        // measuring the next gap from the reroute itself.
+        self.last_seen_ps = None;
+        self.redraw(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::rng::SplitMix64;
+
+    #[test]
+    fn static_path_never_moves_and_never_draws() {
+        let mut rng = SplitMix64::new(7);
+        let before = rng.next_u32();
+        let mut rng = SplitMix64::new(7);
+        let mut p = StaticPath::new(3);
+        assert_eq!(p.vfield(), 3);
+        assert!(!p.active());
+        assert_eq!(p.on_ack(true, 100, &mut rng), Decision::Stay);
+        assert_eq!(p.on_rtt_end(&mut rng), Decision::Stay);
+        assert_eq!(p.on_timeout(&mut rng), Decision::Stay);
+        assert_eq!(p.vfield(), 3);
+        assert!(p.as_flowbender().is_none());
+        // The RNG was never advanced: byte-identity for oblivious schemes.
+        assert_eq!(rng.next_u32(), before);
+    }
+
+    #[test]
+    fn flowbender_impl_delegates_through_the_trait() {
+        let mut rng = SplitMix64::new(1);
+        let mut ctrl: Box<dyn PathController> =
+            Box::new(FlowBender::with_initial_v(Config::default(), 0));
+        for _ in 0..9 {
+            assert_eq!(ctrl.on_ack(true, 0, &mut rng), Decision::Stay);
+        }
+        ctrl.on_ack(false, 0, &mut rng);
+        let d = ctrl.on_rtt_end(&mut rng);
+        assert!(d.rerouted(), "90% marked must reroute");
+        assert_eq!(ctrl.as_flowbender().unwrap().stats().congestion_reroutes, 1);
+        assert!(ctrl.active());
+    }
+
+    #[test]
+    fn flowcut_switches_only_after_an_idle_gap() {
+        let mut rng = SplitMix64::new(2);
+        let gap = 1_000_000; // 1 µs in ps
+        let mut fc = FlowcutGap::new(gap, 8, &mut rng);
+        // A steady ACK clock: never switches.
+        for t in (0..20u64).map(|i| i * 100_000) {
+            assert_eq!(fc.on_ack(false, t, &mut rng), Decision::Stay);
+        }
+        assert_eq!(fc.switches(), 0);
+        // A 2 µs silence: the next ACK triggers a switch.
+        let d = fc.on_ack(false, 20 * 100_000 + 2_000_000, &mut rng);
+        assert!(d.rerouted());
+        assert_eq!(fc.switches(), 1);
+        // And the one after that (no new gap) does not.
+        let d = fc.on_ack(false, 20 * 100_000 + 2_100_000, &mut rng);
+        assert_eq!(d, Decision::Stay);
+    }
+
+    #[test]
+    fn flowcut_new_v_differs_when_range_allows() {
+        let mut rng = SplitMix64::new(3);
+        let mut fc = FlowcutGap::new(1, 2, &mut rng);
+        for _ in 0..20 {
+            let before = fc.vfield();
+            match fc.on_timeout(&mut rng) {
+                Decision::Reroute { from, to } => {
+                    assert_eq!(from, before);
+                    assert_ne!(from, to);
+                    assert!(to < 2);
+                }
+                Decision::Stay => panic!("timeout must switch"),
+            }
+        }
+    }
+
+    #[test]
+    fn flowcut_timeout_resets_the_gap_clock() {
+        let mut rng = SplitMix64::new(4);
+        let mut fc = FlowcutGap::new(1_000, 8, &mut rng);
+        assert_eq!(fc.on_ack(false, 0, &mut rng), Decision::Stay);
+        assert!(fc.on_timeout(&mut rng).rerouted());
+        // First ACK after the timeout re-anchors instead of re-triggering,
+        // however late it is.
+        assert_eq!(fc.on_ack(false, 1_000_000_000, &mut rng), Decision::Stay);
+    }
+
+    #[test]
+    fn flowcut_v_range_one_is_a_harmless_no_op() {
+        let mut rng = SplitMix64::new(5);
+        let mut fc = FlowcutGap::new(1, 1, &mut rng);
+        let d = fc.on_timeout(&mut rng);
+        assert_eq!(d, Decision::Reroute { from: 0, to: 0 });
+    }
+}

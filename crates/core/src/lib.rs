@@ -60,8 +60,10 @@
 
 mod bender;
 mod config;
+mod controller;
 mod rng;
 
 pub use bender::{BenderStats, Decision, EpochRecord, FlowBender, HISTORY_CAP};
 pub use config::Config;
+pub use controller::{FlowcutGap, PathController, StaticPath};
 pub use rng::{Rng, SplitMix64};

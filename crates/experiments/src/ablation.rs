@@ -16,7 +16,8 @@ use topology::FatTreeParams;
 use workloads::{all_to_all, FlowSizeDist};
 
 use crate::report::{Opts, Report};
-use crate::scenario::{parallel_map, run_fat_tree, Scheme, Window};
+use crate::scenario::{parallel_map, run_fat_tree, Window};
+use crate::schemes;
 
 /// A named FlowBender variant.
 pub struct Variant {
@@ -92,7 +93,7 @@ pub fn sweep(opts: &Opts) -> Vec<Cell> {
         let specs = all_to_all(&params, 0.4, duration, &dist, &mut rng);
         let out = run_fat_tree(
             params,
-            &Scheme::FlowBender(v.cfg),
+            &schemes::flowbender(v.cfg),
             &specs,
             window.drain_until,
             opts.seed,

@@ -7,6 +7,11 @@
 //! mean / 93 % tail reduction at high load for the larger bins) and land
 //! within a few percent of each other; FlowBender's out-of-order rate is
 //! ≈ ECMP's (+0.006 %) while DeTail reorders almost as much as RPS.
+//!
+//! Tables are built from the scheme names actually swept (any registry
+//! selection works, parameterized names included), with ECMP as the
+//! normalization baseline when present and the first swept scheme
+//! otherwise.
 
 use netsim::{Counter, SimTime};
 use stats::{binned, completion_fraction, fmt_ratio, paper_bins, samples, BinStats, Table};
@@ -14,7 +19,8 @@ use topology::FatTreeParams;
 use workloads::{all_to_all, FlowSizeDist};
 
 use crate::report::{Opts, Report};
-use crate::scenario::{parallel_map, run_fat_tree, Scheme, Window};
+use crate::scenario::{sweep_schemes, Window};
+use crate::schemes::{self, SchemeSpec};
 
 /// The paper's evaluated loads (fraction of bisection bandwidth).
 pub const LOADS: [f64; 3] = [0.2, 0.4, 0.6];
@@ -24,8 +30,8 @@ pub const LOADS: [f64; 3] = [0.2, 0.4, 0.6];
 pub struct A2AResult {
     /// Load as a fraction.
     pub load: f64,
-    /// Scheme display name.
-    pub scheme: &'static str,
+    /// Scheme display name (parameters included).
+    pub scheme: String,
     /// Per-size-bin latency stats (paper bins).
     pub bins: Vec<BinStats>,
     /// Overall mean FCT (seconds).
@@ -45,38 +51,38 @@ pub struct A2AResult {
 /// Run the all-to-all sweep over `schemes` × `loads`. All schemes see the
 /// *same* flow arrivals at a given load (same generator seed), so
 /// normalization compares like with like.
-pub fn sweep(opts: &Opts, schemes: &[Scheme], loads: &[f64]) -> Vec<A2AResult> {
+pub fn sweep(opts: &Opts, schemes: &[SchemeSpec], loads: &[f64]) -> Vec<A2AResult> {
     opts.validate();
     let params = FatTreeParams::paper();
     let duration = opts.scaled(SimTime::from_ms(100));
     let window = Window::for_duration(duration, SimTime::from_ms(400));
     let dist = FlowSizeDist::web_search();
 
-    let mut jobs = Vec::new();
-    for &load in loads {
-        for scheme in schemes {
-            jobs.push((load, scheme.clone()));
-        }
-    }
-    parallel_map(jobs, |(load, scheme)| {
+    sweep_schemes(schemes, loads, |scheme, &load| {
         let mut rng = netsim::DetRng::new(opts.seed, 0xA2A ^ (load * 1000.0) as u64);
         let specs = all_to_all(&params, load, duration, &dist, &mut rng);
-        let out = run_fat_tree(params, &scheme, &specs, window.drain_until, opts.seed);
-        let s = samples(&out.flows, window.start, window.end);
+        let out = crate::run_fat_tree(params, scheme, &specs, window.drain_until, opts.seed);
+        // First-finisher-wins view: identical to `out.flows` for every
+        // non-replicating scheme.
+        let flows = out.effective_flows();
+        let s = samples(&flows, window.start, window.end);
         let fcts: Vec<f64> = s.iter().map(|x| x.fct_s).collect();
         let data = out.get(Counter::DataPktsRcvd).max(1);
         A2AResult {
             load,
-            scheme: scheme.name(),
+            scheme: scheme.name().to_string(),
             bins: binned(&s, &paper_bins()),
             mean_s: stats::mean(&fcts).unwrap_or(0.0),
             p99_s: stats::percentile(&fcts, 0.99).unwrap_or(0.0),
             ooo_frac: out.get(Counter::OooPktsRcvd) as f64 / data as f64,
-            completion: completion_fraction(&out.flows, window.start, window.end),
+            completion: completion_fraction(&flows, window.start, window.end),
             reroutes: out.get(Counter::Reroutes) + out.get(Counter::TimeoutReroutes),
             fcts,
         }
     })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 fn find<'a>(results: &'a [A2AResult], load: f64, scheme: &str) -> &'a A2AResult {
@@ -86,45 +92,64 @@ fn find<'a>(results: &'a [A2AResult], load: f64, scheme: &str) -> &'a A2AResult 
         .unwrap_or_else(|| panic!("missing result for {scheme} at {load}"))
 }
 
-/// Build the Figure 3 (mean) or Figure 4 (p99) normalized-latency table.
+/// The distinct scheme names present, in first-appearance order.
+fn scheme_names(results: &[A2AResult]) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    for r in results {
+        if !names.contains(&r.scheme) {
+            names.push(r.scheme.clone());
+        }
+    }
+    names
+}
+
+/// The scheme everything is normalized to: ECMP when swept, otherwise the
+/// first scheme in the sweep.
+fn baseline_name(results: &[A2AResult]) -> String {
+    let names = scheme_names(results);
+    names
+        .iter()
+        .find(|n| n.as_str() == "ECMP")
+        .unwrap_or(&names[0])
+        .clone()
+}
+
+/// Build the Figure 3 (mean) or Figure 4 (p99) normalized-latency table,
+/// one column per swept non-baseline scheme.
 fn normalized_table(results: &[A2AResult], loads: &[f64], tail: bool) -> Table {
-    let mut table = Table::new(vec![
-        "load",
-        "flow size",
-        "DeTail",
-        "FlowBender",
-        "RPS",
-        "ECMP abs",
-    ]);
+    let base_name = baseline_name(results);
+    let others: Vec<String> = scheme_names(results)
+        .into_iter()
+        .filter(|n| *n != base_name)
+        .collect();
+    let mut header = vec!["load".to_string(), "flow size".to_string()];
+    header.extend(others.iter().cloned());
+    header.push(format!("{base_name} abs"));
+    let mut table = Table::new(header);
     for &load in loads {
-        let ecmp = find(results, load, "ECMP");
+        let base = find(results, load, &base_name);
         for (bi, bin) in paper_bins().iter().enumerate() {
-            let base = if tail {
-                ecmp.bins[bi].p99_s
+            let abs = if tail {
+                base.bins[bi].p99_s
             } else {
-                ecmp.bins[bi].mean_s
+                base.bins[bi].mean_s
             };
-            let cell = |name: &str| {
+            let mut row = vec![format!("{:.0}%", load * 100.0), bin.label.to_string()];
+            for name in &others {
                 let r = find(results, load, name);
                 let v = if tail {
                     r.bins[bi].p99_s
                 } else {
                     r.bins[bi].mean_s
                 };
-                if base > 0.0 {
-                    fmt_ratio(v / base)
+                row.push(if abs > 0.0 {
+                    fmt_ratio(v / abs)
                 } else {
                     "-".to_string()
-                }
-            };
-            table.row(vec![
-                format!("{:.0}%", load * 100.0),
-                bin.label.to_string(),
-                cell("DeTail"),
-                cell("FlowBender"),
-                cell("RPS"),
-                stats::fmt_secs(base),
-            ]);
+                });
+            }
+            row.push(stats::fmt_secs(abs));
+            table.row(row);
         }
     }
     table
@@ -134,7 +159,10 @@ fn normalized_table(results: &[A2AResult], loads: &[f64], tail: bool) -> Table {
 pub fn fig3_report(results: &[A2AResult], loads: &[f64]) -> Report {
     let mut r = Report::new("fig3");
     r.section(
-        "Fig 3: all-to-all MEAN latency, normalized to ECMP (lower is better)",
+        format!(
+            "Fig 3: all-to-all MEAN latency, normalized to {} (lower is better)",
+            baseline_name(results)
+        ),
         normalized_table(results, loads, false),
     );
     // Full FCT CDFs per (load, scheme), CSV-only, for plotting.
@@ -143,7 +171,7 @@ pub fn fig3_report(results: &[A2AResult], loads: &[f64]) -> Report {
         for (v, p) in stats::cdf_points(&res.fcts, 200) {
             cdf.row(vec![
                 format!("{:.0}", res.load * 100.0),
-                res.scheme.to_string(),
+                res.scheme.clone(),
                 format!("{v:.9}"),
                 format!("{p:.4}"),
             ]);
@@ -161,7 +189,10 @@ pub fn fig3_report(results: &[A2AResult], loads: &[f64]) -> Report {
 pub fn fig4_report(results: &[A2AResult], loads: &[f64]) -> Report {
     let mut r = Report::new("fig4");
     r.section(
-        "Fig 4: all-to-all 99th-PERCENTILE latency, normalized to ECMP (lower is better)",
+        format!(
+            "Fig 4: all-to-all 99th-PERCENTILE latency, normalized to {} (lower is better)",
+            baseline_name(results)
+        ),
         normalized_table(results, loads, true),
     );
     completion_note(&mut r, results);
@@ -173,11 +204,11 @@ pub fn fig4_report(results: &[A2AResult], loads: &[f64]) -> Report {
 pub fn ooo_report(results: &[A2AResult], loads: &[f64]) -> Report {
     let mut table = Table::new(vec!["load", "scheme", "ooo fraction", "reroutes"]);
     for &load in loads {
-        for name in ["ECMP", "FlowBender", "DeTail", "RPS"] {
-            let r = find(results, load, name);
+        for name in scheme_names(results) {
+            let r = find(results, load, &name);
             table.row(vec![
                 format!("{:.0}%", load * 100.0),
-                name.to_string(),
+                name.clone(),
                 format!("{:.5}%", r.ooo_frac * 100.0),
                 r.reroutes.to_string(),
             ]);
@@ -185,21 +216,27 @@ pub fn ooo_report(results: &[A2AResult], loads: &[f64]) -> Report {
     }
     let mut rep = Report::new("ooo");
     rep.section("§4.2.3: out-of-order packet arrivals", table);
-    // The paper's two headline OOO claims, computed at the middle load.
+    // The paper's two headline OOO claims, computed at the middle load
+    // (only meaningful when the paper's schemes were swept).
+    let have = |name: &str| results.iter().any(|r| r.load == 0.4 && r.scheme == name);
     if loads.contains(&0.4) {
-        let e = find(results, 0.4, "ECMP");
-        let f = find(results, 0.4, "FlowBender");
-        let d = find(results, 0.4, "DeTail");
-        let p = find(results, 0.4, "RPS");
-        rep.note(format!(
-            "FlowBender - ECMP ooo delta at 40% load: {:+.4}% (paper: ~+0.006%)",
-            (f.ooo_frac - e.ooo_frac) * 100.0
-        ));
-        if p.ooo_frac > 0.0 {
+        if have("ECMP") && have("FlowBender") {
+            let e = find(results, 0.4, "ECMP");
+            let f = find(results, 0.4, "FlowBender");
             rep.note(format!(
-                "DeTail / RPS ooo ratio at 40% load: {:.1}% (paper: >97.9%)",
-                d.ooo_frac / p.ooo_frac * 100.0
+                "FlowBender - ECMP ooo delta at 40% load: {:+.4}% (paper: ~+0.006%)",
+                (f.ooo_frac - e.ooo_frac) * 100.0
             ));
+        }
+        if have("DeTail") && have("RPS") {
+            let d = find(results, 0.4, "DeTail");
+            let p = find(results, 0.4, "RPS");
+            if p.ooo_frac > 0.0 {
+                rep.note(format!(
+                    "DeTail / RPS ooo ratio at 40% load: {:.1}% (paper: >97.9%)",
+                    d.ooo_frac / p.ooo_frac * 100.0
+                ));
+            }
         }
     }
     rep
@@ -212,7 +249,8 @@ fn completion_note(r: &mut Report, results: &[A2AResult]) {
 
 /// Run the sweep once and emit all three reports (fig3, fig4, ooo).
 pub fn run_all(opts: &Opts) -> Vec<Report> {
-    let results = sweep(opts, &Scheme::paper_set(), &LOADS);
+    let selection = opts.scheme_selection(&schemes::paper_set());
+    let results = sweep(opts, &selection, &LOADS);
     vec![
         fig3_report(&results, &LOADS),
         fig4_report(&results, &LOADS),
@@ -230,12 +268,13 @@ mod tests {
         let opts = Opts {
             scale: 0.2,
             seed: 5,
+            ..Opts::default()
         };
-        let schemes = vec![
-            Scheme::Ecmp,
-            Scheme::FlowBender(flowbender::Config::default()),
+        let sel = vec![
+            schemes::ecmp(),
+            schemes::flowbender(flowbender::Config::default()),
         ];
-        let results = sweep(&opts, &schemes, &[0.4]);
+        let results = sweep(&opts, &sel, &[0.4]);
         assert_eq!(results.len(), 2);
         for r in &results {
             assert!(
@@ -265,11 +304,34 @@ mod tests {
         let opts = Opts {
             scale: 0.05,
             seed: 5,
+            ..Opts::default()
         };
-        let results = sweep(&opts, &Scheme::paper_set(), &[0.2]);
+        let results = sweep(&opts, &schemes::paper_set(), &[0.2]);
         let fig3 = fig3_report(&results, &[0.2]);
         assert_eq!(fig3.sections[0].1.len(), 4); // 1 load x 4 bins
+        assert!(fig3.sections[0].0.contains("normalized to ECMP"));
         let ooo = ooo_report(&results, &[0.2]);
         assert_eq!(ooo.sections[0].1.len(), 4); // 4 schemes
+    }
+
+    #[test]
+    fn tables_adapt_to_the_swept_schemes() {
+        let opts = Opts {
+            scale: 0.05,
+            seed: 5,
+            ..Opts::default()
+        };
+        // No ECMP in the selection: the first scheme becomes the baseline
+        // and the column set follows the sweep.
+        let sel = vec![
+            schemes::flowbender(flowbender::Config::default()),
+            schemes::flowbender(flowbender::Config::default().with_n(2)),
+        ];
+        let results = sweep(&opts, &sel, &[0.2]);
+        let fig3 = fig3_report(&results, &[0.2]);
+        assert!(fig3.sections[0].0.contains("normalized to FlowBender"));
+        let header = fig3.sections[0].1.headers();
+        assert!(header.contains(&"FlowBender(N=2)".to_string()));
+        assert!(header.contains(&"FlowBender abs".to_string()));
     }
 }

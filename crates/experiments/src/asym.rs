@@ -17,7 +17,8 @@ use transport::install_agents;
 use workloads::microbench;
 
 use crate::report::{Opts, Report};
-use crate::scenario::{parallel_map, Scheme};
+use crate::scenario::parallel_map;
+use crate::schemes::{self, SchemeSpec};
 
 /// One configuration's outcome.
 #[derive(Debug)]
@@ -37,19 +38,19 @@ pub struct Cell {
 }
 
 /// The evaluated configurations: `(label, scheme, install_wcmp_weights)`.
-fn configs() -> Vec<(&'static str, Scheme, bool)> {
+fn configs() -> Vec<(&'static str, SchemeSpec, bool)> {
     vec![
-        ("ECMP (oblivious)", Scheme::Ecmp, false),
-        ("RPS", Scheme::Rps, false),
-        ("WCMP (correct weights)", Scheme::Ecmp, true),
+        ("ECMP (oblivious)", schemes::ecmp(), false),
+        ("RPS", schemes::rps(), false),
+        ("WCMP (correct weights)", schemes::ecmp(), true),
         (
             "FlowBender (no weights)",
-            Scheme::FlowBender(flowbender::Config::default()),
+            schemes::flowbender(flowbender::Config::default()),
             false,
         ),
         (
             "FlowBender + WCMP",
-            Scheme::FlowBender(flowbender::Config::default()),
+            schemes::flowbender(flowbender::Config::default()),
             true,
         ),
     ]
@@ -58,7 +59,7 @@ fn configs() -> Vec<(&'static str, Scheme, bool)> {
 /// Run one configuration: 16 cross-pod flows with pod-0/agg-0's first core
 /// uplink degraded to `slow_rate`.
 pub fn run_config(
-    scheme: &Scheme,
+    scheme: &SchemeSpec,
     wcmp: bool,
     bytes: u64,
     slow_rate: u64,
@@ -159,15 +160,15 @@ mod tests {
     fn flowbender_compensates_for_missing_weights() {
         let bytes = 3_000_000;
         let slow = 5_000_000_000;
-        let ecmp = run_config(&Scheme::Ecmp, false, bytes, slow, 9);
+        let ecmp = run_config(&schemes::ecmp(), false, bytes, slow, 9);
         let fb = run_config(
-            &Scheme::FlowBender(flowbender::Config::default()),
+            &schemes::flowbender(flowbender::Config::default()),
             false,
             bytes,
             slow,
             9,
         );
-        let wcmp = run_config(&Scheme::Ecmp, true, bytes, slow, 9);
+        let wcmp = run_config(&schemes::ecmp(), true, bytes, slow, 9);
         // Everyone completes.
         assert_eq!(ecmp.3, 16);
         assert_eq!(fb.3, 16);
@@ -194,8 +195,8 @@ mod tests {
     fn wcmp_weights_shift_traffic_off_the_slow_link() {
         let bytes = 3_000_000;
         let slow = 5_000_000_000;
-        let ecmp = run_config(&Scheme::Ecmp, false, bytes, slow, 11);
-        let wcmp = run_config(&Scheme::Ecmp, true, bytes, slow, 11);
+        let ecmp = run_config(&schemes::ecmp(), false, bytes, slow, 11);
+        let wcmp = run_config(&schemes::ecmp(), true, bytes, slow, 11);
         // With weights, the slow link carries (weakly) less traffic.
         assert!(
             wcmp.2 <= ecmp.2 * 1.05,

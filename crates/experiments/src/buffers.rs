@@ -13,7 +13,8 @@ use topology::FatTreeParams;
 use workloads::{all_to_all, FlowSizeDist};
 
 use crate::report::{Opts, Report};
-use crate::scenario::{parallel_map, run_fat_tree, Scheme, Window};
+use crate::scenario::{run_fat_tree, sweep_schemes, Window};
+use crate::schemes::{self, SchemeSpec};
 
 /// Evaluated per-port buffer capacities (bytes).
 pub const CAPACITIES: [u64; 3] = [150_000, 400_000, 2 * 1024 * 1024];
@@ -23,8 +24,8 @@ pub const CAPACITIES: [u64; 3] = [150_000, 400_000, 2 * 1024 * 1024];
 pub struct Cell {
     /// Buffer capacity, bytes.
     pub capacity: u64,
-    /// Scheme name.
-    pub scheme: &'static str,
+    /// Scheme display name (parameters included).
+    pub scheme: String,
     /// Mean FCT (s).
     pub mean_s: f64,
     /// p99 FCT (s).
@@ -43,19 +44,13 @@ pub fn sweep(opts: &Opts) -> Vec<Cell> {
     let duration = opts.scaled(SimTime::from_ms(60));
     let window = Window::for_duration(duration, SimTime::from_ms(400));
     let dist = FlowSizeDist::web_search();
-    let schemes = [
-        Scheme::Ecmp,
-        Scheme::FlowBender(flowbender::Config::default()),
-        Scheme::Rps,
+    let contenders: Vec<SchemeSpec> = vec![
+        schemes::ecmp(),
+        schemes::flowbender(flowbender::Config::default()),
+        schemes::rps(),
     ];
 
-    let mut jobs = Vec::new();
-    for &capacity in &CAPACITIES {
-        for scheme in &schemes {
-            jobs.push((capacity, scheme.clone()));
-        }
-    }
-    parallel_map(jobs, |(capacity, scheme)| {
+    sweep_schemes(&contenders, &CAPACITIES, |scheme, &capacity| {
         let mut params = FatTreeParams::paper();
         params.fabric_queue = QueueSpec {
             capacity,
@@ -63,12 +58,12 @@ pub fn sweep(opts: &Opts) -> Vec<Cell> {
         };
         let mut rng = netsim::DetRng::new(opts.seed, 0xB0FF);
         let specs = all_to_all(&params, 0.6, duration, &dist, &mut rng);
-        let out = run_fat_tree(params, &scheme, &specs, window.drain_until, opts.seed);
+        let out = run_fat_tree(params, scheme, &specs, window.drain_until, opts.seed);
         let s = samples(&out.flows, window.start, window.end);
         let fcts: Vec<f64> = s.iter().map(|x| x.fct_s).collect();
         Cell {
             capacity,
-            scheme: scheme.name(),
+            scheme: scheme.name().to_string(),
             mean_s: stats::mean(&fcts).unwrap_or(0.0),
             p99_s: stats::percentile(&fcts, 0.99).unwrap_or(0.0),
             drops: out.get(Counter::QueueDrops),
@@ -76,6 +71,9 @@ pub fn sweep(opts: &Opts) -> Vec<Cell> {
             completion: stats::completion_fraction(&out.flows, window.start, window.end),
         }
     })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Produce the report.
@@ -133,6 +131,7 @@ mod tests {
         let opts = Opts {
             scale: 0.25,
             seed: 2,
+            ..Opts::default()
         };
         let cells = sweep(&opts);
         let ecmp_shallow = cells

@@ -12,7 +12,8 @@ use topology::FatTreeParams;
 use workloads::partition_aggregate;
 
 use crate::report::{Opts, Report};
-use crate::scenario::{parallel_map, run_fat_tree, Scheme, Window};
+use crate::scenario::{run_fat_tree, sweep_schemes, Window};
+use crate::schemes::{self, SchemeSpec};
 
 /// Fan-in degrees from the paper's Figure 5.
 pub const FAN_INS: [u32; 4] = [4, 8, 16, 32];
@@ -22,8 +23,8 @@ pub const FAN_INS: [u32; 4] = [4, 8, 16, 32];
 pub struct Cell {
     /// Fan-in degree.
     pub fan_in: u32,
-    /// Scheme display name.
-    pub scheme: &'static str,
+    /// Scheme display name (parameters included).
+    pub scheme: String,
     /// Average job completion time (s).
     pub avg_jct_s: f64,
     /// Jobs measured.
@@ -31,26 +32,20 @@ pub struct Cell {
 }
 
 /// Run the sweep over `schemes` × [`FAN_INS`].
-pub fn sweep(opts: &Opts, schemes: &[Scheme]) -> Vec<Cell> {
+pub fn sweep(opts: &Opts, schemes: &[SchemeSpec]) -> Vec<Cell> {
     opts.validate();
     let params = FatTreeParams::paper();
     let duration = opts.scaled(SimTime::from_ms(60));
     let window = Window::for_duration(duration, SimTime::from_ms(400));
 
-    let mut jobs = Vec::new();
-    for &fan_in in &FAN_INS {
-        for scheme in schemes {
-            jobs.push((fan_in, scheme.clone()));
-        }
-    }
-    parallel_map(jobs, |(fan_in, scheme)| {
+    sweep_schemes(schemes, &FAN_INS, |scheme, &fan_in| {
         let mut rng = netsim::DetRng::new(opts.seed, 0xF165 ^ fan_in as u64);
         let specs = partition_aggregate(&params, 0.4, fan_in, 1_000_000, duration, &mut rng);
-        let out = run_fat_tree(params, &scheme, &specs, window.drain_until, opts.seed);
+        let out = run_fat_tree(params, scheme, &specs, window.drain_until, opts.seed);
         // Job completion uses all jobs whose flows all completed; trim
         // cool-down jobs by start time like the FCT window does.
         let in_window: Vec<_> = out
-            .flows
+            .effective_flows()
             .iter()
             .filter(|f| f.start >= window.start && f.start < window.end)
             .cloned()
@@ -58,52 +53,62 @@ pub fn sweep(opts: &Opts, schemes: &[Scheme]) -> Vec<Cell> {
         let (avg, n) = avg_job_completion(&in_window);
         Cell {
             fan_in,
-            scheme: scheme.name(),
+            scheme: scheme.name().to_string(),
             avg_jct_s: avg,
             jobs: n,
         }
     })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Produce the Figure 5 report.
 pub fn run(opts: &Opts) -> Report {
-    let cells = sweep(opts, &Scheme::paper_set());
+    let selection = opts.scheme_selection(&schemes::paper_set());
+    let cells = sweep(opts, &selection);
     let find = |fan_in: u32, name: &str| {
         cells
             .iter()
             .find(|c| c.fan_in == fan_in && c.scheme == name)
             .unwrap_or_else(|| panic!("missing {name} at fan-in {fan_in}"))
     };
-    let mut table = Table::new(vec![
-        "fan-in",
-        "DeTail",
-        "FlowBender",
-        "RPS",
-        "ECMP abs",
-        "jobs",
-    ]);
+    // ECMP is the baseline when swept, else the first selected scheme.
+    let base_name = selection
+        .iter()
+        .map(|s| s.name().to_string())
+        .find(|n| n == "ECMP")
+        .unwrap_or_else(|| selection[0].name().to_string());
+    let others: Vec<String> = selection
+        .iter()
+        .map(|s| s.name().to_string())
+        .filter(|n| *n != base_name)
+        .collect();
+    let mut header = vec!["fan-in".to_string()];
+    header.extend(others.iter().cloned());
+    header.push(format!("{base_name} abs"));
+    header.push("jobs".to_string());
+    let mut table = Table::new(header);
     for &n in &FAN_INS {
-        let ecmp = find(n, "ECMP");
-        let cell = |name: &str| {
+        let base = find(n, &base_name);
+        let mut row = vec![n.to_string()];
+        for name in &others {
             let c = find(n, name);
-            if ecmp.avg_jct_s > 0.0 {
-                fmt_ratio(c.avg_jct_s / ecmp.avg_jct_s)
+            row.push(if base.avg_jct_s > 0.0 {
+                fmt_ratio(c.avg_jct_s / base.avg_jct_s)
             } else {
                 "-".to_string()
-            }
-        };
-        table.row(vec![
-            n.to_string(),
-            cell("DeTail"),
-            cell("FlowBender"),
-            cell("RPS"),
-            fmt_secs(ecmp.avg_jct_s),
-            ecmp.jobs.to_string(),
-        ]);
+            });
+        }
+        row.push(fmt_secs(base.avg_jct_s));
+        row.push(base.jobs.to_string());
+        table.row(row);
     }
     let mut r = Report::new("fig5");
     r.section(
-        "Fig 5: partition-aggregate avg job completion time, normalized to ECMP (lower is better)",
+        format!(
+            "Fig 5: partition-aggregate avg job completion time, normalized to {base_name} (lower is better)"
+        ),
         table,
     );
     r.note("paper: FlowBender ~0.25x at fan-in 4, ~0.5x at fan-in 32; within ~2% of DeTail/RPS");
@@ -113,21 +118,23 @@ pub fn run(opts: &Opts) -> Report {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::parallel_map;
 
     #[test]
     fn small_sweep_beats_ecmp_at_low_fan_in() {
         let opts = Opts {
             scale: 0.25,
             seed: 3,
+            ..Opts::default()
         };
-        let schemes = vec![
-            Scheme::Ecmp,
-            Scheme::FlowBender(flowbender::Config::default()),
+        let sel = vec![
+            schemes::ecmp(),
+            schemes::flowbender(flowbender::Config::default()),
         ];
         let params = FatTreeParams::paper();
         let duration = opts.scaled(SimTime::from_ms(60));
         let window = Window::for_duration(duration, SimTime::from_ms(400));
-        let cells = parallel_map(schemes, |scheme| {
+        let cells = parallel_map(sel, |scheme| {
             let mut rng = netsim::DetRng::new(opts.seed, 0xF165 ^ 4);
             let specs = partition_aggregate(&params, 0.4, 4, 1_000_000, duration, &mut rng);
             let out = run_fat_tree(params, &scheme, &specs, window.drain_until, opts.seed);
@@ -138,10 +145,10 @@ mod tests {
                 .cloned()
                 .collect();
             let (avg, n) = avg_job_completion(&in_window);
-            (scheme.name(), avg, n)
+            (scheme.name().to_string(), avg, n)
         });
-        let (_, ecmp_jct, ecmp_jobs) = cells[0];
-        let (_, fb_jct, fb_jobs) = cells[1];
+        let (_, ecmp_jct, ecmp_jobs) = cells[0].clone();
+        let (_, fb_jct, fb_jobs) = cells[1].clone();
         assert!(ecmp_jobs > 10 && fb_jobs > 10, "too few jobs measured");
         assert!(fb_jct > 0.0 && ecmp_jct > 0.0);
         // In this substrate the incast bottleneck — the aggregator's own

@@ -15,7 +15,8 @@ use topology::TestbedParams;
 use workloads::testbed_one_tor;
 
 use crate::report::{Opts, Report};
-use crate::scenario::{parallel_map, run_testbed, Scheme, Window};
+use crate::scenario::{run_testbed, sweep_schemes, Window};
+use crate::schemes::{self, SchemeSpec};
 
 /// Loads from the paper.
 pub const LOADS: [f64; 3] = [0.2, 0.4, 0.6];
@@ -25,8 +26,8 @@ pub const LOADS: [f64; 3] = [0.2, 0.4, 0.6];
 pub struct Cell {
     /// Load fraction.
     pub load: f64,
-    /// Scheme name.
-    pub scheme: &'static str,
+    /// Scheme display name (parameters included).
+    pub scheme: String,
     /// Mean FCT (s).
     pub mean_s: f64,
     /// p99 FCT (s).
@@ -38,19 +39,13 @@ pub struct Cell {
 }
 
 /// Run the sweep.
-pub fn sweep(opts: &Opts, schemes: &[Scheme]) -> Vec<Cell> {
+pub fn sweep(opts: &Opts, schemes: &[SchemeSpec]) -> Vec<Cell> {
     opts.validate();
     let params = TestbedParams::paper();
     let duration = opts.scaled(SimTime::from_ms(800));
     let window = Window::for_duration(duration, SimTime::from_ms(400));
 
-    let mut jobs = Vec::new();
-    for &load in &LOADS {
-        for scheme in schemes {
-            jobs.push((load, scheme.clone()));
-        }
-    }
-    parallel_map(jobs, |(load, scheme)| {
+    sweep_schemes(schemes, &LOADS, |scheme, &load| {
         let mut rng = netsim::DetRng::new(opts.seed, 0xF18 ^ (load * 1000.0) as u64);
         let tor0 = 0..params.servers_per_tor[0];
         let specs = testbed_one_tor(
@@ -64,23 +59,27 @@ pub fn sweep(opts: &Opts, schemes: &[Scheme]) -> Vec<Cell> {
         );
         let out = run_testbed(
             params.clone(),
-            &scheme,
+            scheme,
             &specs,
             window.drain_until,
             opts.seed,
             &[],
         );
-        let s = samples(&out.flows, window.start, window.end);
+        let flows = out.effective_flows();
+        let s = samples(&flows, window.start, window.end);
         let fcts: Vec<f64> = s.iter().map(|x| x.fct_s).collect();
         Cell {
             load,
-            scheme: scheme.name(),
+            scheme: scheme.name().to_string(),
             mean_s: stats::mean(&fcts).unwrap_or(0.0),
             p99_s: stats::percentile(&fcts, 0.99).unwrap_or(0.0),
             p999_s: stats::percentile(&fcts, 0.999).unwrap_or(0.0),
             n: fcts.len(),
         }
     })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Produce the Figure 8 report.
@@ -88,8 +87,8 @@ pub fn run(opts: &Opts) -> Report {
     let cells = sweep(
         opts,
         &[
-            Scheme::Ecmp,
-            Scheme::FlowBender(flowbender::Config::default()),
+            schemes::ecmp(),
+            schemes::flowbender(flowbender::Config::default()),
         ],
     );
     let find = |load: f64, name: &str| {
@@ -141,6 +140,7 @@ mod tests {
         let opts = Opts {
             scale: 0.1,
             seed: 2,
+            ..Opts::default()
         };
         let params = TestbedParams::paper();
         let duration = opts.scaled(SimTime::from_ms(800));
@@ -157,7 +157,7 @@ mod tests {
         );
         let out = run_testbed(
             params.clone(),
-            &Scheme::FlowBender(flowbender::Config::default()),
+            &schemes::flowbender(flowbender::Config::default()),
             &specs,
             window.drain_until,
             opts.seed,

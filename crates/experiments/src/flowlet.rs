@@ -14,7 +14,8 @@ use topology::FatTreeParams;
 use workloads::{all_to_all, microbench, FlowSizeDist};
 
 use crate::report::{Opts, Report};
-use crate::scenario::{parallel_map, run_fat_tree, Scheme, Window};
+use crate::scenario::{parallel_map, run_fat_tree, Window};
+use crate::schemes::{self, SchemeSpec};
 
 /// Flowlet inactivity gaps evaluated (around the ~90 µs fabric RTT).
 pub const GAPS_US: [u64; 3] = [50, 100, 500];
@@ -34,19 +35,13 @@ pub struct Cell {
     pub ooo_frac: f64,
 }
 
-fn schemes() -> Vec<(String, Scheme)> {
+fn contenders() -> Vec<SchemeSpec> {
     let mut v = vec![
-        ("ECMP".to_string(), Scheme::Ecmp),
-        (
-            "FlowBender".to_string(),
-            Scheme::FlowBender(flowbender::Config::default()),
-        ),
+        schemes::ecmp(),
+        schemes::flowbender(flowbender::Config::default()),
     ];
     for gap in GAPS_US {
-        v.push((
-            format!("Flowlet {gap}us"),
-            Scheme::Flowlet(SimTime::from_us(gap)),
-        ));
+        v.push(schemes::flowlet(SimTime::from_us(gap)));
     }
     v
 }
@@ -61,18 +56,18 @@ pub fn sweep(opts: &Opts) -> Vec<Cell> {
 
     let mut jobs = Vec::new();
     for &load in &[0.4f64, 0.6] {
-        for (label, scheme) in schemes() {
-            jobs.push((load, label, scheme));
+        for scheme in contenders() {
+            jobs.push((load, scheme));
         }
     }
-    parallel_map(jobs, |(load, label, scheme)| {
+    parallel_map(jobs, |(load, scheme)| {
         let mut rng = netsim::DetRng::new(opts.seed, 0xF10E ^ (load * 1000.0) as u64);
         let specs = all_to_all(&params, load, duration, &dist, &mut rng);
         let out = run_fat_tree(params, &scheme, &specs, window.drain_until, opts.seed);
         let s = samples(&out.flows, window.start, window.end);
         let fcts: Vec<f64> = s.iter().map(|x| x.fct_s).collect();
         Cell {
-            label,
+            label: scheme.name().to_string(),
             load,
             mean_s: stats::mean(&fcts).unwrap_or(0.0),
             p99_s: stats::percentile(&fcts, 0.99).unwrap_or(0.0),
@@ -100,7 +95,8 @@ pub fn run(opts: &Opts) -> Report {
     ]);
     for &load in &[0.4f64, 0.6] {
         let ecmp = find(load, "ECMP");
-        for (label, _) in schemes() {
+        for spec in contenders() {
+            let label = spec.name().to_string();
             let c = find(load, &label);
             table.row(vec![
                 format!("{:.0}%", load * 100.0),
@@ -114,7 +110,7 @@ pub fn run(opts: &Opts) -> Report {
 
     // Microbenchmark shootout: 16 x scaled flows, one number per scheme.
     let bytes = (10_000_000.0 * opts.scale) as u64;
-    let micro = parallel_map(schemes(), |(label, scheme)| {
+    let micro = parallel_map(contenders(), |scheme| {
         let params = FatTreeParams::paper();
         let specs = microbench(&params, 16, bytes);
         let out = run_fat_tree(params, &scheme, &specs, SimTime::from_secs(120), opts.seed);
@@ -125,7 +121,7 @@ pub fn run(opts: &Opts) -> Report {
             .map(|t| t.as_secs_f64())
             .collect();
         (
-            label,
+            scheme.name().to_string(),
             stats::mean(&fcts).unwrap_or(0.0),
             fcts.iter().cloned().fold(0.0, f64::max),
         )
@@ -161,6 +157,7 @@ mod tests {
         let opts = Opts {
             scale: 0.2,
             seed: 6,
+            ..Opts::default()
         };
         let params = FatTreeParams::paper();
         let duration = opts.scaled(SimTime::from_ms(60));
@@ -175,7 +172,7 @@ mod tests {
         );
         let out = run_fat_tree(
             params,
-            &Scheme::Flowlet(SimTime::from_us(100)),
+            &schemes::flowlet(SimTime::from_us(100)),
             &specs,
             window.drain_until,
             opts.seed,

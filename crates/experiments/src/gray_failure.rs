@@ -20,7 +20,8 @@ use topology::FatTreeParams;
 use workloads::microbench;
 
 use crate::report::{Opts, Report, RunSummary};
-use crate::scenario::{parallel_map, run_fat_tree_faults, RunOutput, Scheme};
+use crate::scenario::{parallel_map, run_fat_tree_faults, RunOutput};
+use crate::schemes::{self, SchemeSpec};
 
 /// The loss rates swept by the committed experiment.
 pub const LOSS_RATES: [f64; 4] = [0.005, 0.01, 0.02, 0.04];
@@ -28,8 +29,8 @@ pub const LOSS_RATES: [f64; 4] = [0.005, 0.01, 0.02, 0.04];
 /// Result of one `(scheme, loss rate)` run.
 #[derive(Debug)]
 pub struct GrayResult {
-    /// Scheme name.
-    pub scheme: &'static str,
+    /// Scheme display name (parameters included).
+    pub scheme: String,
     /// Per-packet drop probability on the gray link.
     pub loss: f64,
     /// Flows that completed (of `flows`).
@@ -47,7 +48,12 @@ pub struct GrayResult {
 }
 
 /// Run one scheme against one gray-loss rate.
-pub fn run_scheme(scheme: &Scheme, loss: f64, bytes: u64, seed: u64) -> (GrayResult, RunOutput) {
+pub fn run_scheme(
+    scheme: &SchemeSpec,
+    loss: f64,
+    bytes: u64,
+    seed: u64,
+) -> (GrayResult, RunOutput) {
     let params = FatTreeParams::paper();
     // 16 flows: two per host pair between ToR0/pod0 and ToR0/pod1.
     let specs = microbench(&params, 16, bytes);
@@ -74,7 +80,7 @@ pub fn run_scheme(scheme: &Scheme, loss: f64, bytes: u64, seed: u64) -> (GrayRes
         .map(|t| t.as_secs_f64())
         .collect();
     let result = GrayResult {
-        scheme: scheme.name(),
+        scheme: scheme.name().to_string(),
         loss,
         completed: fcts.len(),
         flows: specs.len(),
@@ -91,10 +97,10 @@ pub fn run_scheme(scheme: &Scheme, loss: f64, bytes: u64, seed: u64) -> (GrayRes
 pub fn run(opts: &Opts) -> Report {
     opts.validate();
     let bytes = (10_000_000.0 * opts.scale) as u64;
-    let mut jobs: Vec<(Scheme, f64)> = Vec::new();
+    let mut jobs: Vec<(SchemeSpec, f64)> = Vec::new();
     for &loss in &LOSS_RATES {
-        jobs.push((Scheme::Ecmp, loss));
-        jobs.push((Scheme::FlowBender(flowbender::Config::default()), loss));
+        jobs.push((schemes::ecmp(), loss));
+        jobs.push((schemes::flowbender(flowbender::Config::default()), loss));
     }
     let runs = parallel_map(jobs, |(scheme, loss)| {
         let (r, out) = run_scheme(&scheme, loss, bytes, opts.seed);
@@ -130,7 +136,7 @@ pub fn run(opts: &Opts) -> Report {
             r.scheme.to_lowercase(),
             (r.loss * 1000.0).round() as u32
         );
-        rep.run_summary(RunSummary::from_run(label, r.scheme, opts, opts.seed, out));
+        rep.run_summary(RunSummary::from_run(label, &r.scheme, opts, opts.seed, out));
     }
     rep.section(
         "Gray failure: one agg->core uplink silently drops packets under 16 cross-pod flows",
@@ -149,9 +155,9 @@ mod tests {
     fn flowbender_escapes_gray_link_ecmp_suffers() {
         let bytes = 3_000_000;
         let loss = 0.02;
-        let (ecmp, ecmp_out) = run_scheme(&Scheme::Ecmp, loss, bytes, 21);
+        let (ecmp, ecmp_out) = run_scheme(&schemes::ecmp(), loss, bytes, 21);
         let (fb, _) = run_scheme(
-            &Scheme::FlowBender(flowbender::Config::default()),
+            &schemes::flowbender(flowbender::Config::default()),
             loss,
             bytes,
             21,
@@ -185,8 +191,8 @@ mod tests {
     #[test]
     fn same_seed_reproduces_exactly() {
         let bytes = 500_000;
-        let (a, ao) = run_scheme(&Scheme::Ecmp, 0.01, bytes, 7);
-        let (b, bo) = run_scheme(&Scheme::Ecmp, 0.01, bytes, 7);
+        let (a, ao) = run_scheme(&schemes::ecmp(), 0.01, bytes, 7);
+        let (b, bo) = run_scheme(&schemes::ecmp(), 0.01, bytes, 7);
         assert_eq!(a.gray_drops, b.gray_drops);
         assert_eq!(a.timeouts, b.timeouts);
         assert_eq!(a.max_fct_s.to_bits(), b.max_fct_s.to_bits());

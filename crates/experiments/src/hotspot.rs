@@ -13,13 +13,14 @@ use topology::TestbedParams;
 use workloads::hotspot;
 
 use crate::report::{Opts, Report};
-use crate::scenario::{parallel_map, run_testbed, Scheme};
+use crate::scenario::{parallel_map, run_testbed};
+use crate::schemes::{self, SchemeSpec};
 
 /// Per-path throughput for one scheme.
 #[derive(Debug)]
 pub struct PathLoads {
-    /// Scheme name.
-    pub scheme: &'static str,
+    /// Scheme display name (parameters included).
+    pub scheme: String,
     /// TCP Gbps per uplink (path) of the sending ToR.
     pub tcp_gbps: Vec<f64>,
     /// UDP Gbps per uplink.
@@ -44,7 +45,7 @@ impl PathLoads {
 }
 
 /// Run the hotspot experiment for the given schemes.
-pub fn sweep(opts: &Opts, schemes: &[Scheme]) -> Vec<PathLoads> {
+pub fn sweep(opts: &Opts, schemes: &[SchemeSpec]) -> Vec<PathLoads> {
     opts.validate();
     let params = TestbedParams::paper();
     let duration = opts.scaled(SimTime::from_ms(100));
@@ -68,7 +69,7 @@ pub fn sweep(opts: &Opts, schemes: &[Scheme]) -> Vec<PathLoads> {
         let out = run_testbed(params.clone(), &scheme, &specs, duration, opts.seed, &watch);
         let secs = duration.as_secs_f64();
         PathLoads {
-            scheme: scheme.name(),
+            scheme: scheme.name().to_string(),
             tcp_gbps: out
                 .port_stats
                 .iter()
@@ -87,10 +88,10 @@ pub fn sweep(opts: &Opts, schemes: &[Scheme]) -> Vec<PathLoads> {
 pub fn run(opts: &Opts) -> Report {
     let loads = sweep(
         opts,
-        &[
-            Scheme::Ecmp,
-            Scheme::FlowBender(flowbender::Config::default()),
-        ],
+        &opts.scheme_selection(&[
+            schemes::ecmp(),
+            schemes::flowbender(flowbender::Config::default()),
+        ]),
     );
     let mut table = Table::new(vec!["scheme", "path", "TCP", "UDP", "total", "hotspot?"]);
     for pl in &loads {
@@ -135,12 +136,13 @@ mod tests {
         let opts = Opts {
             scale: 0.5,
             seed: 4,
+            ..Opts::default()
         };
         let loads = sweep(
             &opts,
             &[
-                Scheme::Ecmp,
-                Scheme::FlowBender(flowbender::Config::default()),
+                schemes::ecmp(),
+                schemes::flowbender(flowbender::Config::default()),
             ],
         );
         let ecmp = &loads[0];

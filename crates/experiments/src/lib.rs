@@ -21,6 +21,11 @@
 //! | [`buffers`] | substrate sensitivity: buffer depth vs the ECMP gap |
 //! | [`flowlet`] | extension: FlowBender vs LetFlow-style flowlet switching |
 //! | [`ablation`] | §3.4/§5 design refinements |
+//! | [`repflow`] | extension: RepFlow-style short-flow replication vs rerouting |
+//!
+//! Which load-balancing designs exist — and how a new one is added in a
+//! single file — is owned by the [`schemes`] registry; the shared runners
+//! and sweep machinery live in [`scenario`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -36,8 +41,10 @@ pub mod gray_failure;
 pub mod hotspot;
 pub mod link_failure;
 pub mod registry;
+pub mod repflow;
 pub mod report;
 pub mod scenario;
+pub mod schemes;
 pub mod sensitivity;
 pub mod table1;
 pub mod topo_dep;
@@ -45,8 +52,22 @@ pub mod topo_dep;
 pub use registry::{find, registry, Experiment};
 pub use report::{Opts, Report, RunSummary};
 pub use scenario::{
-    parallel_map, run_fat_tree, run_fat_tree_faults, run_testbed, RunOutput, Scheme, Window,
+    parallel_map, run_fat_tree, run_fat_tree_faults, run_testbed, sweep_schemes, RunOutput, Window,
 };
+pub use schemes::{Replication, SchemeSpec};
+
+/// The error text for an unknown `--scheme` value: names the offender and
+/// lists every registered scheme, mirroring the unknown-experiment error.
+pub fn schemes_help(unknown: &str) -> String {
+    let known = schemes::registry()
+        .iter()
+        .map(|s| s.name().to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "unknown scheme `{unknown}`; registered schemes: {known} (try the `schemes` subcommand)"
+    )
+}
 
 /// Run every experiment and return all reports, in registry (paper) order.
 ///

@@ -16,13 +16,14 @@ use transport::install_agents;
 use workloads::microbench;
 
 use crate::report::{Opts, Report};
-use crate::scenario::{parallel_map, Scheme};
+use crate::scenario::parallel_map;
+use crate::schemes::{self, SchemeSpec};
 
 /// Result of one scheme's failure run.
 #[derive(Debug)]
 pub struct FailureResult {
-    /// Scheme name.
-    pub scheme: &'static str,
+    /// Scheme display name (parameters included).
+    pub scheme: String,
     /// Flows that completed (of `flows`).
     pub completed: usize,
     /// Total flows.
@@ -36,7 +37,7 @@ pub struct FailureResult {
 }
 
 /// Run the failure experiment for one scheme.
-pub fn run_scheme(scheme: &Scheme, bytes: u64, fail_at: SimTime, seed: u64) -> FailureResult {
+pub fn run_scheme(scheme: &SchemeSpec, bytes: u64, fail_at: SimTime, seed: u64) -> FailureResult {
     let params = FatTreeParams::paper();
     let mut sim = Simulator::new(seed);
     let ft = build_fat_tree(&mut sim, params, scheme.switch_config());
@@ -56,7 +57,7 @@ pub fn run_scheme(scheme: &Scheme, bytes: u64, fail_at: SimTime, seed: u64) -> F
         .map(|t| t.as_secs_f64())
         .collect();
     FailureResult {
-        scheme: scheme.name(),
+        scheme: scheme.name().to_string(),
         completed: fcts.len(),
         flows: specs.len(),
         timeouts: rec.get(Counter::Timeouts),
@@ -70,11 +71,11 @@ pub fn run(opts: &Opts) -> Report {
     opts.validate();
     let bytes = (10_000_000.0 * opts.scale) as u64;
     let fail_at = SimTime::from_ms(5);
-    let schemes = vec![
-        Scheme::Ecmp,
-        Scheme::FlowBender(flowbender::Config::default()),
+    let contenders = vec![
+        schemes::ecmp(),
+        schemes::flowbender(flowbender::Config::default()),
     ];
-    let results = parallel_map(schemes, |s| run_scheme(&s, bytes, fail_at, opts.seed));
+    let results = parallel_map(contenders, |s| run_scheme(&s, bytes, fail_at, opts.seed));
 
     let mut table = Table::new(vec![
         "scheme",
@@ -115,9 +116,9 @@ mod tests {
     #[test]
     fn flowbender_survives_failure_ecmp_strands_flows() {
         let bytes = 3_000_000;
-        let ecmp = run_scheme(&Scheme::Ecmp, bytes, SimTime::from_ms(2), 21);
+        let ecmp = run_scheme(&schemes::ecmp(), bytes, SimTime::from_ms(2), 21);
         let fb = run_scheme(
-            &Scheme::FlowBender(flowbender::Config::default()),
+            &schemes::flowbender(flowbender::Config::default()),
             bytes,
             SimTime::from_ms(2),
             21,

@@ -1,12 +1,14 @@
 //! CLI for the FlowBender reproduction harness.
 //!
 //! ```text
-//! experiments <command> [--scale F] [--seed N] [--out DIR] [--json DIR]
+//! experiments <command> [--scale F] [--seed N] [--scheme A,B] [--out DIR] [--json DIR]
 //! ```
 //!
 //! The command list and descriptions come from the experiment registry
-//! ([`experiments::registry`]); run with no arguments to see it. Besides
-//! the rendered tables (`--out`), `--json DIR` writes one deterministic
+//! ([`experiments::registry`]); run with no arguments to see it. The
+//! `schemes` subcommand prints the scheme registry, and `--scheme a,b`
+//! narrows an experiment to a named selection. Besides the rendered
+//! tables (`--out`), `--json DIR` writes one deterministic
 //! machine-readable JSON file per instrumented run plus a
 //! `BENCH_run.json` wall-clock record for the whole invocation.
 
@@ -17,21 +19,45 @@ use experiments::{report::Opts, Report};
 use stats::Json;
 
 fn usage() -> ! {
-    eprintln!("usage: experiments <command> [--scale F] [--seed N] [--out DIR] [--json DIR]");
+    eprintln!(
+        "usage: experiments <command> [--scale F] [--seed N] [--scheme A,B] [--out DIR] [--json DIR]"
+    );
     eprintln!();
     eprintln!("commands:");
     for e in experiments::registry() {
         eprintln!("  {:<13} {}", e.name(), e.describe());
     }
     eprintln!("  {:<13} everything above", "all");
+    eprintln!(
+        "  {:<13} list the registered load-balancing schemes",
+        "schemes"
+    );
     eprintln!();
     eprintln!("options:");
-    eprintln!("  --scale F   duration/size multiplier (default 1.0; ~10 approaches");
-    eprintln!("              the paper's full scale)");
-    eprintln!("  --seed N    master seed (default 1)");
-    eprintln!("  --out DIR   also write .txt/.csv reports there (default: results/)");
-    eprintln!("  --json DIR  write per-run JSON summaries and BENCH_run.json there");
+    eprintln!("  --scale F    duration/size multiplier (default 1.0; ~10 approaches");
+    eprintln!("               the paper's full scale)");
+    eprintln!("  --seed N     master seed (default 1)");
+    eprintln!("  --scheme A,B comma-separated scheme selection (see `schemes`);");
+    eprintln!("               default: each experiment's own set");
+    eprintln!("  --out DIR    also write .txt/.csv reports there (default: results/)");
+    eprintln!("  --json DIR   write per-run JSON summaries and BENCH_run.json there");
     std::process::exit(2);
+}
+
+/// Print the scheme registry: one row per scheme with both halves of the
+/// design (what the switches do, what the host stack does).
+fn print_schemes() {
+    let mut table = stats::Table::new(vec!["scheme", "switch side", "host side", "summary"]);
+    for s in experiments::schemes::registry() {
+        table.row(vec![
+            s.name().to_string(),
+            s.fabric_desc().to_string(),
+            s.host_desc().to_string(),
+            s.brief_desc().to_string(),
+        ]);
+    }
+    println!("registered schemes (select with --scheme, names or slugs):\n");
+    print!("{}", table.render());
 }
 
 fn main() -> ExitCode {
@@ -40,6 +66,10 @@ fn main() -> ExitCode {
         usage();
     }
     let command = args[0].clone();
+    if command == "schemes" {
+        print_schemes();
+        return ExitCode::SUCCESS;
+    }
     let mut opts = Opts::default();
     let mut out_dir = PathBuf::from("results");
     let mut json_dir: Option<PathBuf> = None;
@@ -66,6 +96,12 @@ fn main() -> ExitCode {
             }
             "--json" => {
                 json_dir = Some(PathBuf::from(args.get(i + 1).unwrap_or_else(|| usage())));
+                i += 2;
+            }
+            "--scheme" => {
+                let list = args.get(i + 1).unwrap_or_else(|| usage());
+                opts.schemes
+                    .extend(list.split(',').map(|s| s.trim().to_string()));
                 i += 2;
             }
             _ => usage(),

@@ -140,8 +140,14 @@ experiment!(
     "S3.4/S5 design refinements",
     |opts: &Opts| vec![crate::ablation::run(opts)]
 );
+experiment!(
+    RepFlow,
+    "repflow",
+    "extension: RepFlow-style short-flow replication vs rerouting",
+    |opts: &Opts| vec![crate::repflow::run(opts)]
+);
 
-static REGISTRY: [&dyn Experiment; 16] = [
+static REGISTRY: [&dyn Experiment; 17] = [
     &Table1,
     &Fig3,
     &Fig4,
@@ -158,6 +164,7 @@ static REGISTRY: [&dyn Experiment; 16] = [
     &Buffers,
     &FlowletExt,
     &Ablation,
+    &RepFlow,
 ];
 
 /// All experiments, in the paper's presentation order.
@@ -190,7 +197,7 @@ mod tests {
             let found = find(e.name()).expect("registered name must resolve");
             assert_eq!(found.name(), e.name());
         }
-        assert_eq!(registry().len(), 16);
+        assert_eq!(registry().len(), 17);
         assert!(find("no-such-experiment").is_none());
     }
 

@@ -12,7 +12,7 @@ use stats::{Json, Table};
 use crate::scenario::RunOutput;
 
 /// Options shared by all experiments.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Opts {
     /// Scales run durations / flow sizes. `1.0` is the committed default
     /// that finishes in minutes on a laptop; `10.0` approaches the paper's
@@ -20,6 +20,11 @@ pub struct Opts {
     pub scale: f64,
     /// Master seed; every random choice in a run derives from it.
     pub seed: u64,
+    /// Scheme names selected on the command line (`--scheme a,b`). Empty
+    /// means "each experiment's default set". Names are resolved through
+    /// [`crate::schemes::find`], so `flowbender`, `Flowlet(100us)`, and
+    /// `flowlet_100us` all work.
+    pub schemes: Vec<String>,
 }
 
 impl Default for Opts {
@@ -27,6 +32,7 @@ impl Default for Opts {
         Opts {
             scale: 1.0,
             seed: 1,
+            schemes: Vec::new(),
         }
     }
 }
@@ -50,7 +56,31 @@ impl Opts {
                 self.scale
             ));
         }
+        for name in &self.schemes {
+            if crate::schemes::find(name).is_none() {
+                return Err(crate::schemes_help(name));
+            }
+        }
         Ok(())
+    }
+
+    /// The schemes this invocation should evaluate: the `--scheme`
+    /// selection if one was given, otherwise `default`.
+    ///
+    /// # Panics
+    /// On unknown names — [`Opts::check`] reports them gracefully first
+    /// on every CLI path.
+    pub fn scheme_selection(
+        &self,
+        default: &[crate::schemes::SchemeSpec],
+    ) -> Vec<crate::schemes::SchemeSpec> {
+        if self.schemes.is_empty() {
+            return default.to_vec();
+        }
+        self.schemes
+            .iter()
+            .map(|n| crate::schemes::find(n).unwrap_or_else(|| panic!("unknown scheme `{n}`")))
+            .collect()
     }
 
     /// Panicking form of [`Opts::check`], for library/test call sites.
@@ -434,7 +464,14 @@ mod tests {
 
     #[test]
     fn opts_check_rejects_bad_scales() {
-        let ok = |s: f64| Opts { scale: s, seed: 1 }.check();
+        let ok = |s: f64| {
+            Opts {
+                scale: s,
+                seed: 1,
+                ..Opts::default()
+            }
+            .check()
+        };
         assert!(ok(1.0).is_ok());
         assert!(ok(100.0).is_ok());
         assert!(ok(0.01).is_ok());
@@ -450,6 +487,7 @@ mod tests {
         let o = Opts {
             scale: 0.5,
             seed: 1,
+            ..Opts::default()
         };
         o.validate();
         assert_eq!(

@@ -1,87 +1,19 @@
-//! Shared experiment machinery: schemes, runners, and parallel sweeps.
+//! Shared experiment machinery: runners, replication expansion, and
+//! parallel sweeps.
 //!
-//! A [`Scheme`] bundles the fabric-side switch configuration with the
-//! host-side TCP configuration of one evaluated design, exactly as §4.2
-//! pairs them:
-//!
-//! | scheme      | switches                         | hosts                     |
-//! |-------------|----------------------------------|---------------------------|
-//! | ECMP        | 5-tuple(+V) hash                 | DCTCP                     |
-//! | FlowBender  | 5-tuple+V hash                   | DCTCP + FlowBender        |
-//! | RPS         | per-packet random spray          | DCTCP                     |
-//! | DeTail      | per-packet adaptive + PFC        | DCTCP, no fast retransmit |
+//! What to run is described by a [`crate::schemes::SchemeSpec`] (fabric +
+//! host sides of one design, see the `schemes` module); this module owns
+//! *how* to run it: building the topology, expanding replicated flows,
+//! installing agents, auditing conservation, and fanning sweeps out over
+//! a bounded worker pool.
 
 use std::ops::Deref;
 
-use flowbender as fb;
-use netsim::{
-    FlowSpec, HashConfig, PortStats, RunResults, SimTime, Simulator, SwitchConfig, TelemetryConfig,
-};
+use netsim::{FlowId, FlowSpec, PortStats, Proto, RunResults, SimTime, Simulator, TelemetryConfig};
 use topology::{build_fat_tree, build_testbed, FatTree, FatTreeParams, Testbed, TestbedParams};
-use transport::{install_agents, TcpConfig};
+use transport::install_agents;
 
-/// One evaluated load-balancing design (fabric + host sides together).
-#[derive(Debug, Clone)]
-pub enum Scheme {
-    /// Static ECMP hashing, the baseline everything is normalized to.
-    Ecmp,
-    /// FlowBender over commodity ECMP switches with the V-field hashed.
-    FlowBender(fb::Config),
-    /// Random Packet Spraying switches.
-    Rps,
-    /// DeTail-style adaptive routing with PFC; fast retransmit disabled.
-    DeTail,
-    /// Flowlet switching (LetFlow-style) with the given inactivity gap —
-    /// a contemporary baseline beyond the paper's four schemes.
-    Flowlet(SimTime),
-}
-
-impl Scheme {
-    /// All four schemes with FlowBender at paper defaults, in the paper's
-    /// presentation order.
-    pub fn paper_set() -> Vec<Scheme> {
-        vec![
-            Scheme::Ecmp,
-            Scheme::FlowBender(fb::Config::default()),
-            Scheme::Rps,
-            Scheme::DeTail,
-        ]
-    }
-
-    /// Display name.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Scheme::Ecmp => "ECMP",
-            Scheme::FlowBender(_) => "FlowBender",
-            Scheme::Rps => "RPS",
-            Scheme::DeTail => "DeTail",
-            Scheme::Flowlet(_) => "Flowlet",
-        }
-    }
-
-    /// The switch configuration this scheme needs.
-    pub fn switch_config(&self) -> SwitchConfig {
-        match self {
-            // ECMP switches are configured with the V-field in the hash in
-            // all runs (the paper's "5 lines of switch configuration") —
-            // for plain ECMP hosts never change V, so it is inert.
-            Scheme::Ecmp => SwitchConfig::commodity(HashConfig::FiveTupleAndVField),
-            Scheme::FlowBender(_) => SwitchConfig::commodity(HashConfig::FiveTupleAndVField),
-            Scheme::Rps => SwitchConfig::rps(),
-            Scheme::DeTail => SwitchConfig::detail(),
-            Scheme::Flowlet(gap) => SwitchConfig::flowlet(*gap),
-        }
-    }
-
-    /// The host TCP configuration this scheme needs.
-    pub fn tcp_config(&self) -> TcpConfig {
-        match self {
-            Scheme::Ecmp | Scheme::Rps | Scheme::Flowlet(_) => TcpConfig::default(),
-            Scheme::FlowBender(cfg) => TcpConfig::flowbender(*cfg),
-            Scheme::DeTail => TcpConfig::detail(),
-        }
-    }
-}
+use crate::schemes::SchemeSpec;
 
 /// Everything a finished run hands back for analysis (thread-safe: no
 /// simulator internals). Dereferences to [`RunResults`], so flow records,
@@ -98,6 +30,11 @@ pub struct RunOutput {
     /// The end-of-run packet-conservation ledger (already verified to
     /// balance — every runner asserts it before handing results out).
     pub conservation: netsim::Conservation,
+    /// `(primary, replica)` flow-id pairs added by a replicating scheme
+    /// (empty for everything but RepFlow-style specs). Replica flows
+    /// appear in `flows` like any other; use [`RunOutput::effective_flows`]
+    /// for the first-finisher-wins view.
+    pub replicas: Vec<(FlowId, FlowId)>,
 }
 
 impl Deref for RunOutput {
@@ -108,7 +45,11 @@ impl Deref for RunOutput {
 }
 
 impl RunOutput {
-    fn from_sim(sim: Simulator, watch_ports: &[(netsim::NodeId, netsim::PortId)]) -> Self {
+    fn from_sim(
+        sim: Simulator,
+        watch_ports: &[(netsim::NodeId, netsim::PortId)],
+        replicas: Vec<(FlowId, FlowId)>,
+    ) -> Self {
         // Every experiment run passes the conservation audit, in every
         // build profile (the simulator itself only debug-asserts it).
         sim.assert_conservation();
@@ -123,15 +64,66 @@ impl RunOutput {
             port_stats,
             events,
             conservation,
+            replicas,
         }
     }
+
+    /// The flow records as the *application* experienced them: replicas
+    /// are folded into their primary (a replicated flow completes when
+    /// its first copy does) and dropped from the list. For
+    /// non-replicating schemes this is simply a copy of `flows`.
+    pub fn effective_flows(&self) -> Vec<netsim::FlowRecord> {
+        if self.replicas.is_empty() {
+            return self.flows.to_vec();
+        }
+        let mut merged = self.flows.to_vec();
+        let mut drop: Vec<bool> = vec![false; merged.len()];
+        for &(primary, replica) in &self.replicas {
+            let (p, r) = (primary as usize, replica as usize);
+            if merged[r].end < merged[p].end {
+                merged[p].end = merged[r].end;
+            }
+            drop[r] = true;
+        }
+        let mut i = 0;
+        merged.retain(|_| {
+            let keep = !drop[i];
+            i += 1;
+            keep
+        });
+        merged
+    }
+}
+
+/// Expand `specs` for `scheme`: a replicating scheme gets one replica per
+/// short TCP flow appended (dense ids continuing after the primaries),
+/// everything else passes through untouched. Returns the expanded spec
+/// list and the `(primary, replica)` pairs.
+fn expand_replicas(
+    specs: &[FlowSpec],
+    scheme: &SchemeSpec,
+) -> (Vec<FlowSpec>, Vec<(FlowId, FlowId)>) {
+    let Some(rep) = scheme.replication() else {
+        return (specs.to_vec(), Vec::new());
+    };
+    let mut all = specs.to_vec();
+    let mut next: FlowId = specs.iter().map(|s| s.id + 1).max().unwrap_or(0);
+    let mut pairs = Vec::new();
+    for s in specs {
+        if s.proto == Proto::Tcp && s.bytes < rep.max_bytes && s.clone_of.is_none() {
+            all.push(s.replica(next, rep.replica_v));
+            pairs.push((s.id, next));
+            next += 1;
+        }
+    }
+    (all, pairs)
 }
 
 /// Run `specs` on a fat-tree of `params` under `scheme`, until `until`
 /// (which should cover the arrival window plus a drain period).
 pub fn run_fat_tree(
     params: FatTreeParams,
-    scheme: &Scheme,
+    scheme: &SchemeSpec,
     specs: &[FlowSpec],
     until: SimTime,
     seed: u64,
@@ -142,7 +134,7 @@ pub fn run_fat_tree(
 /// [`run_fat_tree`] with an explicit telemetry configuration.
 pub fn run_fat_tree_with(
     params: FatTreeParams,
-    scheme: &Scheme,
+    scheme: &SchemeSpec,
     specs: &[FlowSpec],
     until: SimTime,
     seed: u64,
@@ -151,9 +143,10 @@ pub fn run_fat_tree_with(
     let mut sim = Simulator::new(seed);
     sim.set_telemetry(telemetry);
     let _ft: FatTree = build_fat_tree(&mut sim, params, scheme.switch_config());
-    install_agents(&mut sim, specs, &scheme.tcp_config());
+    let (specs, replicas) = expand_replicas(specs, scheme);
+    install_agents(&mut sim, &specs, &scheme.tcp_config());
     sim.run_until(until);
-    RunOutput::from_sim(sim, &[])
+    RunOutput::from_sim(sim, &[], replicas)
 }
 
 /// [`run_fat_tree_with`] plus a [`netsim::FaultPlan`] built against the
@@ -162,7 +155,7 @@ pub fn run_fat_tree_with(
 #[allow(clippy::too_many_arguments)]
 pub fn run_fat_tree_faults(
     params: FatTreeParams,
-    scheme: &Scheme,
+    scheme: &SchemeSpec,
     specs: &[FlowSpec],
     until: SimTime,
     seed: u64,
@@ -173,9 +166,10 @@ pub fn run_fat_tree_faults(
     sim.set_telemetry(telemetry);
     let ft: FatTree = build_fat_tree(&mut sim, params, scheme.switch_config());
     sim.install_faults(&plan(&ft));
-    install_agents(&mut sim, specs, &scheme.tcp_config());
+    let (specs, replicas) = expand_replicas(specs, scheme);
+    install_agents(&mut sim, &specs, &scheme.tcp_config());
     sim.run_until(until);
-    RunOutput::from_sim(sim, &[])
+    RunOutput::from_sim(sim, &[], replicas)
 }
 
 /// Run `specs` on a testbed of `params` under `scheme`. `watch_uplinks`
@@ -184,7 +178,7 @@ pub fn run_fat_tree_faults(
 /// order.
 pub fn run_testbed(
     params: TestbedParams,
-    scheme: &Scheme,
+    scheme: &SchemeSpec,
     specs: &[FlowSpec],
     until: SimTime,
     seed: u64,
@@ -205,7 +199,7 @@ pub fn run_testbed(
 #[allow(clippy::too_many_arguments)]
 pub fn run_testbed_with(
     params: TestbedParams,
-    scheme: &Scheme,
+    scheme: &SchemeSpec,
     specs: &[FlowSpec],
     until: SimTime,
     seed: u64,
@@ -219,9 +213,10 @@ pub fn run_testbed_with(
         .iter()
         .map(|&(t, a)| (tb.tors[t], tb.tor_uplinks[t][a]))
         .collect();
-    install_agents(&mut sim, specs, &scheme.tcp_config());
+    let (specs, replicas) = expand_replicas(specs, scheme);
+    install_agents(&mut sim, &specs, &scheme.tcp_config());
     sim.run_until(until);
-    RunOutput::from_sim(sim, &ports)
+    RunOutput::from_sim(sim, &ports, replicas)
 }
 
 /// Map `f` over `inputs` on a bounded worker pool (runs are
@@ -291,6 +286,29 @@ where
     out
 }
 
+/// Run `f` for every `(param, scheme)` pair on the [`parallel_map`] pool
+/// and return the results grouped by parameter: `out[p]` holds one entry
+/// per scheme, in registry order. This is the one sweep loop every
+/// experiment used to hand-roll; jobs are flattened params-outer /
+/// schemes-inner so result order matches the nested loops they replaced.
+pub fn sweep_schemes<P, T, F>(schemes: &[SchemeSpec], params: &[P], f: F) -> Vec<Vec<T>>
+where
+    P: Clone + Send + Sync,
+    T: Send,
+    F: Fn(&SchemeSpec, &P) -> T + Sync,
+{
+    let jobs: Vec<(SchemeSpec, P)> = params
+        .iter()
+        .flat_map(|p| schemes.iter().map(|s| (s.clone(), p.clone())))
+        .collect();
+    let flat = parallel_map(jobs, |(s, p)| f(&s, &p));
+    let mut flat = flat.into_iter();
+    params
+        .iter()
+        .map(|_| (&mut flat).take(schemes.len()).collect())
+        .collect()
+}
+
 /// Best-effort text of a captured panic payload (panics carry `&str` or
 /// `String` in practice).
 fn panic_text(payload: &(dyn std::any::Any + Send)) -> &str {
@@ -329,34 +347,9 @@ impl Window {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netsim::{Counter, Proto};
-
-    #[test]
-    fn scheme_configs_are_consistent() {
-        for s in Scheme::paper_set() {
-            let sw = s.switch_config();
-            let tcp = s.tcp_config();
-            tcp.validate();
-            match s {
-                Scheme::Ecmp | Scheme::FlowBender(_) => {
-                    assert_eq!(sw.scheme, netsim::ForwardingScheme::EcmpHash);
-                    assert!(sw.pfc.is_none());
-                }
-                Scheme::Rps => assert_eq!(sw.scheme, netsim::ForwardingScheme::Rps),
-                Scheme::Flowlet(_) => unreachable!("not in paper_set"),
-                Scheme::DeTail => {
-                    assert_eq!(sw.scheme, netsim::ForwardingScheme::Adaptive);
-                    assert!(sw.pfc.is_some());
-                    assert_eq!(tcp.dupack_threshold, None);
-                }
-            }
-            if matches!(s, Scheme::FlowBender(_)) {
-                assert!(tcp.flowbender.is_some());
-            } else {
-                assert!(tcp.flowbender.is_none());
-            }
-        }
-    }
+    use crate::schemes;
+    use flowbender as fb;
+    use netsim::Counter;
 
     #[test]
     fn tiny_fat_tree_run_completes_flows() {
@@ -364,7 +357,7 @@ mod tests {
         let specs: Vec<FlowSpec> = (0..8)
             .map(|i| FlowSpec::tcp(i, i, 8 + i, 500_000, SimTime::ZERO))
             .collect();
-        for scheme in Scheme::paper_set() {
+        for scheme in schemes::paper_set() {
             let out = run_fat_tree(params, &scheme, &specs, SimTime::from_secs(5), 1);
             let done = out.flows.iter().filter(|f| f.fct().is_some()).count();
             assert_eq!(done, 8, "{} incomplete", scheme.name());
@@ -383,7 +376,7 @@ mod tests {
         let watch: Vec<(usize, usize)> = (0..4).map(|a| (0usize, a)).collect();
         let out = run_testbed(
             params,
-            &Scheme::Ecmp,
+            &schemes::ecmp(),
             &specs,
             SimTime::from_ms(20),
             7,
@@ -395,6 +388,48 @@ mod tests {
         assert!(tcp_total > 0, "TCP crossed the uplinks");
         assert!(udp_total > 0, "UDP crossed the uplinks");
         assert_eq!(out.flows[1].proto, Proto::Udp);
+    }
+
+    #[test]
+    fn replicating_scheme_expands_and_merges() {
+        let params = FatTreeParams::tiny();
+        // Two short flows (replicated) and one long flow (not).
+        let specs = vec![
+            FlowSpec::tcp(0, 0, 8, 50_000, SimTime::ZERO),
+            FlowSpec::tcp(1, 1, 9, 30_000, SimTime::ZERO),
+            FlowSpec::tcp(2, 2, 10, 2_000_000, SimTime::ZERO),
+        ];
+        let out = run_fat_tree(
+            params,
+            &schemes::repflow(),
+            &specs,
+            SimTime::from_secs(5),
+            3,
+        );
+        assert_eq!(out.replicas, vec![(0, 3), (1, 4)]);
+        assert_eq!(out.flows.len(), 5, "two replicas were installed");
+        assert!(out.flows.iter().all(|f| f.fct().is_some()));
+        let eff = out.effective_flows();
+        assert_eq!(eff.len(), 3, "replicas folded away");
+        for &(p, r) in &out.replicas {
+            let merged = eff.iter().find(|f| f.flow == p).unwrap();
+            assert_eq!(
+                merged.end,
+                out.flows[p as usize].end.min(out.flows[r as usize].end),
+                "first finisher wins"
+            );
+        }
+        assert_eq!(eff[2].end, out.flows[2].end, "long flow untouched");
+        assert!(out.conservation.holds(), "duplicates stay in the ledger");
+    }
+
+    #[test]
+    fn non_replicating_scheme_has_no_replicas() {
+        let params = FatTreeParams::tiny();
+        let specs = vec![FlowSpec::tcp(0, 0, 8, 50_000, SimTime::ZERO)];
+        let out = run_fat_tree(params, &schemes::ecmp(), &specs, SimTime::from_secs(5), 3);
+        assert!(out.replicas.is_empty());
+        assert_eq!(out.effective_flows().len(), out.flows.len());
     }
 
     #[test]
@@ -437,6 +472,21 @@ mod tests {
     }
 
     #[test]
+    fn sweep_schemes_groups_by_param_in_registry_order() {
+        let schemes = vec![schemes::ecmp(), schemes::rps()];
+        let out = sweep_schemes(&schemes, &[10u64, 20u64], |s, p| {
+            format!("{}@{p}", s.name())
+        });
+        assert_eq!(
+            out,
+            vec![
+                vec!["ECMP@10".to_string(), "RPS@10".to_string()],
+                vec!["ECMP@20".to_string(), "RPS@20".to_string()],
+            ]
+        );
+    }
+
+    #[test]
     fn fault_runner_injects_and_audits() {
         let params = FatTreeParams::tiny();
         let specs: Vec<FlowSpec> = (0..8)
@@ -444,7 +494,7 @@ mod tests {
             .collect();
         let out = run_fat_tree_faults(
             params,
-            &Scheme::Ecmp,
+            &schemes::ecmp(),
             &specs,
             SimTime::from_secs(5),
             1,
@@ -471,7 +521,7 @@ mod tests {
         let specs: Vec<FlowSpec> = (0..8)
             .map(|i| FlowSpec::tcp(i, i, 8 + i, 500_000, SimTime::ZERO))
             .collect();
-        let scheme = Scheme::FlowBender(fb::Config::default());
+        let scheme = schemes::flowbender(fb::Config::default());
         let out = run_fat_tree_with(
             params,
             &scheme,

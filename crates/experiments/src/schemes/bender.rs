@@ -1,0 +1,74 @@
+//! FlowBender: the paper's scheme — end-host path control over a
+//! commodity V-field-hashing fabric.
+
+use super::SchemeSpec;
+use netsim::{HashConfig, SwitchConfig};
+use transport::TcpConfig;
+
+/// FlowBender with the given tuning. The paper's defaults yield the plain
+/// name `FlowBender`; any deviation is spelled out in the name (e.g.
+/// `FlowBender(T=0.01,N=3)`) so sweeps over tunings stay distinguishable
+/// in reports.
+pub fn flowbender(cfg: flowbender::Config) -> SchemeSpec {
+    SchemeSpec::new(
+        name_for(&cfg),
+        SwitchConfig::commodity(HashConfig::FiveTupleAndVField),
+        TcpConfig::flowbender(cfg),
+    )
+    .fabric("static 5-tuple+V hash")
+    .host(format!("DCTCP + FlowBender (T={}, N={})", cfg.t, cfg.n))
+    .brief("end-host rerouting by rewriting V when the marked-ACK fraction crosses T")
+}
+
+/// `FlowBender` for the paper's defaults, `FlowBender(...)` listing every
+/// field that deviates from them.
+fn name_for(cfg: &flowbender::Config) -> String {
+    let d = flowbender::Config::default();
+    if *cfg == d {
+        return "FlowBender".to_string();
+    }
+    let mut parts = Vec::new();
+    if cfg.t != d.t {
+        parts.push(format!("T={}", cfg.t));
+    }
+    if cfg.n != d.n {
+        parts.push(format!("N={}", cfg.n));
+    }
+    if cfg.v_range != d.v_range {
+        parts.push(format!("V={}", cfg.v_range));
+    }
+    if cfg.randomize_n != d.randomize_n {
+        parts.push("randN".to_string());
+    }
+    if let Some(g) = cfg.ewma_gamma {
+        parts.push(format!("ewma={g}"));
+    }
+    if cfg.cooldown_rtts != d.cooldown_rtts {
+        parts.push(format!("cooldown={}", cfg.cooldown_rtts));
+    }
+    if cfg.reroute_on_timeout != d.reroute_on_timeout {
+        parts.push("noTO".to_string());
+    }
+    format!("FlowBender({})", parts.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_keeps_the_bare_name() {
+        assert_eq!(
+            flowbender(flowbender::Config::default()).name(),
+            "FlowBender"
+        );
+    }
+
+    #[test]
+    fn deviations_show_up_in_the_name() {
+        let cfg = flowbender::Config::default().with_t(0.01).with_n(3);
+        assert_eq!(flowbender(cfg).name(), "FlowBender(T=0.01,N=3)");
+        let cfg = flowbender::Config::default().with_ewma(0.75);
+        assert_eq!(flowbender(cfg).name(), "FlowBender(ewma=0.75)");
+    }
+}

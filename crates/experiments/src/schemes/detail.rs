@@ -1,0 +1,15 @@
+//! DeTail: per-packet adaptive routing over a lossless (PFC) fabric.
+
+use super::SchemeSpec;
+use netsim::SwitchConfig;
+use transport::TcpConfig;
+
+/// DeTail-style: switches pick the least-queued eligible port per packet
+/// and generate PFC pause frames; hosts disable fast retransmit because a
+/// lossless fabric turns every dupack burst into reordering noise.
+pub fn detail() -> SchemeSpec {
+    SchemeSpec::new("DeTail", SwitchConfig::detail(), TcpConfig::detail())
+        .fabric("per-packet least-queued adaptive + PFC")
+        .host("DCTCP, fast retransmit off")
+        .brief("lossless adaptive fabric; needs switch changes and PFC headroom")
+}

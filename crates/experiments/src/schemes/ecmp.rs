@@ -1,0 +1,21 @@
+//! ECMP: the static-hashing baseline every other scheme is measured
+//! against.
+
+use super::SchemeSpec;
+use netsim::{HashConfig, SwitchConfig};
+use transport::TcpConfig;
+
+/// Commodity ECMP: per-flow static hashing, stock DCTCP hosts. The hash
+/// covers the V-field too (it never changes, so routing is unaffected) —
+/// this keeps the fabric identical to FlowBender's and isolates the host
+/// policy as the only difference.
+pub fn ecmp() -> SchemeSpec {
+    SchemeSpec::new(
+        "ECMP",
+        SwitchConfig::commodity(HashConfig::FiveTupleAndVField),
+        TcpConfig::default(),
+    )
+    .fabric("static 5-tuple+V hash")
+    .host("DCTCP")
+    .brief("per-flow static hashing; the baseline all results normalize to")
+}

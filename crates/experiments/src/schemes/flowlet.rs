@@ -1,0 +1,20 @@
+//! Flowlet switching (LetFlow-style): the fabric re-picks a port whenever
+//! a flow pauses longer than the flowlet gap.
+
+use super::SchemeSpec;
+use netsim::{SimTime, SwitchConfig};
+use transport::TcpConfig;
+
+/// Switch-side flowlet switching with the given inactivity gap. The gap
+/// is part of the name (`Flowlet(100us)`) so gap sweeps stay
+/// distinguishable.
+pub fn flowlet(gap: SimTime) -> SchemeSpec {
+    SchemeSpec::new(
+        format!("Flowlet({})", super::fmt_gap(gap)),
+        SwitchConfig::flowlet(gap),
+        TcpConfig::default(),
+    )
+    .fabric("switch flowlet tables, random port per new flowlet")
+    .host("DCTCP")
+    .brief("bursts re-balance at idle gaps; needs per-flow switch state")
+}

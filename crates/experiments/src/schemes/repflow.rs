@@ -1,0 +1,31 @@
+//! RepFlow: replicate short flows instead of rerouting them.
+//!
+//! This file is the registry's extensibility proof: the entire scheme —
+//! fabric choice, host stack, replication policy, documentation — lands
+//! here, plus one line in [`super::registry`]. Nothing else in the
+//! codebase knows RepFlow exists.
+
+use super::{Replication, SchemeSpec};
+use netsim::{HashConfig, SwitchConfig};
+use transport::TcpConfig;
+
+/// RepFlow (Xu & Li, INFOCOM 2014 flavor): every TCP flow shorter than
+/// 100 KB is sent twice over the same ECMP fabric, the duplicate pinned
+/// to V = 1 while the primary keeps V = 0, and the first copy to finish
+/// defines the flow's completion time. Path diversity comes from the
+/// V-field hash, so the fabric is exactly ECMP's; no host rerouting logic
+/// at all.
+pub fn repflow() -> SchemeSpec {
+    SchemeSpec::new(
+        "RepFlow",
+        SwitchConfig::commodity(HashConfig::FiveTupleAndVField),
+        TcpConfig::default(),
+    )
+    .fabric("static 5-tuple+V hash")
+    .host("DCTCP; flows < 100KB sent twice (V=0 and V=1), first finisher wins")
+    .brief("short-flow replication buys path diversity without any rerouting")
+    .replicating(Replication {
+        max_bytes: 100_000,
+        replica_v: 1,
+    })
+}

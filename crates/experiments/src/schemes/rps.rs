@@ -1,0 +1,16 @@
+//! RPS: per-packet random packet spraying (§2's reordering-prone
+//! comparison point).
+
+use super::SchemeSpec;
+use netsim::SwitchConfig;
+use transport::TcpConfig;
+
+/// Random packet spraying: every packet independently takes a uniformly
+/// random equal-cost port; hosts run stock DCTCP and absorb the
+/// reordering.
+pub fn rps() -> SchemeSpec {
+    SchemeSpec::new("RPS", SwitchConfig::rps(), TcpConfig::default())
+        .fabric("per-packet uniform random spray")
+        .host("DCTCP")
+        .brief("per-packet spraying; best balance, worst reordering")
+}

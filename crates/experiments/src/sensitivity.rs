@@ -14,7 +14,8 @@ use topology::FatTreeParams;
 use workloads::{all_to_all, FlowSizeDist};
 
 use crate::report::{Opts, Report};
-use crate::scenario::{parallel_map, run_fat_tree, Scheme, Window};
+use crate::scenario::{parallel_map, run_fat_tree, Window};
+use crate::schemes;
 
 /// N values of Figure 6.
 pub const N_VALUES: [u32; 5] = [1, 2, 3, 4, 5];
@@ -31,7 +32,7 @@ fn run_variant(opts: &Opts, cfg: flowbender::Config) -> f64 {
     let specs = all_to_all(&params, 0.4, duration, &dist, &mut rng);
     let out = run_fat_tree(
         params,
-        &Scheme::FlowBender(cfg),
+        &schemes::flowbender(cfg),
         &specs,
         window.drain_until,
         opts.seed,
@@ -102,6 +103,7 @@ mod tests {
         let opts = Opts {
             scale: 0.15,
             seed: 11,
+            ..Opts::default()
         };
         let m1 = run_variant(&opts, flowbender::Config::default().with_n(1));
         let m3 = run_variant(&opts, flowbender::Config::default().with_n(3));

@@ -15,7 +15,8 @@ use topology::FatTreeParams;
 use workloads::microbench;
 
 use crate::report::{Opts, Report, RunSummary};
-use crate::scenario::{parallel_map, run_fat_tree_with, Scheme};
+use crate::scenario::{parallel_map, run_fat_tree_with};
+use crate::schemes::{self, SchemeSpec};
 
 /// Flow counts evaluated by the paper (1, 2, 3 flows per route on average).
 pub const FLOW_COUNTS: [u32; 3] = [8, 16, 24];
@@ -48,8 +49,12 @@ fn telemetry() -> TelemetryConfig {
 }
 
 /// Run the microbenchmark for one scheme across all flow counts.
-pub fn run_scheme(scheme: &Scheme, bytes: u64, seed: u64) -> Vec<Cell> {
-    let opts = Opts { scale: 1.0, seed };
+pub fn run_scheme(scheme: &SchemeSpec, bytes: u64, seed: u64) -> Vec<Cell> {
+    let opts = Opts {
+        scale: 1.0,
+        seed,
+        ..Opts::default()
+    };
     run_scheme_with(scheme, bytes, seed, TelemetryConfig::off(), &opts)
         .into_iter()
         .map(|(cell, _)| cell)
@@ -59,14 +64,14 @@ pub fn run_scheme(scheme: &Scheme, bytes: u64, seed: u64) -> Vec<Cell> {
 /// Like [`run_scheme`], but with a telemetry configuration, also
 /// returning the machine-readable [`RunSummary`] of every run.
 pub fn run_scheme_with(
-    scheme: &Scheme,
+    scheme: &SchemeSpec,
     bytes: u64,
     seed: u64,
     telemetry: TelemetryConfig,
     opts: &Opts,
 ) -> Vec<(Cell, RunSummary)> {
     let params = FatTreeParams::paper();
-    let slug = scheme.name().to_lowercase();
+    let slug = scheme.slug();
     parallel_map(FLOW_COUNTS.to_vec(), |n| {
         let specs = microbench(&params, n, bytes);
         let out = run_fat_tree_with(
@@ -129,14 +134,14 @@ pub fn run(opts: &Opts) -> Report {
                 .collect()
         };
         let ecmp = split(run_scheme_with(
-            &Scheme::Ecmp,
+            &schemes::ecmp(),
             bytes,
             seed,
             telemetry(),
             opts,
         ));
         let bender = split(run_scheme_with(
-            &Scheme::FlowBender(flowbender::Config::default()),
+            &schemes::flowbender(flowbender::Config::default()),
             bytes,
             seed,
             telemetry(),
@@ -190,8 +195,12 @@ mod tests {
     #[test]
     fn shrunken_table1_shows_the_shape() {
         let bytes = 2_000_000;
-        let ecmp = run_scheme(&Scheme::Ecmp, bytes, 3);
-        let fb = run_scheme(&Scheme::FlowBender(flowbender::Config::default()), bytes, 3);
+        let ecmp = run_scheme(&schemes::ecmp(), bytes, 3);
+        let fb = run_scheme(
+            &schemes::flowbender(flowbender::Config::default()),
+            bytes,
+            3,
+        );
         for (e, b) in ecmp.iter().zip(&fb) {
             assert_eq!(e.completed as u32, e.flows);
             assert_eq!(b.completed as u32, b.flows);

@@ -15,7 +15,8 @@ use topology::FatTreeParams;
 use workloads::{all_to_all, FlowSizeDist};
 
 use crate::report::{Opts, Report};
-use crate::scenario::{parallel_map, run_fat_tree, Scheme, Window};
+use crate::scenario::{parallel_map, run_fat_tree, Window};
+use crate::schemes;
 
 /// Mean FCT of one (fabric, scheme) run.
 #[derive(Debug)]
@@ -24,8 +25,8 @@ pub struct Cell {
     pub fabric: &'static str,
     /// Inter-pod path diversity of the fabric.
     pub paths: usize,
-    /// Scheme name.
-    pub scheme: &'static str,
+    /// Scheme display name (parameters included).
+    pub scheme: String,
     /// Mean FCT (s).
     pub mean_s: f64,
 }
@@ -44,8 +45,8 @@ pub fn sweep(opts: &Opts) -> Vec<Cell> {
     let mut jobs = Vec::new();
     for (label, params) in fabrics {
         for scheme in [
-            Scheme::Ecmp,
-            Scheme::FlowBender(flowbender::Config::default()),
+            schemes::ecmp(),
+            schemes::flowbender(flowbender::Config::default()),
         ] {
             jobs.push((label, params, scheme));
         }
@@ -59,7 +60,7 @@ pub fn sweep(opts: &Opts) -> Vec<Cell> {
         Cell {
             fabric: label,
             paths: params.inter_pod_paths(),
-            scheme: scheme.name(),
+            scheme: scheme.name().to_string(),
             mean_s: stats::mean(&fcts).unwrap_or(0.0),
         }
     })

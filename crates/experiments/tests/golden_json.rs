@@ -10,8 +10,9 @@
 
 use std::path::PathBuf;
 
+use experiments::schemes;
 use experiments::table1::{run_scheme_with, FLOW_COUNTS};
-use experiments::{Opts, Scheme};
+use experiments::Opts;
 use netsim::{SimTime, TelemetryConfig};
 
 const BYTES: u64 = 2_000_000;
@@ -31,9 +32,10 @@ fn render_once() -> String {
     let opts = Opts {
         scale: 0.08,
         seed: SEED,
+        ..Opts::default()
     };
     let runs = run_scheme_with(
-        &Scheme::FlowBender(flowbender::Config::default()),
+        &schemes::flowbender(flowbender::Config::default()),
         BYTES,
         SEED,
         telemetry(),
@@ -113,7 +115,7 @@ fn dropful_run_reasons_sum_to_total() {
     let specs = microbench(&params, 4, 200_000);
     let out = run_fat_tree_faults(
         params,
-        &Scheme::Ecmp,
+        &schemes::ecmp(),
         &specs,
         SimTime::from_secs(20),
         5,

@@ -35,6 +35,14 @@ pub struct FlowSpec {
     /// reorder-tolerant transports). 0 = never (pinned, the hotspot
     /// behaviour).
     pub udp_spray_every: u64,
+    /// Initial V-field hint for the transport's path controller. 0 for
+    /// ordinary flows; replication schemes pin their duplicates to other
+    /// values so a replica hashes onto a different path than its primary.
+    pub vhint: u8,
+    /// When this flow is a replica, the id of the flow it duplicates.
+    /// Replicas inherit the primary's 5-tuple (see [`FlowSpec::key`]) so
+    /// the *only* routing difference between the copies is the V-field.
+    pub clone_of: Option<FlowId>,
 }
 
 impl FlowSpec {
@@ -52,6 +60,8 @@ impl FlowSpec {
             proto: Proto::Tcp,
             udp_rate_bps: 0,
             udp_spray_every: 0,
+            vhint: 0,
+            clone_of: None,
         }
     }
 
@@ -69,6 +79,8 @@ impl FlowSpec {
             proto: Proto::Udp,
             udp_rate_bps: rate_bps,
             udp_spray_every: 0,
+            vhint: 0,
+            clone_of: None,
         }
     }
 
@@ -86,15 +98,34 @@ impl FlowSpec {
         self
     }
 
+    /// A RepFlow-style replica of this flow: same endpoints, same bytes,
+    /// same start — and, via [`FlowSpec::key`], the *same 5-tuple* — but
+    /// pinned to V-field `v`, so the fabric hashes the two copies
+    /// independently through the V-field alone.
+    pub fn replica(&self, id: FlowId, v: u8) -> FlowSpec {
+        assert_eq!(self.proto, Proto::Tcp, "only TCP flows replicate");
+        assert!(self.clone_of.is_none(), "replicas don't replicate");
+        FlowSpec {
+            id,
+            vhint: v,
+            clone_of: Some(self.id),
+            job: self.job,
+            ..self.clone()
+        }
+    }
+
     /// The 5-tuple this flow's packets carry. Ports are derived from the
     /// flow id so every flow gets distinct ECMP hash entropy, like distinct
-    /// ephemeral ports would in a real host.
+    /// ephemeral ports would in a real host. Replicas derive ports from
+    /// their *primary's* id: both copies share the 5-tuple and differ only
+    /// in the V-field, which is the whole replication mechanism.
     pub fn key(&self) -> FlowKey {
+        let hash_id = self.clone_of.unwrap_or(self.id);
         FlowKey {
             src: self.src,
             dst: self.dst,
-            sport: 1024 + (self.id % 60_000) as u16,
-            dport: 9_000 + (self.id / 60_000) as u16,
+            sport: 1024 + (hash_id % 60_000) as u16,
+            dport: 9_000 + (hash_id / 60_000) as u16,
             proto: self.proto,
         }
     }
@@ -161,5 +192,30 @@ mod tests {
     #[should_panic]
     fn self_flow_rejected() {
         FlowSpec::tcp(0, 5, 5, 100, SimTime::ZERO);
+    }
+
+    #[test]
+    fn replica_shares_the_primary_tuple_but_not_its_v() {
+        let primary = FlowSpec::tcp(3, 1, 2, 50_000, SimTime::from_us(7)).with_job(9);
+        let rep = primary.replica(10, 1);
+        assert_eq!(
+            rep.key(),
+            primary.key(),
+            "replication must not change the 5-tuple"
+        );
+        assert_eq!(rep.id, 10);
+        assert_eq!(rep.clone_of, Some(3));
+        assert_eq!(rep.vhint, 1);
+        assert_eq!(rep.bytes, primary.bytes);
+        assert_eq!(rep.start, primary.start);
+        assert_eq!(rep.job, Some(9));
+        assert_eq!(primary.vhint, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn replicas_do_not_replicate() {
+        let primary = FlowSpec::tcp(0, 1, 2, 100, SimTime::ZERO);
+        primary.replica(1, 1).replica(2, 2);
     }
 }

@@ -34,6 +34,11 @@ impl Table {
         self.rows.len()
     }
 
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
     /// True if the table has no data rows.
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()

@@ -115,6 +115,7 @@ impl HostAgent {
                         spec.bytes,
                         self.cfg.clone(),
                         cached,
+                        spec.vhint,
                         ctx,
                     );
                     if let Some(deadline) = sender.start(ctx) {

@@ -2,9 +2,14 @@
 //!
 //! One [`TcpConfig`] describes the whole stack of a run: the base TCP
 //! New Reno parameters, the DCTCP congestion-control layer (the paper runs
-//! *every* scheme over DCTCP, §4.2), and — when evaluating FlowBender —
-//! the per-flow FlowBender configuration.
+//! *every* scheme over DCTCP, §4.2), and the host-side path-control policy
+//! — a [`PathSpec`] naming which [`flowbender::PathController`] each flow
+//! gets (FlowBender when evaluating the paper's scheme, a static no-op for
+//! the oblivious baselines).
 
+use std::sync::Arc;
+
+use flowbender::{FlowBender, FlowcutGap, PathController, Rng, StaticPath};
 use netsim::{SimTime, MSS};
 
 use crate::receiver::DelAckConfig;
@@ -23,8 +28,106 @@ impl Default for DctcpConfig {
     }
 }
 
-/// Configuration of the TCP (New Reno + optional DCTCP + optional
-/// FlowBender) stack.
+/// The per-flow path-controller factory of a [`TcpConfig`].
+///
+/// A `PathSpec` is a label plus a closure building one
+/// [`PathController`] per flow. The closure receives the flow's V-hint
+/// (the initial V a replication scheme assigned it; 0 for ordinary
+/// flows) and the host's deterministic RNG, in case the controller draws
+/// a random initial V the way FlowBender does.
+///
+/// Equality and `Debug` go through the label, so two configs compare
+/// equal exactly when they would build identically configured
+/// controllers — constructors embed every parameter in the label.
+#[derive(Clone)]
+pub struct PathSpec {
+    label: String,
+    #[allow(clippy::type_complexity)]
+    build: Arc<dyn Fn(u8, &mut dyn Rng) -> Box<dyn PathController> + Send + Sync>,
+}
+
+impl PathSpec {
+    /// The no-op controller: every flow keeps its V-hint forever (ECMP,
+    /// RPS, DeTail — and the pinned halves of replication schemes).
+    pub fn none() -> Self {
+        PathSpec {
+            label: "static".to_string(),
+            build: Arc::new(|vhint, _rng| Box::new(StaticPath::new(vhint))),
+        }
+    }
+
+    /// FlowBender with the given configuration (initial V drawn from the
+    /// host RNG, exactly as [`FlowBender::new`] does).
+    pub fn flowbender(cfg: flowbender::Config) -> Self {
+        cfg.validate();
+        PathSpec {
+            label: format!("flowbender({cfg:?})"),
+            build: Arc::new(move |_vhint, rng| Box::new(FlowBender::new(cfg, rng))),
+        }
+    }
+
+    /// Host-side flowcut/flowlet-gap switching: re-draw V after `gap` of
+    /// ACK silence, over `v_range` path options.
+    pub fn flowcut(gap: SimTime, v_range: u8) -> Self {
+        assert!(gap.as_ps() > 0, "flowcut gap must be positive");
+        assert!(v_range >= 1, "v_range must be at least 1");
+        PathSpec {
+            label: format!("flowcut(gap={}ps,v={v_range})", gap.as_ps()),
+            build: Arc::new(move |_vhint, rng| {
+                Box::new(FlowcutGap::new(gap.as_ps(), v_range, rng))
+            }),
+        }
+    }
+
+    /// A custom controller factory, for schemes defined outside this
+    /// crate. `label` must uniquely describe the configuration (it is the
+    /// equality key).
+    pub fn custom(
+        label: impl Into<String>,
+        build: impl Fn(u8, &mut dyn Rng) -> Box<dyn PathController> + Send + Sync + 'static,
+    ) -> Self {
+        PathSpec {
+            label: label.into(),
+            build: Arc::new(build),
+        }
+    }
+
+    /// Build the controller for one flow.
+    pub fn build(&self, vhint: u8, rng: &mut dyn Rng) -> Box<dyn PathController> {
+        (self.build)(vhint, rng)
+    }
+
+    /// The configuration label (the identity of this spec).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Whether this is the no-op (static) controller.
+    pub fn is_none(&self) -> bool {
+        self.label == "static"
+    }
+}
+
+impl std::fmt::Debug for PathSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("PathSpec").field(&self.label).finish()
+    }
+}
+
+impl PartialEq for PathSpec {
+    fn eq(&self, other: &Self) -> bool {
+        self.label == other.label
+    }
+}
+
+impl Default for PathSpec {
+    fn default() -> Self {
+        PathSpec::none()
+    }
+}
+
+/// Configuration of the TCP (New Reno + optional DCTCP + path control)
+/// stack.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TcpConfig {
     /// Maximum segment size in bytes.
@@ -41,12 +144,12 @@ pub struct TcpConfig {
     /// the §4.3 testbed re-ran with 30 as a reordering sanity check.
     pub dupack_threshold: Option<u32>,
     /// DCTCP layer; `None` degrades to plain New Reno over ECN-blind TCP
-    /// (marks are then ignored for congestion control, though FlowBender
-    /// still sees them).
+    /// (marks are then ignored for congestion control, though path
+    /// controllers still see them).
     pub dctcp: Option<DctcpConfig>,
-    /// FlowBender end-host load balancing; `None` for the ECMP/RPS/DeTail
-    /// baselines.
-    pub flowbender: Option<flowbender::Config>,
+    /// The host-side path-control policy each flow runs
+    /// ([`PathSpec::none`] for the oblivious ECMP/RPS/DeTail baselines).
+    pub path: PathSpec,
     /// Delayed acknowledgments (the DCTCP paper's receiver state machine);
     /// `None` = per-packet ACKs, the exact-echo default used throughout
     /// the experiments.
@@ -60,7 +163,7 @@ pub struct TcpConfig {
 
 impl Default for TcpConfig {
     /// The paper's base stack: DCTCP (g = 1/16), RTO_min = 10 ms, dupack
-    /// threshold 3, no FlowBender.
+    /// threshold 3, no path control.
     fn default() -> Self {
         TcpConfig {
             mss: MSS,
@@ -69,7 +172,7 @@ impl Default for TcpConfig {
             rto_initial: SimTime::from_ms(10),
             dupack_threshold: Some(3),
             dctcp: Some(DctcpConfig::default()),
-            flowbender: None,
+            path: PathSpec::none(),
             delack: None,
             max_cwnd: 1_000_000,
         }
@@ -80,7 +183,7 @@ impl TcpConfig {
     /// The FlowBender stack: DCTCP plus FlowBender with the given config.
     pub fn flowbender(fb: flowbender::Config) -> Self {
         TcpConfig {
-            flowbender: Some(fb),
+            path: PathSpec::flowbender(fb),
             ..TcpConfig::default()
         }
     }
@@ -91,6 +194,14 @@ impl TcpConfig {
     pub fn detail() -> Self {
         TcpConfig {
             dupack_threshold: None,
+            ..TcpConfig::default()
+        }
+    }
+
+    /// A stack running an arbitrary path controller.
+    pub fn with_path(path: PathSpec) -> Self {
+        TcpConfig {
+            path,
             ..TcpConfig::default()
         }
     }
@@ -113,9 +224,6 @@ impl TcpConfig {
         }
         if let Some(d) = self.dctcp {
             assert!(d.g > 0.0 && d.g <= 1.0, "DCTCP g must be in (0,1]");
-        }
-        if let Some(fb) = self.flowbender {
-            fb.validate();
         }
         if let Some(d) = self.delack {
             assert!(d.every >= 1, "delack count must be >= 1");
@@ -140,7 +248,7 @@ mod tests {
         assert_eq!(c.dupack_threshold, Some(3));
         let d = c.dctcp.unwrap();
         assert!((d.g - 0.0625).abs() < 1e-12);
-        assert!(c.flowbender.is_none());
+        assert!(c.path.is_none());
         c.validate();
     }
 
@@ -155,8 +263,40 @@ mod tests {
     #[test]
     fn flowbender_stack_carries_config() {
         let c = TcpConfig::flowbender(flowbender::Config::default().with_t(0.01));
-        assert_eq!(c.flowbender.unwrap().t, 0.01);
+        assert!(!c.path.is_none());
+        assert_eq!(
+            c.path,
+            PathSpec::flowbender(flowbender::Config::default().with_t(0.01))
+        );
+        assert_ne!(c.path, PathSpec::flowbender(flowbender::Config::default()));
         c.validate();
+    }
+
+    #[test]
+    fn path_spec_builds_the_advertised_controller() {
+        let mut rng = flowbender::SplitMix64::new(1);
+        let c = PathSpec::none().build(5, &mut rng);
+        assert_eq!(c.vfield(), 5);
+        assert!(!c.active());
+        let c = PathSpec::flowbender(flowbender::Config::default()).build(0, &mut rng);
+        assert!(c.active());
+        assert!(c.as_flowbender().is_some());
+        let c = PathSpec::flowcut(SimTime::from_us(100), 8).build(0, &mut rng);
+        assert!(c.active());
+        assert!(c.as_flowbender().is_none());
+    }
+
+    #[test]
+    fn path_spec_equality_is_by_label() {
+        assert_eq!(PathSpec::none(), PathSpec::none());
+        assert_eq!(
+            PathSpec::flowcut(SimTime::from_us(100), 8),
+            PathSpec::flowcut(SimTime::from_us(100), 8)
+        );
+        assert_ne!(
+            PathSpec::flowcut(SimTime::from_us(100), 8),
+            PathSpec::flowcut(SimTime::from_us(500), 8)
+        );
     }
 
     #[test]
@@ -167,5 +307,11 @@ mod tests {
             ..TcpConfig::default()
         }
         .validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_flowbender_config_rejected_at_construction() {
+        PathSpec::flowbender(flowbender::Config::default().with_t(1.5));
     }
 }

@@ -28,7 +28,7 @@ pub mod sender;
 pub mod udp;
 
 pub use agent::{install_agents, HostAgent};
-pub use config::{DctcpConfig, TcpConfig};
+pub use config::{DctcpConfig, PathSpec, TcpConfig};
 pub use receiver::{DelAckConfig, Receiver};
 pub use rtt::RttEstimator;
 pub use sender::{TcpSender, TimerOutcome};

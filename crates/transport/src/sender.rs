@@ -9,13 +9,17 @@
 //! * **DCTCP** rides on the ECN echo: the sender estimates `alpha`, the
 //!   smoothed fraction of marked bytes per window (`g` = 1/16), and scales
 //!   cwnd by `1 - alpha/2` at most once per window when marks arrive.
-//! * **FlowBender** observes the same ACK stream: each congestion-window
-//!   "round" doubles as its RTT epoch (both end when the cumulative ACK
-//!   passes the epoch's starting `snd_nxt`), and every decision to change
-//!   `V` immediately affects all future packets of the flow — including
-//!   retransmissions, which is exactly what routes around failures.
+//! * a **path controller** ([`flowbender::PathController`], chosen by
+//!   [`TcpConfig::path`]) observes the same ACK stream: each
+//!   congestion-window "round" doubles as its RTT epoch (both end when
+//!   the cumulative ACK passes the epoch's starting `snd_nxt`), and every
+//!   decision to change `V` immediately affects all future packets of the
+//!   flow — including retransmissions, which is exactly what routes
+//!   around failures. FlowBender is one such controller; the oblivious
+//!   baselines run the no-op static controller, which never draws from
+//!   the RNG and never reroutes.
 
-use flowbender::FlowBender;
+use flowbender::{FlowBender, PathController};
 use netsim::{Counter, Ctx, Flags, FlowId, FlowKey, Packet, ProbeKind, SeriesKey, SimTime};
 
 use crate::config::TcpConfig;
@@ -75,13 +79,13 @@ pub struct TcpSender {
     /// cwnd already reduced in this window.
     cwr: bool,
 
-    // --- FlowBender ---
-    fb: Option<FlowBender>,
+    // --- Path control ---
+    ctrl: Box<dyn PathController>,
     /// ACKs at or below this sequence acknowledge data sent before the
-    /// last reroute; they measure the *old* path and are excluded from the
-    /// marked-fraction F (otherwise every reroute would be judged by the
-    /// path it just left and cascade into a second reroute).
-    fb_skip_until: u64,
+    /// last reroute; they measure the *old* path and are hidden from the
+    /// controller (otherwise every reroute would be judged by the path it
+    /// just left and cascade into a second reroute).
+    skip_until: u64,
 
     // --- Statistics ---
     retransmits: u64,
@@ -89,24 +93,28 @@ pub struct TcpSender {
 }
 
 impl TcpSender {
-    /// Create a sender for `size` bytes on `key`. If the config enables
-    /// FlowBender, the initial `V` is drawn from `ctx`'s RNG.
+    /// Create a sender for `size` bytes on `key`. The path controller is
+    /// built from [`TcpConfig::path`]; controllers that randomize their
+    /// initial `V` (FlowBender, flowcut) draw it from `ctx`'s RNG here.
     ///
     /// `cached_reorder` carries the host's per-destination reordering
     /// estimate (Linux `tcp_metrics` semantics): a fresh connection to a
     /// destination that recently exhibited reordering starts with the
     /// raised duplicate-ACK threshold instead of re-learning it through a
-    /// spurious fast retransmit.
+    /// spurious fast retransmit. `vhint` is the flow's initial-V hint from
+    /// its [`netsim::FlowSpec`] (0 for ordinary flows; replication
+    /// schemes pin their duplicates to other values).
     pub fn new(
         flow: FlowId,
         key: FlowKey,
         size: u64,
         cfg: TcpConfig,
         cached_reorder: Option<u32>,
+        vhint: u8,
         ctx: &mut Ctx<'_>,
     ) -> Self {
         cfg.validate();
-        let fb = cfg.flowbender.map(|fbc| FlowBender::new(fbc, ctx.rng()));
+        let ctrl = cfg.path.build(vhint, ctx.rng());
         let cwnd = cfg.init_cwnd_bytes();
         let rtt = RttEstimator::new(cfg.rto_min, cfg.rto_initial);
         let reorder_threshold = match cfg.dupack_threshold {
@@ -140,17 +148,11 @@ impl TcpSender {
             win_bytes_marked: 0,
             window_end: 0,
             cwr: false,
-            fb: None,
-            fb_skip_until: 0,
+            ctrl,
+            skip_until: 0,
             retransmits: 0,
             timeouts: 0,
         }
-        .with_fb(fb)
-    }
-
-    fn with_fb(mut self, fb: Option<FlowBender>) -> Self {
-        self.fb = fb;
-        self
     }
 
     /// The flow is done: every byte has been cumulatively acknowledged.
@@ -168,9 +170,14 @@ impl TcpSender {
         self.alpha
     }
 
-    /// The FlowBender instance, if this sender runs one.
+    /// The FlowBender instance, if this sender's path controller is one.
     pub fn flowbender(&self) -> Option<&FlowBender> {
-        self.fb.as_ref()
+        self.ctrl.as_flowbender()
+    }
+
+    /// The path controller this sender runs.
+    pub fn path_controller(&self) -> &dyn PathController {
+        self.ctrl.as_ref()
     }
 
     /// Segments retransmitted so far.
@@ -194,17 +201,27 @@ impl TcpSender {
         self.key.dst
     }
 
-    /// The V-field for outgoing packets (0 without FlowBender).
+    /// The V-field for outgoing packets.
     fn vfield(&self) -> u8 {
-        self.fb.as_ref().map_or(0, |fb| fb.vfield())
+        self.ctrl.vfield()
+    }
+
+    /// Bookkeeping shared by every reroute site: counter, the skip fence
+    /// excluding old-path ACKs, and the V-field telemetry probe.
+    fn note_reroute(&mut self, counter: Counter, ctx: &mut Ctx<'_>) {
+        ctx.recorder().bump(counter);
+        self.skip_until = self.snd_nxt;
+        let (now, v) = (ctx.now(), self.ctrl.vfield());
+        ctx.recorder()
+            .probe(now, SeriesKey::Vfield { flow: self.flow }, v as f64);
     }
 
     /// Start the flow: open the window and arm the timer. Returns the
     /// deadline the caller must arm a timer for, if any.
     pub fn start(&mut self, ctx: &mut Ctx<'_>) -> Option<SimTime> {
-        if let Some(fb) = &self.fb {
+        if self.ctrl.active() {
             // Anchor the reroute trace: where did this flow start hashing?
-            let (now, v) = (ctx.now(), fb.vfield());
+            let (now, v) = (ctx.now(), self.ctrl.vfield());
             ctx.recorder()
                 .probe(now, SeriesKey::Vfield { flow: self.flow }, v as f64);
         }
@@ -274,9 +291,11 @@ impl TcpSender {
         if ece {
             ctx.recorder().bump(Counter::MarkedAcksRcvd);
         }
-        if let Some(fb) = &mut self.fb {
-            if ack > self.fb_skip_until {
-                fb.on_ack(ece);
+        if ack > self.skip_until {
+            let now_ps = ctx.now().as_ps();
+            if self.ctrl.on_ack(ece, now_ps, ctx.rng()).rerouted() {
+                // Mid-window reroute (gap-based controllers).
+                self.note_reroute(Counter::Reroutes, ctx);
             }
         }
         self.peer_high = self.peer_high.max(pkt.rcv_high);
@@ -360,14 +379,8 @@ impl TcpSender {
             self.win_bytes_marked = 0;
             self.cwr = false;
             self.window_end = self.snd_nxt;
-            if let Some(fb) = &mut self.fb {
-                if fb.on_rtt_end(ctx.rng()).rerouted() {
-                    ctx.recorder().bump(Counter::Reroutes);
-                    self.fb_skip_until = self.snd_nxt;
-                    let (now, v) = (ctx.now(), fb.vfield());
-                    ctx.recorder()
-                        .probe(now, SeriesKey::Vfield { flow: self.flow }, v as f64);
-                }
+            if self.ctrl.on_rtt_end(ctx.rng()).rerouted() {
+                self.note_reroute(Counter::Reroutes, ctx);
             }
         }
 
@@ -484,14 +497,8 @@ impl TcpSender {
         self.rtt.backoff();
 
         // FlowBender §3.3.2: an RTO is the failure signal — reroute now.
-        if let Some(fb) = &mut self.fb {
-            if fb.on_timeout(ctx.rng()).rerouted() {
-                ctx.recorder().bump(Counter::TimeoutReroutes);
-                self.fb_skip_until = self.snd_nxt;
-                let (now, v) = (ctx.now(), fb.vfield());
-                ctx.recorder()
-                    .probe(now, SeriesKey::Vfield { flow: self.flow }, v as f64);
-            }
+        if self.ctrl.on_timeout(ctx.rng()).rerouted() {
+            self.note_reroute(Counter::TimeoutReroutes, ctx);
         }
 
         // Go-back-N: resume sending from the hole.

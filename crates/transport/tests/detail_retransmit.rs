@@ -1,0 +1,71 @@
+//! End-to-end check of the DeTail host profile: `TcpConfig::detail()`
+//! disables fast retransmit, because DeTail's per-packet adaptive fabric
+//! reorders heavily and dup-ACK bursts are routine, not a loss signal.
+//!
+//! A lossy dumbbell makes the distinction observable end to end: real
+//! drops generate genuine dup-ACK bursts, so the default stack enters
+//! fast retransmit while the DeTail stack must never do so — it still
+//! completes the flow, recovering through RTOs alone.
+
+use netsim::{
+    Counter, FaultPlan, FlowSpec, HashConfig, LinkSpec, RoutingTable, SimTime, Simulator,
+    SwitchConfig,
+};
+use transport::{install_agents, TcpConfig};
+
+/// One TCP flow across a single switch whose receiver-side port silently
+/// loses `loss` of packets (gray loss, so cwnd keeps dup-ACK bursts
+/// coming). Returns the recorder after the run.
+fn lossy_dumbbell(cfg: &TcpConfig, loss: f64, seed: u64) -> netsim::Recorder {
+    let mut sim = Simulator::new(seed);
+    let h0 = sim.add_host_default();
+    let h1 = sim.add_host_default();
+    let sw = sim.add_switch(SwitchConfig::commodity(HashConfig::FiveTupleAndVField));
+    sim.connect(h0, sw, LinkSpec::host_10g());
+    sim.connect(h1, sw, LinkSpec::host_10g());
+    let mut rt = RoutingTable::new(2);
+    rt.set(0, vec![0]);
+    rt.set(1, vec![1]);
+    sim.set_routes(sw, rt);
+    let mut plan = FaultPlan::new();
+    plan.gray_loss(sw, 1, loss, SimTime::ZERO);
+    sim.install_faults(&plan);
+    let specs = vec![FlowSpec::tcp(0, 0, 1, 2_000_000, SimTime::ZERO)];
+    install_agents(&mut sim, &specs, cfg);
+    sim.run_until(SimTime::from_secs(30));
+    sim.into_recorder()
+}
+
+#[test]
+fn detail_profile_never_fast_retransmits_and_recovers_by_rto() {
+    let detail = lossy_dumbbell(&TcpConfig::detail(), 0.02, 9);
+    assert_eq!(
+        detail.completed_count(),
+        1,
+        "the flow must still complete without fast retransmit"
+    );
+    // The fabric really dropped data and the receiver really dup-ACKed:
+    // the ingredients of fast retransmit were all present...
+    assert!(detail.get(Counter::DupAcks) >= 3, "no dup-ACK bursts seen");
+    assert!(detail.get(Counter::Retransmits) > 0, "nothing was lost?");
+    // ...but the DeTail profile must sit them out.
+    assert_eq!(
+        detail.get(Counter::FastRetransmits),
+        0,
+        "TcpConfig::detail() must disable fast retransmit"
+    );
+    // Every recovery therefore came from the retransmission timer.
+    assert!(detail.get(Counter::Timeouts) > 0, "RTO recovery expected");
+}
+
+#[test]
+fn default_profile_fast_retransmits_on_the_same_loss() {
+    // Control: the identical scenario with the default stack does use
+    // dup-ACK recovery, proving the dumbbell provokes it.
+    let stock = lossy_dumbbell(&TcpConfig::default(), 0.02, 9);
+    assert_eq!(stock.completed_count(), 1);
+    assert!(
+        stock.get(Counter::FastRetransmits) > 0,
+        "the default stack should fast-retransmit under 2% gray loss"
+    );
+}

@@ -19,7 +19,7 @@ fn key() -> FlowKey {
 
 fn mk_sender(h: &mut CtxHarness, size: u64, cfg: TcpConfig) -> (TcpSender, Option<SimTime>) {
     let mut ctx = h.ctx();
-    let mut s = TcpSender::new(0, key(), size, cfg, None, &mut ctx);
+    let mut s = TcpSender::new(0, key(), size, cfg, None, 0, &mut ctx);
     let deadline = s.start(&mut ctx);
     (s, deadline)
 }
@@ -280,6 +280,7 @@ fn cached_reorder_metric_raises_initial_threshold() {
         1_000_000,
         TcpConfig::default(),
         Some(40),
+        0,
         &mut ctx,
     );
     assert_eq!(
@@ -287,6 +288,6 @@ fn cached_reorder_metric_raises_initial_threshold() {
         40,
         "per-destination cache must seed the threshold"
     );
-    let s2 = TcpSender::new(1, key(), 1_000_000, TcpConfig::default(), None, &mut ctx);
+    let s2 = TcpSender::new(1, key(), 1_000_000, TcpConfig::default(), None, 0, &mut ctx);
     assert_eq!(s2.reorder_threshold(), 3);
 }

@@ -11,19 +11,20 @@
 //! cargo run --release --example hotspot_udp
 //! ```
 
-use experiments::{hotspot, report::Opts, Scheme};
+use experiments::{hotspot, report::Opts, schemes};
 
 fn main() {
     let opts = Opts {
         scale: 1.0,
         seed: 4,
+        ..Opts::default()
     };
     println!("14 Gbps TCP shuffle + 6 Gbps UDP pinned to one of 4 ToR-to-ToR paths\n");
     let loads = hotspot::sweep(
         &opts,
         &[
-            Scheme::Ecmp,
-            Scheme::FlowBender(flowbender::Config::default()),
+            schemes::ecmp(),
+            schemes::flowbender(flowbender::Config::default()),
         ],
     );
     for pl in &loads {
