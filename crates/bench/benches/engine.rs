@@ -103,6 +103,49 @@ fn bench_forwarding(h: &Harness) {
     );
 }
 
+/// Flight-recorder overhead on the same 5 000-packet blast.
+/// `simulator/blast_5k_packets_through_switch` above is the recorder-off
+/// baseline (the disabled check is a single branch); here the recorder is
+/// (a) on but watching a flow that never appears — the hot-path membership
+/// check — and (b) on for the blasted flow itself — full event recording.
+fn bench_forwarding_traced(h: &Harness) {
+    let setup = |cfg: netsim::TraceConfig| {
+        move || {
+            let mut sim = Simulator::new(1);
+            let h0 = sim.add_host(SimTime::ZERO, SimTime::ZERO);
+            let h1 = sim.add_host(SimTime::ZERO, SimTime::ZERO);
+            let sw = sim.add_switch(SwitchConfig::commodity(HashConfig::FiveTuple));
+            sim.connect(h0, sw, LinkSpec::host_10g());
+            sim.connect(h1, sw, LinkSpec::host_10g());
+            let mut rt = RoutingTable::new(2);
+            rt.set(0, vec![0]);
+            rt.set(1, vec![1]);
+            sim.set_routes(sw, rt);
+            sim.set_trace(cfg.clone());
+            let log = RxLog::shared();
+            sim.set_agent(h0, Box::new(Blaster::new(1, 5_000, log.clone())));
+            sim.set_agent(h1, Box::new(CountingSink { log }));
+            sim
+        }
+    };
+    let run = |mut sim: Simulator| {
+        sim.run_to_quiescence();
+        black_box(sim.events_processed())
+    };
+    h.bench_with_setup(
+        "simulator/blast_5k_packets_trace_other_flow",
+        5_000,
+        setup(netsim::TraceConfig::flows(vec![999])),
+        run,
+    );
+    h.bench_with_setup(
+        "simulator/blast_5k_packets_trace_blasted_flow",
+        5_000,
+        setup(netsim::TraceConfig::flows(vec![0])),
+        run,
+    );
+}
+
 fn main() {
     let h = Harness::from_args();
     bench_scheduler(&h);
@@ -110,6 +153,7 @@ fn main() {
     bench_queue(&h);
     bench_rng(&h);
     bench_forwarding(&h);
+    bench_forwarding_traced(&h);
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
     h.write_json(out).expect("write BENCH_engine.json");
 }

@@ -129,6 +129,8 @@ fn normalized_table(results: &[A2AResult], loads: &[f64], tail: bool) -> Table {
     for &load in loads {
         let base = find(results, load, &base_name);
         for (bi, bin) in paper_bins().iter().enumerate() {
+            // Empty bins carry `None` — render "-" so a binless config
+            // can't masquerade as a perfect (0 s) tail.
             let abs = if tail {
                 base.bins[bi].p99_s
             } else {
@@ -142,13 +144,15 @@ fn normalized_table(results: &[A2AResult], loads: &[f64], tail: bool) -> Table {
                 } else {
                     r.bins[bi].mean_s
                 };
-                row.push(if abs > 0.0 {
-                    fmt_ratio(v / abs)
-                } else {
-                    "-".to_string()
+                row.push(match (v, abs) {
+                    (Some(v), Some(abs)) if abs > 0.0 => fmt_ratio(v / abs),
+                    _ => "-".to_string(),
                 });
             }
-            row.push(stats::fmt_secs(abs));
+            row.push(match abs {
+                Some(abs) => stats::fmt_secs(abs),
+                None => "-".to_string(),
+            });
             table.row(row);
         }
     }

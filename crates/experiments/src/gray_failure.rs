@@ -14,13 +14,13 @@
 //! {0.5%, 1%, 2%, 4%} for ECMP and FlowBender. Drop-reason audits in the
 //! JSON summaries localize the gray loss to the faulted egress.
 
-use netsim::{Counter, DropReason, FaultPlan, SimTime, TelemetryConfig};
+use netsim::{Counter, DropReason, FaultPlan, FlowTimeline, SimTime, TelemetryConfig, TraceConfig};
 use stats::{fmt_secs, Table};
 use topology::FatTreeParams;
 use workloads::microbench;
 
 use crate::report::{Opts, Report, RunSummary};
-use crate::scenario::{parallel_map, run_fat_tree_faults, RunOutput};
+use crate::scenario::{parallel_map, run_fat_tree_faults_traced, slowest_flows, RunOutput};
 use crate::schemes::{self, SchemeSpec};
 
 /// The loss rates swept by the committed experiment.
@@ -54,16 +54,30 @@ pub fn run_scheme(
     bytes: u64,
     seed: u64,
 ) -> (GrayResult, RunOutput) {
+    run_scheme_traced(scheme, loss, bytes, seed, TraceConfig::off())
+}
+
+/// [`run_scheme`] with the flight recorder on for selected flows. Apart
+/// from the timelines in `out.results.timelines()`, the output is
+/// byte-identical to the untraced run at the same seed.
+pub fn run_scheme_traced(
+    scheme: &SchemeSpec,
+    loss: f64,
+    bytes: u64,
+    seed: u64,
+    trace: TraceConfig,
+) -> (GrayResult, RunOutput) {
     let params = FatTreeParams::paper();
     // 16 flows: two per host pair between ToR0/pod0 and ToR0/pod1.
     let specs = microbench(&params, 16, bytes);
-    let out = run_fat_tree_faults(
+    let out = run_fat_tree_faults_traced(
         params,
         scheme,
         &specs,
         SimTime::from_secs(60),
         seed,
         TelemetryConfig::off(),
+        trace,
         |ft| {
             // Gray out agg 0 of pod 0's first core uplink: one of the 8
             // inter-pod paths silently loses packets from the start.
@@ -104,7 +118,23 @@ pub fn run(opts: &Opts) -> Report {
     }
     let runs = parallel_map(jobs, |(scheme, loss)| {
         let (r, out) = run_scheme(&scheme, loss, bytes, opts.seed);
-        (r, out)
+        // Flight recorder: resolve the selection against this cell's
+        // finished run (`slowest=k` ranks its own FCTs, incomplete flows
+        // first), then re-run at the same seed with the recorder on. The
+        // traced run is a byte-identical replay — only the timelines are
+        // taken from it.
+        let timelines: Vec<FlowTimeline> = if opts.trace.is_off() {
+            Vec::new()
+        } else {
+            let cfg = opts.trace.config_with(|k| slowest_flows(&out, k));
+            let (_, traced) = run_scheme_traced(&scheme, loss, bytes, opts.seed, cfg);
+            assert_eq!(
+                traced.events, out.events,
+                "tracing must not perturb the simulation"
+            );
+            traced.results.timelines().to_vec()
+        };
+        (r, out, timelines)
     });
 
     let mut table = Table::new(vec![
@@ -117,7 +147,7 @@ pub fn run(opts: &Opts) -> Report {
         "max FCT",
     ]);
     let mut rep = Report::new("gray_failure");
-    for (r, out) in &runs {
+    for (r, out, timelines) in &runs {
         table.row(vec![
             format!("{:.1}%", r.loss * 100.0),
             r.scheme.to_string(),
@@ -136,7 +166,16 @@ pub fn run(opts: &Opts) -> Report {
             r.scheme.to_lowercase(),
             (r.loss * 1000.0).round() as u32
         );
-        rep.run_summary(RunSummary::from_run(label, &r.scheme, opts, opts.seed, out));
+        rep.run_summary(RunSummary::from_run(
+            label.clone(),
+            &r.scheme,
+            opts,
+            opts.seed,
+            out,
+        ));
+        if !timelines.is_empty() {
+            rep.trace_timelines(label, timelines.clone());
+        }
     }
     rep.section(
         "Gray failure: one agg->core uplink silently drops packets under 16 cross-pod flows",

@@ -50,9 +50,10 @@ pub mod table1;
 pub mod topo_dep;
 
 pub use registry::{find, registry, Experiment};
-pub use report::{Opts, Report, RunSummary};
+pub use report::{timeline_json, Opts, Report, RunSummary, TraceSel};
 pub use scenario::{
-    parallel_map, run_fat_tree, run_fat_tree_faults, run_testbed, sweep_schemes, RunOutput, Window,
+    parallel_map, run_fat_tree, run_fat_tree_faults, run_fat_tree_faults_traced,
+    run_fat_tree_traced, run_testbed, slowest_flows, sweep_schemes, RunOutput, Window,
 };
 pub use schemes::{Replication, SchemeSpec};
 

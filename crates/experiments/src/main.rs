@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! experiments <command> [--scale F] [--seed N] [--scheme A,B] [--out DIR] [--json DIR]
+//!                       [--trace flow=ID[,ID..]|slowest=K]
 //! ```
 //!
 //! The command list and descriptions come from the experiment registry
@@ -20,7 +21,7 @@ use stats::Json;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <command> [--scale F] [--seed N] [--scheme A,B] [--out DIR] [--json DIR]"
+        "usage: experiments <command> [--scale F] [--seed N] [--scheme A,B] [--out DIR] [--json DIR] [--trace SEL]"
     );
     eprintln!();
     eprintln!("commands:");
@@ -41,6 +42,9 @@ fn usage() -> ! {
     eprintln!("               default: each experiment's own set");
     eprintln!("  --out DIR    also write .txt/.csv reports there (default: results/)");
     eprintln!("  --json DIR   write per-run JSON summaries and BENCH_run.json there");
+    eprintln!("  --trace SEL  flight recorder: flow=<id>[,<id>...] traces those flows,");
+    eprintln!("               slowest=<k> traces the k slowest TCP flows (found by an");
+    eprintln!("               untraced probe run); one timeline JSON per flow under --json");
     std::process::exit(2);
 }
 
@@ -104,6 +108,17 @@ fn main() -> ExitCode {
                     .extend(list.split(',').map(|s| s.trim().to_string()));
                 i += 2;
             }
+            "--trace" => {
+                let sel = args.get(i + 1).unwrap_or_else(|| usage());
+                match experiments::TraceSel::parse(sel) {
+                    Ok(t) => opts.trace = t,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
             _ => usage(),
         }
     }
@@ -127,6 +142,12 @@ fn main() -> ExitCode {
         }
     };
 
+    if !opts.trace.is_off() && reports.iter().all(|r| r.traces.is_empty()) {
+        eprintln!(
+            "warning: --trace requested but `{command}` attached no timelines \
+             (the flight recorder is wired into: gray-failure)"
+        );
+    }
     for report in &reports {
         println!("{}", report.render());
         if let Err(e) = report.write_files(&out_dir) {

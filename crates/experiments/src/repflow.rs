@@ -181,6 +181,7 @@ mod tests {
             scale: 0.1,
             seed: 3,
             schemes: vec!["ecmp".into(), "repflow".into()],
+            ..Opts::default()
         };
         let report = run(&opts);
         assert_eq!(report.runs.len(), 2);

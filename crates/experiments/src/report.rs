@@ -6,10 +6,75 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
-use netsim::Counter;
+use netsim::{Counter, FlowId, FlowTimeline, TraceConfig, TraceEvent};
 use stats::{Json, Table};
 
 use crate::scenario::RunOutput;
+
+/// Flight-recorder selection from the CLI (`--trace flow=...` /
+/// `--trace slowest=...`). Experiments that support tracing resolve this
+/// to a [`TraceConfig`] per run; `Off` costs nothing anywhere.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum TraceSel {
+    /// Recorder off (the default): no overhead, no timeline files.
+    #[default]
+    Off,
+    /// Trace exactly these flow ids.
+    Flows(Vec<FlowId>),
+    /// Trace the `k` slowest TCP flows, resolved by an untraced probe run
+    /// at the same seed (incomplete flows rank slowest).
+    Slowest(usize),
+}
+
+impl TraceSel {
+    /// Parse the `--trace` argument value: `flow=ID[,ID...]` or
+    /// `slowest=K`.
+    pub fn parse(s: &str) -> Result<TraceSel, String> {
+        if let Some(list) = s.strip_prefix("flow=") {
+            let mut flows = Vec::new();
+            for part in list.split(',') {
+                let part = part.trim();
+                if part.is_empty() {
+                    continue;
+                }
+                match part.parse::<FlowId>() {
+                    Ok(id) => flows.push(id),
+                    Err(_) => return Err(format!("--trace flow list: `{part}` is not a flow id")),
+                }
+            }
+            if flows.is_empty() {
+                return Err("--trace flow= needs at least one flow id".into());
+            }
+            Ok(TraceSel::Flows(flows))
+        } else if let Some(k) = s.strip_prefix("slowest=") {
+            match k.trim().parse::<usize>() {
+                Ok(0) => Err("--trace slowest= needs k >= 1".into()),
+                Ok(k) => Ok(TraceSel::Slowest(k)),
+                Err(_) => Err(format!("--trace slowest=: `{k}` is not a count")),
+            }
+        } else {
+            Err(format!(
+                "unknown --trace selection `{s}`; use flow=<id>[,<id>...] or slowest=<k>"
+            ))
+        }
+    }
+
+    /// Whether the recorder is off.
+    pub fn is_off(&self) -> bool {
+        *self == TraceSel::Off
+    }
+
+    /// Resolve to a [`TraceConfig`]. `slowest` supplies the ranking for
+    /// [`TraceSel::Slowest`] — typically [`crate::scenario::slowest_flows`]
+    /// over an untraced probe run — and is only invoked for that variant.
+    pub fn config_with(&self, slowest: impl FnOnce(usize) -> Vec<FlowId>) -> TraceConfig {
+        match self {
+            TraceSel::Off => TraceConfig::off(),
+            TraceSel::Flows(ids) => TraceConfig::flows(ids.clone()),
+            TraceSel::Slowest(k) => TraceConfig::flows(slowest(*k)),
+        }
+    }
+}
 
 /// Options shared by all experiments.
 #[derive(Debug, Clone)]
@@ -25,6 +90,9 @@ pub struct Opts {
     /// [`crate::schemes::find`], so `flowbender`, `Flowlet(100us)`, and
     /// `flowlet_100us` all work.
     pub schemes: Vec<String>,
+    /// Flight-recorder selection (`--trace`). Experiments that don't
+    /// support tracing ignore it (the CLI warns).
+    pub trace: TraceSel,
 }
 
 impl Default for Opts {
@@ -33,6 +101,7 @@ impl Default for Opts {
             scale: 1.0,
             seed: 1,
             schemes: Vec::new(),
+            trace: TraceSel::Off,
         }
     }
 }
@@ -287,6 +356,12 @@ pub struct Report {
     pub notes: Vec<String>,
     /// Per-run summaries, written as JSON by [`Report::write_json`].
     pub runs: Vec<RunSummary>,
+    /// Flight-recorder timelines attached by traced runs, as
+    /// `(run label, timeline)` pairs. Rendered as a summary table by
+    /// [`Report::render`] and written as one JSON file per flow by
+    /// [`Report::write_json`] — never mixed into the run-summary JSON,
+    /// whose byte layout is pinned.
+    pub traces: Vec<(String, FlowTimeline)>,
 }
 
 impl Report {
@@ -298,6 +373,7 @@ impl Report {
             data_sections: Vec::new(),
             notes: Vec::new(),
             runs: Vec::new(),
+            traces: Vec::new(),
         }
     }
 
@@ -305,6 +381,66 @@ impl Report {
     pub fn run_summary(&mut self, run: RunSummary) -> &mut Self {
         self.runs.push(run);
         self
+    }
+
+    /// Attach flight-recorder timelines from a traced run (label should
+    /// match the corresponding [`RunSummary`]'s).
+    pub fn trace_timelines(
+        &mut self,
+        label: impl Into<String>,
+        timelines: Vec<FlowTimeline>,
+    ) -> &mut Self {
+        let label = label.into();
+        for t in timelines {
+            self.traces.push((label.clone(), t));
+        }
+        self
+    }
+
+    /// The human-readable flight-recorder summary (one row per traced
+    /// flow), or `None` when no timelines are attached.
+    pub fn trace_table(&self) -> Option<Table> {
+        if self.traces.is_empty() {
+            return None;
+        }
+        let mut t = Table::new(vec![
+            "run",
+            "flow",
+            "events",
+            "truncated",
+            "first",
+            "last",
+            "hops",
+            "enqueues",
+            "marks",
+            "drops",
+            "decisions",
+            "rtos",
+        ]);
+        for (label, tl) in &self.traces {
+            let (first, last) = match (tl.events.first(), tl.events.last()) {
+                (Some(&(f, _)), Some(&(l, _))) => (
+                    stats::fmt_secs(f.as_secs_f64()),
+                    stats::fmt_secs(l.as_secs_f64()),
+                ),
+                _ => ("-".to_string(), "-".to_string()),
+            };
+            t.row(vec![
+                label.clone(),
+                tl.flow.to_string(),
+                tl.events.len().to_string(),
+                tl.truncated.to_string(),
+                first,
+                last,
+                tl.count_kind("hop").to_string(),
+                tl.count_kind("enqueue").to_string(),
+                tl.count_kind("ecn_mark").to_string(),
+                tl.count_kind("drop").to_string(),
+                tl.count_kind("decision").to_string(),
+                tl.count_kind("rto_fire").to_string(),
+            ]);
+        }
+        Some(t)
     }
 
     /// Append a titled table.
@@ -335,6 +471,11 @@ impl Report {
             out.push('\n');
             out.push_str(&table.render());
         }
+        if let Some(t) = self.trace_table() {
+            out.push('\n');
+            out.push_str("Flight recorder (traced flows; full timelines in the JSON output)\n");
+            out.push_str(&t.render());
+        }
         if !self.notes.is_empty() {
             out.push('\n');
             for n in &self.notes {
@@ -358,11 +499,17 @@ impl Report {
                 table.to_csv(),
             )?;
         }
+        if let Some(t) = self.trace_table() {
+            fs::write(dir.join(format!("{}_trace.csv", self.name)), t.to_csv())?;
+        }
         Ok(())
     }
 
-    /// Write one `dir/<name>_<label>.json` per run summary; returns the
-    /// file names written.
+    /// Write one `dir/<name>_<label>.json` per run summary, plus one
+    /// `dir/<name>_<label>_trace_f<flow>.json` per attached timeline;
+    /// returns the file names written. Timelines go in separate files so
+    /// the run-summary JSON stays byte-identical whether or not the
+    /// flight recorder ran.
     pub fn write_json(&self, dir: &Path) -> io::Result<Vec<String>> {
         fs::create_dir_all(dir)?;
         let mut written = Vec::new();
@@ -371,8 +518,79 @@ impl Report {
             fs::write(dir.join(&file), run.to_json(&self.name).to_string_pretty())?;
             written.push(file);
         }
+        for (label, tl) in &self.traces {
+            let file = format!("{}_{}_trace_f{}.json", self.name, label, tl.flow);
+            let json = timeline_json(&self.name, label, tl);
+            fs::write(dir.join(&file), json.to_string_pretty())?;
+            written.push(file);
+        }
         Ok(written)
     }
+}
+
+/// The deterministic JSON form of one traced flow's timeline:
+/// `{meta: {experiment, label, flow}, truncated, events: [...]}` with one
+/// insertion-ordered object per event (`t_ps`, `kind`, then the kind's
+/// fields). Two runs at the same seed serialize byte-identically.
+pub fn timeline_json(experiment: &str, label: &str, tl: &FlowTimeline) -> Json {
+    let mut meta = Json::obj();
+    meta.set("experiment", Json::str(experiment));
+    meta.set("label", Json::str(label));
+    meta.set("flow", Json::U64(tl.flow as u64));
+    let mut events = Json::arr();
+    for &(at, ev) in &tl.events {
+        events.push(trace_event_json(at, &ev));
+    }
+    let mut root = Json::obj();
+    root.set("meta", meta);
+    root.set("truncated", Json::U64(tl.truncated));
+    root.set("events", events);
+    root
+}
+
+/// One timeline event as a JSON object. Key names are part of the stable
+/// output format (CI greps for `"kind": "decision"`).
+fn trace_event_json(at: netsim::SimTime, ev: &TraceEvent) -> Json {
+    let mut o = Json::obj();
+    o.set("t_ps", Json::U64(at.as_ps()));
+    o.set("kind", Json::str(ev.kind()));
+    match *ev {
+        TraceEvent::Hop {
+            node,
+            in_port,
+            out_port,
+        } => {
+            o.set("node", Json::U64(node as u64));
+            o.set("in_port", Json::U64(in_port as u64));
+            o.set("out_port", Json::U64(out_port as u64));
+        }
+        TraceEvent::Enqueue { node, port, qbytes } => {
+            o.set("node", Json::U64(node as u64));
+            o.set("port", Json::U64(port as u64));
+            o.set("qbytes", Json::U64(qbytes));
+        }
+        TraceEvent::EcnMark { node, port } | TraceEvent::Dequeue { node, port } => {
+            o.set("node", Json::U64(node as u64));
+            o.set("port", Json::U64(port as u64));
+        }
+        TraceEvent::Drop { reason, node, port } => {
+            o.set("reason", Json::str(reason.name()));
+            o.set("node", Json::U64(node as u64));
+            o.set("port", Json::U64(port as u64));
+        }
+        TraceEvent::CwndChange { cwnd_bytes } => {
+            o.set("cwnd_bytes", Json::U64(cwnd_bytes));
+        }
+        TraceEvent::FastRetransmitEnter | TraceEvent::FastRetransmitExit => {}
+        TraceEvent::RtoFire { backoff_exp } => {
+            o.set("backoff_exp", Json::U64(backoff_exp as u64));
+        }
+        TraceEvent::Decision { from_v, to_v } => {
+            o.set("from_v", Json::U64(from_v as u64));
+            o.set("to_v", Json::U64(to_v as u64));
+        }
+    }
+    o
 }
 
 #[cfg(test)]
@@ -460,6 +678,70 @@ mod tests {
         assert!(j.contains(r#"{"node":9,"port":0,"link_down":1,"corruption":3}"#));
         // Reasons sum to the advertised total.
         assert_eq!(2 + 1 + 7 + 3, 13);
+    }
+
+    #[test]
+    fn trace_sel_parses_flow_lists_and_slowest() {
+        assert_eq!(TraceSel::parse("flow=3").unwrap(), TraceSel::Flows(vec![3]));
+        assert_eq!(
+            TraceSel::parse("flow=1,2, 5").unwrap(),
+            TraceSel::Flows(vec![1, 2, 5])
+        );
+        assert_eq!(TraceSel::parse("slowest=2").unwrap(), TraceSel::Slowest(2));
+        assert!(TraceSel::parse("slowest=0").is_err(), "zero is useless");
+        assert!(TraceSel::parse("flow=").is_err(), "empty list");
+        assert!(TraceSel::parse("flow=x").is_err(), "non-numeric id");
+        assert!(TraceSel::parse("everything").is_err(), "unknown selector");
+        assert!(TraceSel::default().is_off());
+        // Resolution: Flows passes ids through; Slowest asks the ranker.
+        let cfg = TraceSel::Flows(vec![4, 2]).config_with(|_| unreachable!());
+        assert!(cfg.wants(2) && cfg.wants(4) && !cfg.wants(3));
+        let cfg = TraceSel::Slowest(2).config_with(|k| (0..k as u32).collect());
+        assert!(cfg.wants(0) && cfg.wants(1) && !cfg.wants(2));
+        assert!(!TraceSel::Off.config_with(|_| unreachable!()).enabled);
+    }
+
+    #[test]
+    fn write_json_emits_timeline_files_alongside_run_summaries() {
+        use netsim::SimTime;
+        let tl = FlowTimeline {
+            flow: 7,
+            truncated: 0,
+            events: vec![
+                (
+                    SimTime::from_us(1),
+                    TraceEvent::Enqueue {
+                        node: 4,
+                        port: 1,
+                        qbytes: 3000,
+                    },
+                ),
+                (
+                    SimTime::from_us(2),
+                    TraceEvent::Decision { from_v: 0, to_v: 1 },
+                ),
+                (SimTime::from_us(3), TraceEvent::RtoFire { backoff_exp: 2 }),
+            ],
+        };
+        let mut r = Report::new("demo");
+        r.trace_timelines("run1", vec![tl]);
+        // The rendered report gains a flight-recorder table...
+        let text = r.render();
+        assert!(text.contains("Flight recorder"), "table rendered: {text}");
+        assert!(text.contains("run1"), "labelled: {text}");
+        // ...and the JSON output gains exactly one timeline file.
+        let dir = std::env::temp_dir().join(format!("fbtrace_{}", std::process::id()));
+        let files = r.write_json(&dir).unwrap();
+        assert_eq!(files, ["demo_run1_trace_f7.json"]);
+        let json = std::fs::read_to_string(dir.join(&files[0])).unwrap();
+        assert!(json.contains(r#""kind": "decision""#), "{json}");
+        assert!(json.contains(r#""from_v": 0"#) && json.contains(r#""to_v": 1"#));
+        assert!(json.contains(r#""kind": "rto_fire""#) && json.contains(r#""backoff_exp": 2"#));
+        assert!(json.contains(r#""qbytes": 3000"#));
+        // Determinism: serializing the same timeline twice is byte-equal.
+        let again = timeline_json("demo", "run1", &r.traces[0].1).to_string_pretty();
+        assert_eq!(json, again);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

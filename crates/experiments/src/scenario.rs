@@ -9,7 +9,10 @@
 
 use std::ops::Deref;
 
-use netsim::{FlowId, FlowSpec, PortStats, Proto, RunResults, SimTime, Simulator, TelemetryConfig};
+use netsim::{
+    FlowId, FlowSpec, PortStats, Proto, RunResults, SimTime, Simulator, TelemetryConfig,
+    TraceConfig,
+};
 use topology::{build_fat_tree, build_testbed, FatTree, FatTreeParams, Testbed, TestbedParams};
 use transport::install_agents;
 
@@ -72,6 +75,12 @@ impl RunOutput {
     /// are folded into their primary (a replicated flow completes when
     /// its first copy does) and dropped from the list. For
     /// non-replicating schemes this is simply a copy of `flows`.
+    ///
+    /// The merge is defensive: a pair whose copies *all* failed to
+    /// complete (reachable under heavy-loss fault plans) leaves the
+    /// primary in the list with `end == SimTime::MAX` — see
+    /// [`RunOutput::incomplete_flows`] — and a malformed pair (id out of
+    /// range, self-pair) is skipped rather than panicking mid-analysis.
     pub fn effective_flows(&self) -> Vec<netsim::FlowRecord> {
         if self.replicas.is_empty() {
             return self.flows.to_vec();
@@ -80,6 +89,12 @@ impl RunOutput {
         let mut drop: Vec<bool> = vec![false; merged.len()];
         for &(primary, replica) in &self.replicas {
             let (p, r) = (primary as usize, replica as usize);
+            if p == r || p >= merged.len() || r >= merged.len() {
+                debug_assert!(false, "malformed replica pair ({primary}, {replica})");
+                continue;
+            }
+            // First finisher wins; copies that never finished carry
+            // SimTime::MAX, so min() keeps whichever copy (if any) made it.
             if merged[r].end < merged[p].end {
                 merged[p].end = merged[r].end;
             }
@@ -93,6 +108,32 @@ impl RunOutput {
         });
         merged
     }
+
+    /// Ids of effective (replica-merged) flows that never completed.
+    /// Healthy runs with an adequate drain return an empty list; fault
+    /// plans that kill a flow's every copy surface it here instead of
+    /// panicking in analysis code.
+    pub fn incomplete_flows(&self) -> Vec<FlowId> {
+        self.effective_flows()
+            .iter()
+            .filter(|f| f.fct().is_none())
+            .map(|f| f.flow)
+            .collect()
+    }
+}
+
+/// The `k` slowest effective TCP flows of a finished run, slowest first
+/// (the natural selection for `--trace slowest=k`). Incomplete flows rank
+/// slowest of all — they are exactly what a diagnosis wants to see — and
+/// ties break by flow id so the selection is deterministic.
+pub fn slowest_flows(out: &RunOutput, k: usize) -> Vec<FlowId> {
+    let mut eff: Vec<_> = out
+        .effective_flows()
+        .into_iter()
+        .filter(|f| f.proto == Proto::Tcp)
+        .collect();
+    eff.sort_by_key(|f| (std::cmp::Reverse(f.fct().unwrap_or(SimTime::MAX)), f.flow));
+    eff.into_iter().take(k).map(|f| f.flow).collect()
 }
 
 /// Expand `specs` for `scheme`: a replicating scheme gets one replica per
@@ -140,8 +181,34 @@ pub fn run_fat_tree_with(
     seed: u64,
     telemetry: TelemetryConfig,
 ) -> RunOutput {
+    run_fat_tree_traced(
+        params,
+        scheme,
+        specs,
+        until,
+        seed,
+        telemetry,
+        TraceConfig::off(),
+    )
+}
+
+/// [`run_fat_tree_with`] plus a flight-recorder [`TraceConfig`]: selected
+/// flows' timelines come back in [`RunResults::timelines`]. Tracing is
+/// read-only — a traced run's flow records, counters, and event count are
+/// byte-identical to the untraced run at the same seed.
+#[allow(clippy::too_many_arguments)]
+pub fn run_fat_tree_traced(
+    params: FatTreeParams,
+    scheme: &SchemeSpec,
+    specs: &[FlowSpec],
+    until: SimTime,
+    seed: u64,
+    telemetry: TelemetryConfig,
+    trace: TraceConfig,
+) -> RunOutput {
     let mut sim = Simulator::new(seed);
     sim.set_telemetry(telemetry);
+    sim.set_trace(trace);
     let _ft: FatTree = build_fat_tree(&mut sim, params, scheme.switch_config());
     let (specs, replicas) = expand_replicas(specs, scheme);
     install_agents(&mut sim, &specs, &scheme.tcp_config());
@@ -162,8 +229,35 @@ pub fn run_fat_tree_faults(
     telemetry: TelemetryConfig,
     plan: impl FnOnce(&FatTree) -> netsim::FaultPlan,
 ) -> RunOutput {
+    run_fat_tree_faults_traced(
+        params,
+        scheme,
+        specs,
+        until,
+        seed,
+        telemetry,
+        TraceConfig::off(),
+        plan,
+    )
+}
+
+/// [`run_fat_tree_faults`] with a flight-recorder [`TraceConfig`] — the
+/// combination the gray-failure diagnosis workflow uses (`--trace` on the
+/// experiments CLI lands here).
+#[allow(clippy::too_many_arguments)]
+pub fn run_fat_tree_faults_traced(
+    params: FatTreeParams,
+    scheme: &SchemeSpec,
+    specs: &[FlowSpec],
+    until: SimTime,
+    seed: u64,
+    telemetry: TelemetryConfig,
+    trace: TraceConfig,
+    plan: impl FnOnce(&FatTree) -> netsim::FaultPlan,
+) -> RunOutput {
     let mut sim = Simulator::new(seed);
     sim.set_telemetry(telemetry);
+    sim.set_trace(trace);
     let ft: FatTree = build_fat_tree(&mut sim, params, scheme.switch_config());
     sim.install_faults(&plan(&ft));
     let (specs, replicas) = expand_replicas(specs, scheme);
@@ -412,15 +506,81 @@ mod tests {
         let eff = out.effective_flows();
         assert_eq!(eff.len(), 3, "replicas folded away");
         for &(p, r) in &out.replicas {
-            let merged = eff.iter().find(|f| f.flow == p).unwrap();
+            let merged: Vec<_> = eff.iter().filter(|f| f.flow == p).collect();
+            assert_eq!(merged.len(), 1, "primary {p} present exactly once");
             assert_eq!(
-                merged.end,
+                merged[0].end,
                 out.flows[p as usize].end.min(out.flows[r as usize].end),
                 "first finisher wins"
             );
         }
+        assert!(out.incomplete_flows().is_empty(), "healthy run completes");
         assert_eq!(eff[2].end, out.flows[2].end, "long flow untouched");
         assert!(out.conservation.holds(), "duplicates stay in the ledger");
+    }
+
+    #[test]
+    fn replica_merge_survives_a_primary_that_never_completes() {
+        // Regression: a fault plan that silently eats *every* copy of a
+        // replicated flow used to make effective_flows()'s callers panic
+        // (`.find(...).unwrap()` on an incomplete merge). Kill host 0's
+        // NIC outright: flow 0 and its replica share src 0, so neither
+        // copy can ever finish.
+        let params = FatTreeParams::tiny();
+        let specs = vec![
+            FlowSpec::tcp(0, 0, 8, 50_000, SimTime::ZERO),
+            FlowSpec::tcp(1, 1, 9, 30_000, SimTime::ZERO),
+        ];
+        let out = run_fat_tree_faults(
+            params,
+            &schemes::repflow(),
+            &specs,
+            SimTime::from_ms(200),
+            3,
+            TelemetryConfig::off(),
+            |ft| {
+                let mut plan = netsim::FaultPlan::new();
+                plan.gray_loss(ft.hosts[0], 0, 1.0, SimTime::ZERO);
+                plan
+            },
+        );
+        let eff = out.effective_flows();
+        assert_eq!(eff.len(), 2, "replicas fold away even when incomplete");
+        let incomplete = out.incomplete_flows();
+        assert!(incomplete.contains(&0), "the killed flow is surfaced");
+        assert!(!incomplete.contains(&1), "the healthy flow completed");
+        assert!(out.conservation.holds(), "dropped copies stay audited");
+    }
+
+    #[test]
+    fn slowest_flows_ranks_incomplete_first_and_breaks_ties_by_id() {
+        let params = FatTreeParams::tiny();
+        let specs = vec![
+            FlowSpec::tcp(0, 0, 8, 50_000, SimTime::ZERO),
+            FlowSpec::tcp(1, 1, 9, 30_000, SimTime::ZERO),
+            FlowSpec::tcp(2, 2, 10, 2_000_000, SimTime::ZERO),
+        ];
+        let out = run_fat_tree_faults(
+            params,
+            &schemes::ecmp(),
+            &specs,
+            SimTime::from_ms(200),
+            3,
+            TelemetryConfig::off(),
+            |ft| {
+                let mut plan = netsim::FaultPlan::new();
+                plan.gray_loss(ft.hosts[0], 0, 1.0, SimTime::ZERO);
+                plan
+            },
+        );
+        let slow = slowest_flows(&out, 2);
+        assert_eq!(slow.len(), 2);
+        assert_eq!(slow[0], 0, "the flow that never finished ranks slowest");
+        assert_eq!(
+            slowest_flows(&out, 10).len(),
+            3,
+            "k larger than the flow count returns everything"
+        );
     }
 
     #[test]

@@ -21,7 +21,10 @@
 //!   audit ([`Simulator::conservation`]),
 //! * a run-wide [`Recorder`] of flow completions, event counters, and
 //!   (opt-in, via [`TelemetryConfig`]) named time-series probes — queue
-//!   depths, link utilization, per-flow cwnd/`F`, V-field reroute traces.
+//!   depths, link utilization, per-flow cwnd/`F`, V-field reroute traces,
+//! * an opt-in per-flow flight recorder ([`TraceConfig`]) that captures
+//!   ring-buffered event timelines — hops, enqueues, ECN marks, drops,
+//!   sender state transitions — for post-mortem diagnosis of tail flows.
 //!
 //! Everything is deterministic: given the same build sequence and master
 //! seed, a run reproduces bit-for-bit, including every "random" choice
@@ -64,6 +67,7 @@ pub mod switch;
 pub mod telemetry;
 pub mod testutil;
 pub mod time;
+pub mod trace;
 
 pub use agent::{Agent, Ctx, NullAgent};
 pub use faults::{FaultAction, FaultPlan};
@@ -81,3 +85,4 @@ pub use slab::{PacketId, PacketSlab};
 pub use switch::{FlowletState, ForwardingScheme, PfcConfig, RoutingTable};
 pub use telemetry::{ProbeKind, Series, SeriesKey, Telemetry, TelemetryConfig};
 pub use time::SimTime;
+pub use trace::{FlowTimeline, Trace, TraceConfig, TraceEvent};

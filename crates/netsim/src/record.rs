@@ -19,6 +19,7 @@ use crate::hashing::DetHashMap;
 use crate::packet::{FlowId, HostId, NodeId, PortId, Proto};
 use crate::telemetry::{ProbeKind, Series, SeriesKey, Telemetry, TelemetryConfig};
 use crate::time::SimTime;
+use crate::trace::{FlowTimeline, Trace, TraceConfig, TraceEvent};
 
 /// One completed (or still-running, see [`Recorder::flow_started`]) flow.
 #[derive(Debug, Clone)]
@@ -275,6 +276,7 @@ pub struct Recorder {
     counters: [u64; Counter::COUNT],
     drops: DropAudit,
     telemetry: Telemetry,
+    trace: Trace,
 }
 
 impl Default for Recorder {
@@ -284,6 +286,7 @@ impl Default for Recorder {
             counters: [0; Counter::COUNT],
             drops: DropAudit::default(),
             telemetry: Telemetry::new(),
+            trace: Trace::new(),
         }
     }
 }
@@ -388,6 +391,33 @@ impl Recorder {
         self.telemetry.record(now, key, value);
     }
 
+    /// Configure the per-flow flight recorder. Call before the run
+    /// starts; with the default (disabled) config every trace hook is a
+    /// single branch.
+    pub fn set_trace(&mut self, cfg: TraceConfig) {
+        self.trace.set_config(cfg);
+    }
+
+    /// Is any flow being traced? One load; hot paths branch on this
+    /// before computing anything trace-only (e.g. queue depth).
+    #[inline]
+    pub fn trace_active(&self) -> bool {
+        self.trace.active()
+    }
+
+    /// Is `flow` being traced? One branch when tracing is disabled.
+    #[inline]
+    pub fn trace_wants(&self, flow: FlowId) -> bool {
+        self.trace.wants(flow)
+    }
+
+    /// Record flight-recorder event `ev` for `flow` at `now`. A no-op
+    /// (one branch) when the flow is not selected.
+    #[inline]
+    pub fn trace_event(&mut self, now: SimTime, flow: FlowId, ev: TraceEvent) {
+        self.trace.record(now, flow, ev);
+    }
+
     /// Finish the run: consume the recorder and hand the read-side view to
     /// the analysis layers.
     pub fn finish(self) -> RunResults {
@@ -396,6 +426,7 @@ impl Recorder {
             counters: self.counters,
             drops: self.drops,
             series: self.telemetry.into_series(),
+            timelines: self.trace.into_timelines(),
         }
     }
 }
@@ -433,6 +464,7 @@ pub struct RunResults {
     counters: [u64; Counter::COUNT],
     drops: DropAudit,
     series: Vec<Series>,
+    timelines: Vec<FlowTimeline>,
 }
 
 impl RunResults {
@@ -469,6 +501,12 @@ impl RunResults {
     /// Look up a series by its stable dotted name.
     pub fn series_named(&self, name: &str) -> Option<&Series> {
         self.series.iter().find(|s| s.name() == name)
+    }
+
+    /// Flight-recorder timelines, one per traced flow, sorted by flow
+    /// id. Empty unless tracing was enabled for the run.
+    pub fn timelines(&self) -> &[FlowTimeline] {
+        &self.timelines
     }
 }
 
@@ -568,6 +606,27 @@ mod tests {
         );
         let port5: u64 = rows[1].1.iter().sum();
         assert_eq!(port5, 3);
+    }
+
+    #[test]
+    fn finish_carries_trace_timelines() {
+        let mut r = Recorder::new();
+        r.flow_started(rec(0));
+        r.flow_started(rec(1));
+        assert!(!r.trace_active());
+        r.set_trace(TraceConfig::flows(vec![1]));
+        assert!(r.trace_active());
+        assert!(r.trace_wants(1) && !r.trace_wants(0));
+        r.trace_event(
+            SimTime::from_us(2),
+            1,
+            TraceEvent::CwndChange { cwnd_bytes: 1460 },
+        );
+        r.trace_event(SimTime::from_us(3), 0, TraceEvent::FastRetransmitEnter); // unselected
+        let out = r.finish();
+        assert_eq!(out.timelines().len(), 1);
+        assert_eq!(out.timelines()[0].flow, 1);
+        assert_eq!(out.timelines()[0].count_kind("cwnd"), 1);
     }
 
     #[test]

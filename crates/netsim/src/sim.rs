@@ -37,6 +37,7 @@ use crate::switch::{
 };
 use crate::telemetry::{ProbeKind, SeriesKey, TelemetryConfig};
 use crate::time::SimTime;
+use crate::trace::{TraceConfig, TraceEvent};
 
 /// Egress queue parameters for one side of a link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -629,6 +630,13 @@ impl Simulator {
         self.recorder.set_telemetry(cfg);
     }
 
+    /// Configure the per-flow flight recorder. Call before the run
+    /// starts; with the default (disabled) config every trace hook is a
+    /// single branch.
+    pub fn set_trace(&mut self, cfg: TraceConfig) {
+        self.recorder.set_trace(cfg);
+    }
+
     /// Ids of all hosts, in creation order.
     pub fn hosts(&self) -> &[NodeId] {
         &self.host_ids
@@ -831,7 +839,7 @@ impl Simulator {
         // Phase 1: pick egress and enqueue, collecting any PFC action.
         // The slab and the node table are disjoint fields, so the packet
         // can be read while the switch is mutably borrowed.
-        let (enq, egress, pfc_send, qbytes) = {
+        let (enq, egress, pfc_send, qbytes, flow) = {
             let pkt = self.packets.get_mut(id);
             let size = pkt.size as u64;
             let node = &mut self.nodes[sw as usize];
@@ -880,8 +888,53 @@ impl Simulator {
                     }
                 }
             }
-            (enq, egress, pfc_send, qbytes)
+            (enq, egress, pfc_send, qbytes, pkt.flow)
         };
+        if self.recorder.trace_wants(flow) {
+            self.recorder.trace_event(
+                self.now,
+                flow,
+                TraceEvent::Hop {
+                    node: sw,
+                    in_port,
+                    out_port: egress,
+                },
+            );
+            match enq {
+                EnqueueResult::Queued { marked } => {
+                    self.recorder.trace_event(
+                        self.now,
+                        flow,
+                        TraceEvent::Enqueue {
+                            node: sw,
+                            port: egress,
+                            qbytes,
+                        },
+                    );
+                    if marked {
+                        self.recorder.trace_event(
+                            self.now,
+                            flow,
+                            TraceEvent::EcnMark {
+                                node: sw,
+                                port: egress,
+                            },
+                        );
+                    }
+                }
+                EnqueueResult::Dropped => {
+                    self.recorder.trace_event(
+                        self.now,
+                        flow,
+                        TraceEvent::Drop {
+                            reason: DropReason::QueueFull,
+                            node: sw,
+                            port: egress,
+                        },
+                    );
+                }
+            }
+        }
         match enq {
             EnqueueResult::Dropped => {
                 self.packets.remove(id);
@@ -920,13 +973,50 @@ impl Simulator {
             !self.nodes[host as usize].ports.is_empty(),
             "host {host} has no NIC link"
         );
-        let (size, ect) = {
+        let (size, ect, flow) = {
             let pkt = self.packets.get(id);
-            (pkt.size, pkt.ecn_capable())
+            (pkt.size, pkt.ecn_capable(), pkt.flow)
         };
         let enq = self.nodes[host as usize].ports[0]
             .queue
             .enqueue(id, size, ect);
+        if self.recorder.trace_wants(flow) {
+            match enq {
+                EnqueueResult::Queued { marked } => {
+                    let qbytes = self.nodes[host as usize].ports[0].queue.bytes();
+                    self.recorder.trace_event(
+                        self.now,
+                        flow,
+                        TraceEvent::Enqueue {
+                            node: host,
+                            port: 0,
+                            qbytes,
+                        },
+                    );
+                    if marked {
+                        self.recorder.trace_event(
+                            self.now,
+                            flow,
+                            TraceEvent::EcnMark {
+                                node: host,
+                                port: 0,
+                            },
+                        );
+                    }
+                }
+                EnqueueResult::Dropped => {
+                    self.recorder.trace_event(
+                        self.now,
+                        flow,
+                        TraceEvent::Drop {
+                            reason: DropReason::QueueFull,
+                            node: host,
+                            port: 0,
+                        },
+                    );
+                }
+            }
+        }
         match enq {
             EnqueueResult::Dropped => {
                 self.packets.remove(id);
@@ -954,17 +1044,32 @@ impl Simulator {
                 let Some(id) = p.queue.dequeue() else { return };
                 (id, p.up)
             };
-            let (size, ingress_tag, proto) = {
+            let (size, ingress_tag, proto, flow) = {
                 let pkt = self.packets.get(id);
-                (pkt.size as u64, pkt.ingress_tag, pkt.key.proto)
+                (pkt.size as u64, pkt.ingress_tag, pkt.key.proto, pkt.flow)
             };
             // PFC release: the packet left this switch's buffer.
             self.pfc_release(node, ingress_tag, size);
             if !link_up {
                 self.packets.remove(id);
+                if self.recorder.trace_wants(flow) {
+                    self.recorder.trace_event(
+                        self.now,
+                        flow,
+                        TraceEvent::Drop {
+                            reason: DropReason::LinkDown,
+                            node,
+                            port,
+                        },
+                    );
+                }
                 self.recorder
                     .drop_packet(self.now, DropReason::LinkDown, node, port);
                 continue;
+            }
+            if self.recorder.trace_wants(flow) {
+                self.recorder
+                    .trace_event(self.now, flow, TraceEvent::Dequeue { node, port });
             }
             let now = self.now;
             let (at, epoch) = {
@@ -1056,7 +1161,12 @@ impl Simulator {
             None
         };
         if let Some(reason) = dropped {
+            let flow = self.packets.get(id).flow;
             self.packets.remove(id);
+            if self.recorder.trace_wants(flow) {
+                self.recorder
+                    .trace_event(self.now, flow, TraceEvent::Drop { reason, node, port });
+            }
             self.recorder.drop_packet(self.now, reason, node, port);
         } else {
             let arrive_at = self.now + delay + self.nodes[peer as usize].proc_delay;

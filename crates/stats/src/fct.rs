@@ -129,18 +129,23 @@ pub fn paper_bins() -> [SizeBin; 4] {
 }
 
 /// Per-bin latency summary.
+///
+/// Statistics are `None` when the bin received no samples. An empty bin
+/// used to report `0.0`, which read as "perfect tail" in tables and
+/// JSON; consumers must render the absence explicitly (`-` in tables,
+/// omitted keys in JSON) instead.
 #[derive(Debug, Clone, Copy)]
 pub struct BinStats {
     /// The bin.
     pub bin: SizeBin,
     /// Number of samples.
     pub count: usize,
-    /// Mean FCT in seconds (0 if empty).
-    pub mean_s: f64,
-    /// 99th-percentile FCT in seconds (0 if empty).
-    pub p99_s: f64,
-    /// 99.9th-percentile FCT in seconds (0 if empty).
-    pub p999_s: f64,
+    /// Mean FCT in seconds; `None` if the bin is empty.
+    pub mean_s: Option<f64>,
+    /// 99th-percentile FCT in seconds; `None` if the bin is empty.
+    pub p99_s: Option<f64>,
+    /// 99.9th-percentile FCT in seconds; `None` if the bin is empty.
+    pub p999_s: Option<f64>,
 }
 
 /// Summarize `samples` into the given bins.
@@ -155,9 +160,9 @@ pub fn binned(samples: &[Sample], bins: &[SizeBin]) -> Vec<BinStats> {
             BinStats {
                 bin,
                 count: fcts.len(),
-                mean_s: mean(&fcts).unwrap_or(0.0),
-                p99_s: percentile(&fcts, 0.99).unwrap_or(0.0),
-                p999_s: percentile(&fcts, 0.999).unwrap_or(0.0),
+                mean_s: mean(&fcts),
+                p99_s: percentile(&fcts, 0.99),
+                p999_s: percentile(&fcts, 0.999),
             }
         })
         .collect()
@@ -323,10 +328,30 @@ mod tests {
         ];
         let b = binned(&samples, &paper_bins());
         assert_eq!(b[0].count, 2);
-        assert_eq!(b[0].mean_s, 2.0);
-        assert_eq!(b[1].count, 0);
+        assert_eq!(b[0].mean_s, Some(2.0));
+        assert_eq!(b[0].p99_s, Some(3.0));
         assert_eq!(b[3].count, 1);
-        assert_eq!(b[3].mean_s, 10.0);
+        assert_eq!(b[3].mean_s, Some(10.0));
+    }
+
+    #[test]
+    fn empty_bins_report_none_not_zero() {
+        // Regression: an empty bin's p99 used to come back as 0.0 via
+        // `unwrap_or(0.0)`, masquerading as a perfect tail.
+        let samples = vec![Sample {
+            bytes: 5_000,
+            fct_s: 1.0,
+        }];
+        let b = binned(&samples, &paper_bins());
+        assert_eq!(b[1].count, 0);
+        assert_eq!(b[1].mean_s, None);
+        assert_eq!(b[1].p99_s, None);
+        assert_eq!(b[1].p999_s, None);
+        // And a fully empty input leaves every bin explicit about it.
+        for bs in binned(&[], &paper_bins()) {
+            assert_eq!(bs.count, 0);
+            assert_eq!(bs.p99_s, None);
+        }
     }
 
     #[test]

@@ -30,6 +30,6 @@ pub mod udp;
 pub use agent::{install_agents, HostAgent};
 pub use config::{DctcpConfig, PathSpec, TcpConfig};
 pub use receiver::{DelAckConfig, Receiver};
-pub use rtt::RttEstimator;
+pub use rtt::{RttEstimator, RTO_MAX};
 pub use sender::{TcpSender, TimerOutcome};
 pub use udp::UdpSender;

@@ -20,6 +20,16 @@ const BETA: f64 = 1.0 / 4.0;
 /// Cap on the exponential backoff (2^6 = 64x).
 const MAX_BACKOFF_EXP: u32 = 6;
 
+/// Hard ceiling on any computed RTO, backoff included (the analogue of
+/// Linux's `TCP_RTO_MAX` of 120 s). Two jobs: it bounds how long a sender
+/// can go silent after repeated timeouts, and it keeps the sender's
+/// deadline arithmetic (`now + rto()`) far away from [`SimTime`]
+/// overflow even when a pathological srtt/rttvar would otherwise push
+/// the f64→u64 picosecond conversion toward `u64::MAX` under 64x
+/// backoff. This cap wins over `rto_min` if a configuration ever sets
+/// the floor above it.
+pub const RTO_MAX: SimTime = SimTime::from_secs(120);
+
 impl RttEstimator {
     /// New estimator with no samples yet.
     pub fn new(rto_min: SimTime, rto_initial: SimTime) -> Self {
@@ -55,20 +65,33 @@ impl RttEstimator {
         self.srtt.map(|s| SimTime::from_ps(s as u64))
     }
 
-    /// The base RTO (before backoff).
+    /// The base RTO (before backoff), clamped to `[rto_min, RTO_MAX]`.
     pub fn base_rto(&self) -> SimTime {
-        match self.srtt {
+        let base = match self.srtt {
             None => self.rto_initial.max(self.rto_min),
             Some(srtt) => {
+                // `as` saturates (u64::MAX for +inf, 0 for NaN/negative),
+                // but guard explicitly so a poisoned estimator state maps
+                // to the floor instead of whatever the cast picks.
                 let rto = srtt + 4.0 * self.rttvar;
-                SimTime::from_ps(rto as u64).max(self.rto_min)
+                let ps = if rto.is_finite() && rto > 0.0 {
+                    rto as u64
+                } else {
+                    0
+                };
+                SimTime::from_ps(ps).max(self.rto_min)
             }
-        }
+        };
+        base.min(RTO_MAX)
     }
 
-    /// The RTO including exponential backoff.
+    /// The RTO including exponential backoff, clamped to [`RTO_MAX`].
+    /// The cap guarantees the deadline `now + rto()` cannot overflow
+    /// `SimTime` for any reachable simulation time.
     pub fn rto(&self) -> SimTime {
-        self.base_rto().saturating_mul(1 << self.backoff_exp)
+        self.base_rto()
+            .saturating_mul(1 << self.backoff_exp)
+            .min(RTO_MAX)
     }
 
     /// Double the RTO (called on each timeout), capped at 64x.
@@ -142,6 +165,62 @@ mod tests {
         e.sample(SimTime::from_us(90));
         assert_eq!(e.rto(), SimTime::from_ms(10));
         assert_eq!(e.backoff_exp(), 0);
+    }
+
+    #[test]
+    fn rto_is_capped_for_extreme_samples() {
+        // Property-style sweep: no mix of absurd samples and maximal
+        // backoff may push the RTO past the documented cap, and the
+        // sender's deadline arithmetic must survive the result.
+        let mut rng = netsim::DetRng::new(9, 9);
+        let extremes = [
+            SimTime::MAX,
+            SimTime::from_ps(u64::MAX / 2),
+            SimTime::from_secs(3_600),
+            SimTime::from_ps(1),
+            SimTime::ZERO,
+        ];
+        for trial in 0..200 {
+            let mut e = est();
+            for _ in 0..12 {
+                let s = if rng.gen_f64() < 0.5 {
+                    extremes[rng.gen_index(extremes.len())]
+                } else {
+                    SimTime::from_ps(rng.gen_range(1_000_000_000) as u64)
+                };
+                e.sample(s);
+                for _ in 0..(rng.gen_range(8)) {
+                    e.backoff();
+                }
+                let rto = e.rto();
+                assert!(rto <= RTO_MAX, "trial {trial}: rto {rto} exceeds cap");
+                assert!(rto >= SimTime::from_ms(10).min(RTO_MAX), "below floor");
+                assert!(e.base_rto() <= RTO_MAX);
+                // The deadline computed by `TcpSender::arm_timer` uses
+                // unchecked addition; it must stay in range even late in
+                // a 100-day simulated run (picosecond SimTime caps out
+                // around 213 days).
+                let late = SimTime::from_secs(100 * 24 * 3_600);
+                assert!(late.checked_add(rto).is_some(), "deadline overflows");
+            }
+        }
+    }
+
+    #[test]
+    fn huge_finite_samples_saturate_at_the_cap() {
+        let mut e = est();
+        e.sample(SimTime::MAX);
+        assert_eq!(e.base_rto(), RTO_MAX);
+        for _ in 0..10 {
+            e.backoff();
+        }
+        assert_eq!(e.rto(), RTO_MAX);
+        // Recovery: a sane sample brings the estimator back down after
+        // enough smoothing (alpha = 1/8 decays the huge srtt).
+        for _ in 0..2_000 {
+            e.sample(SimTime::from_us(100));
+        }
+        assert_eq!(e.rto(), SimTime::from_ms(10));
     }
 
     #[test]

@@ -19,8 +19,10 @@
 //!   baselines run the no-op static controller, which never draws from
 //!   the RNG and never reroutes.
 
-use flowbender::{FlowBender, PathController};
-use netsim::{Counter, Ctx, Flags, FlowId, FlowKey, Packet, ProbeKind, SeriesKey, SimTime};
+use flowbender::{Decision, FlowBender, PathController};
+use netsim::{
+    Counter, Ctx, Flags, FlowId, FlowKey, Packet, ProbeKind, SeriesKey, SimTime, TraceEvent,
+};
 
 use crate::config::TcpConfig;
 use crate::rtt::RttEstimator;
@@ -216,6 +218,42 @@ impl TcpSender {
             .probe(now, SeriesKey::Vfield { flow: self.flow }, v as f64);
     }
 
+    /// Flight-recorder hook: one branch when this flow is untraced.
+    #[inline]
+    fn trace(&self, ev: TraceEvent, ctx: &mut Ctx<'_>) {
+        if ctx.recorder().trace_wants(self.flow) {
+            let now = ctx.now();
+            ctx.recorder().trace_event(now, self.flow, ev);
+        }
+    }
+
+    /// Record a path-controller reroute decision (old V → new V) in the
+    /// flight recorder. `Stay` decisions are not recorded — they happen
+    /// on every ACK and carry no information.
+    #[inline]
+    fn trace_decision(&self, d: Decision, ctx: &mut Ctx<'_>) {
+        if let Decision::Reroute { from, to } = d {
+            self.trace(
+                TraceEvent::Decision {
+                    from_v: from,
+                    to_v: to,
+                },
+                ctx,
+            );
+        }
+    }
+
+    /// Flight-recorder shorthand for a congestion-window transition.
+    #[inline]
+    fn trace_cwnd(&self, ctx: &mut Ctx<'_>) {
+        self.trace(
+            TraceEvent::CwndChange {
+                cwnd_bytes: self.cwnd as u64,
+            },
+            ctx,
+        );
+    }
+
     /// Start the flow: open the window and arm the timer. Returns the
     /// deadline the caller must arm a timer for, if any.
     pub fn start(&mut self, ctx: &mut Ctx<'_>) -> Option<SimTime> {
@@ -293,9 +331,11 @@ impl TcpSender {
         }
         if ack > self.skip_until {
             let now_ps = ctx.now().as_ps();
-            if self.ctrl.on_ack(ece, now_ps, ctx.rng()).rerouted() {
+            let d = self.ctrl.on_ack(ece, now_ps, ctx.rng());
+            if d.rerouted() {
                 // Mid-window reroute (gap-based controllers).
                 self.note_reroute(Counter::Reroutes, ctx);
+                self.trace_decision(d, ctx);
             }
         }
         self.peer_high = self.peer_high.max(pkt.rcv_high);
@@ -320,6 +360,7 @@ impl TcpSender {
                 // Keep ssthresh at the reduced level so growth continues
                 // additively rather than re-entering slow start.
                 self.ssthresh = self.ssthresh.min(self.cwnd);
+                self.trace_cwnd(ctx);
             }
             self.cwr = true;
         }
@@ -379,8 +420,10 @@ impl TcpSender {
             self.win_bytes_marked = 0;
             self.cwr = false;
             self.window_end = self.snd_nxt;
-            if self.ctrl.on_rtt_end(ctx.rng()).rerouted() {
+            let d = self.ctrl.on_rtt_end(ctx.rng());
+            if d.rerouted() {
                 self.note_reroute(Counter::Reroutes, ctx);
+                self.trace_decision(d, ctx);
             }
         }
 
@@ -392,6 +435,8 @@ impl TcpSender {
                 self.undo = None;
                 self.dup_acks = 0;
                 self.cwnd = self.ssthresh.max(self.cfg.mss as f64);
+                self.trace(TraceEvent::FastRetransmitExit, ctx);
+                self.trace_cwnd(ctx);
             }
             Some(_) => {
                 // Partial ACK: the next hole is lost too. Retransmit it and
@@ -462,6 +507,8 @@ impl TcpSender {
             self.ssthresh = (self.cwnd / 2.0).max(2.0 * self.cfg.mss as f64);
             self.cwnd = self.ssthresh + 3.0 * self.cfg.mss as f64;
             self.dup_acks = 0;
+            self.trace(TraceEvent::FastRetransmitEnter, ctx);
+            self.trace_cwnd(ctx);
             self.retransmit_una(ctx);
         }
     }
@@ -495,10 +542,19 @@ impl TcpSender {
         // per-destination floor).
         self.reorder_threshold = self.initial_reorder;
         self.rtt.backoff();
+        self.trace(
+            TraceEvent::RtoFire {
+                backoff_exp: self.rtt.backoff_exp(),
+            },
+            ctx,
+        );
+        self.trace_cwnd(ctx);
 
         // FlowBender §3.3.2: an RTO is the failure signal — reroute now.
-        if self.ctrl.on_timeout(ctx.rng()).rerouted() {
+        let d = self.ctrl.on_timeout(ctx.rng());
+        if d.rerouted() {
             self.note_reroute(Counter::TimeoutReroutes, ctx);
+            self.trace_decision(d, ctx);
         }
 
         // Go-back-N: resume sending from the hole.

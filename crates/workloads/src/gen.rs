@@ -233,6 +233,27 @@ pub fn stride(n_hosts: usize, stride: usize, bytes: u64, start: SimTime) -> Vec<
         .collect()
 }
 
+/// Group flows by partition-aggregate job id, skipping untagged flows.
+///
+/// Workloads may legally mix job-tagged flows (partition-aggregate) with
+/// untagged background traffic (e.g. an all-to-all sharing the fabric);
+/// analysis code that assumed `spec.job` was always `Some` panicked on
+/// such mixes. Returns `(groups sorted by job id, untagged_count)` so
+/// callers can both iterate deterministically and surface how many flows
+/// were outside any job.
+pub fn jobs_by_id(specs: &[FlowSpec]) -> (Vec<(u32, Vec<&FlowSpec>)>, usize) {
+    let mut jobs: std::collections::BTreeMap<u32, Vec<&FlowSpec>> =
+        std::collections::BTreeMap::new();
+    let mut untagged = 0usize;
+    for s in specs {
+        match s.job {
+            Some(j) => jobs.entry(j).or_default().push(s),
+            None => untagged += 1,
+        }
+    }
+    (jobs.into_iter().collect(), untagged)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,15 +325,14 @@ mod tests {
         let p = FatTreeParams::paper();
         let specs = partition_aggregate(&p, 0.4, 8, 1_000_000, SimTime::from_ms(100), &mut rng());
         assert!(!specs.is_empty());
-        // Group by job: every job has exactly 8 flows of 125KB to one
-        // aggregator, all starting together.
-        use std::collections::HashMap;
-        let mut jobs: HashMap<u32, Vec<&FlowSpec>> = HashMap::new();
         for (i, s) in specs.iter().enumerate() {
             assert_eq!(s.id as usize, i, "flow ids must be dense");
-            jobs.entry(s.job.unwrap()).or_default().push(s);
         }
-        for flows in jobs.values() {
+        // Group by job: every job has exactly 8 flows of 125KB to one
+        // aggregator, all starting together.
+        let (jobs, untagged) = jobs_by_id(&specs);
+        assert_eq!(untagged, 0, "pure partition-aggregate has no strays");
+        for (_, flows) in &jobs {
             assert_eq!(flows.len(), 8);
             let agg = flows[0].dst;
             let t0 = flows[0].start;
@@ -328,6 +348,33 @@ mod tests {
             srcs.dedup();
             assert_eq!(srcs.len(), 8);
         }
+    }
+
+    #[test]
+    fn mixed_tagged_and_untagged_flows_group_without_panicking() {
+        // Regression: grouping used `s.job.unwrap()`, so a workload mixing
+        // partition-aggregate jobs with untagged background flows aborted.
+        let p = FatTreeParams::paper();
+        let mut specs =
+            partition_aggregate(&p, 0.2, 8, 1_000_000, SimTime::from_ms(50), &mut rng());
+        let tagged = specs.len();
+        // Append untagged background flows with continuing dense ids.
+        let next = specs.len() as u32;
+        for k in 0..5u32 {
+            specs.push(FlowSpec::tcp(
+                next + k,
+                k,
+                64 + k,
+                100_000,
+                SimTime::from_us(k as u64),
+            ));
+        }
+        let (jobs, untagged) = jobs_by_id(&specs);
+        assert_eq!(untagged, 5, "strays are counted, not fatal");
+        let grouped: usize = jobs.iter().map(|(_, f)| f.len()).sum();
+        assert_eq!(grouped, tagged, "every tagged flow lands in its job");
+        // Groups come back sorted by job id for deterministic iteration.
+        assert!(jobs.windows(2).all(|w| w[0].0 < w[1].0));
     }
 
     #[test]

@@ -23,5 +23,6 @@ pub mod load;
 
 pub use dist::FlowSizeDist;
 pub use gen::{
-    all_to_all, hotspot, microbench, partition_aggregate, permutation, stride, testbed_one_tor,
+    all_to_all, hotspot, jobs_by_id, microbench, partition_aggregate, permutation, stride,
+    testbed_one_tor,
 };
