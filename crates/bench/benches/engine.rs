@@ -146,6 +146,43 @@ fn bench_forwarding_traced(h: &Harness) {
     );
 }
 
+/// Workload-engine throughput: the trace-scale generation+aggregation
+/// curve. Each iteration streams `flows` websearch-CDF flows out of the
+/// registry workload, scores them with the analytic FCT model, and feeds
+/// the mergeable quantile sketch — the exact pipeline the `trace-scale`
+/// experiment runs. `elements` is the flow count, so the recorded
+/// `elems_per_sec` *is* the flows/sec figure, commit over commit.
+fn bench_workload_engine(h: &Harness) {
+    let p = topology::FatTreeParams::paper();
+    let wl = workloads::find("websearch").expect("websearch is registered");
+    for (label, flows) in [("10k", 10_000u64), ("100k", 100_000), ("1m", 1_000_000)] {
+        h.bench(
+            &format!("workload/websearch_gen_agg_{label}"),
+            flows,
+            || {
+                let pt = experiments::trace_scale::run_point(&p, wl.as_ref(), flows, 3);
+                black_box((pt.flows, pt.acc.bucket_count()))
+            },
+        );
+    }
+}
+
+/// Sketch ingestion alone: 1M pre-drawn FCT values into a fresh
+/// [`stats::QuantileSketch`], isolating aggregation from generation.
+fn bench_sketch(h: &Harness) {
+    let mut rng = DetRng::new(9, 9);
+    let values: Vec<f64> = (0..1_000_000)
+        .map(|_| 1e-5 * (1e6f64).powf(rng.gen_f64()))
+        .collect();
+    h.bench("stats/sketch_add_1m", 1_000_000, || {
+        let mut sk = stats::QuantileSketch::for_fct();
+        for &v in &values {
+            sk.add(v);
+        }
+        black_box(sk.quantile(0.99))
+    });
+}
+
 fn main() {
     let h = Harness::from_args();
     bench_scheduler(&h);
@@ -154,6 +191,8 @@ fn main() {
     bench_rng(&h);
     bench_forwarding(&h);
     bench_forwarding_traced(&h);
+    bench_workload_engine(&h);
+    bench_sketch(&h);
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
     h.write_json(out).expect("write BENCH_engine.json");
 }

@@ -1,0 +1,202 @@
+//! `perf-gate` — the CI perf-regression gate.
+//!
+//! Compares a freshly generated bench JSON (`BENCH_engine.json`) against
+//! the checked-in baseline (`BENCH_baseline.json`) and exits non-zero if
+//! any benchmark present in both regressed beyond the tolerance.
+//!
+//! ```text
+//! perf-gate <fresh.json> <baseline.json> [tolerance]
+//! ```
+//!
+//! * `tolerance` is a fraction (default `0.15`, i.e. a fresh median more
+//!   than 15 % above baseline fails); it can also come from the
+//!   `PERF_GATE_TOLERANCE` environment variable.
+//! * Benchmarks only in the fresh file (newly added) or only in the
+//!   baseline (renamed/removed) are reported but never fail the gate —
+//!   the baseline is refreshed by checking in a new `BENCH_baseline.json`.
+//! * A fresh file produced by `--smoke` mode is skipped with exit 0:
+//!   single-iteration medians are compile-and-run checks, not timings.
+//!
+//! The parser is a tiny scanner over the known `Harness::write_json`
+//! layout (`"name": "..."` followed by `"median_ns": N`), matching the
+//! repo-wide no-new-dependencies rule — there is no JSON parser to lean
+//! on, and the format is ours.
+
+use std::process::ExitCode;
+
+/// `("name", median_ns)` pairs scanned out of a bench JSON file.
+fn parse_benchmarks(text: &str) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(i) = rest.find("\"name\": \"") {
+        let after = &rest[i + "\"name\": \"".len()..];
+        let Some(end) = after.find('"') else { break };
+        let name = after[..end].to_string();
+        let tail = &after[end..];
+        let Some(m) = tail.find("\"median_ns\": ") else {
+            break;
+        };
+        let digits: String = tail[m + "\"median_ns\": ".len()..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        if let Ok(v) = digits.parse::<u64>() {
+            out.push((name, v));
+        }
+        rest = &tail[m..];
+    }
+    out
+}
+
+/// Whether the file records a `--smoke` run (single-iteration timings).
+fn is_smoke(text: &str) -> bool {
+    text.contains("\"smoke\": true")
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: perf-gate <fresh.json> <baseline.json> [tolerance]");
+    eprintln!("       tolerance: allowed fractional slowdown, default 0.15");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(fresh_path), Some(base_path)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let tolerance: f64 = match args
+        .get(2)
+        .cloned()
+        .or_else(|| std::env::var("PERF_GATE_TOLERANCE").ok())
+    {
+        Some(s) => match s.parse() {
+            Ok(t) => t,
+            Err(_) => {
+                eprintln!("perf-gate: bad tolerance {s:?}");
+                return usage();
+            }
+        },
+        None => 0.15,
+    };
+    let read = |p: &str| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("perf-gate: cannot read {p}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let fresh_text = read(fresh_path);
+    let base_text = read(base_path);
+    if is_smoke(&fresh_text) {
+        println!(
+            "perf-gate: {fresh_path} is a --smoke run (single iteration); skipping comparison"
+        );
+        return ExitCode::SUCCESS;
+    }
+    let fresh = parse_benchmarks(&fresh_text);
+    let base = parse_benchmarks(&base_text);
+    if fresh.is_empty() || base.is_empty() {
+        eprintln!(
+            "perf-gate: no benchmarks parsed (fresh {}, baseline {})",
+            fresh.len(),
+            base.len()
+        );
+        return ExitCode::from(2);
+    }
+    let base_by_name: std::collections::HashMap<&str, u64> =
+        base.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+    let fresh_names: std::collections::HashSet<&str> =
+        fresh.iter().map(|(n, _)| n.as_str()).collect();
+
+    let mut failures = 0usize;
+    for (name, fresh_ns) in &fresh {
+        match base_by_name.get(name.as_str()) {
+            Some(&base_ns) if base_ns > 0 => {
+                let ratio = *fresh_ns as f64 / base_ns as f64;
+                let verdict = if ratio > 1.0 + tolerance {
+                    failures += 1;
+                    "REGRESSED"
+                } else if ratio < 1.0 - tolerance {
+                    "improved"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "{verdict:>10}  {name:<44} {fresh_ns:>12} ns vs {base_ns:>12} ns  ({:+.1}%)",
+                    (ratio - 1.0) * 100.0
+                );
+            }
+            _ => println!("{:>10}  {name:<44} {fresh_ns:>12} ns (no baseline)", "new"),
+        }
+    }
+    for (name, _) in &base {
+        if !fresh_names.contains(name.as_str()) {
+            println!("{:>10}  {name:<44} (in baseline only)", "missing");
+        }
+    }
+    if failures > 0 {
+        eprintln!(
+            "perf-gate: {failures} benchmark(s) regressed beyond {:.0}% — \
+             investigate, or refresh BENCH_baseline.json if intentional",
+            tolerance * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "perf-gate: all shared benchmarks within {:.0}% of baseline",
+        tolerance * 100.0
+    );
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "smoke": false,
+  "benchmarks": [
+    {
+      "name": "scheduler/push_pop_10k",
+      "median_ns": 1200345,
+      "elements": 10000,
+      "elems_per_sec": 8331.0,
+      "iters": 17
+    },
+    {
+      "name": "workload/websearch_gen_agg_1m",
+      "median_ns": 450000000,
+      "elements": 1000000,
+      "elems_per_sec": 2222222.0,
+      "iters": 5
+    }
+  ]
+}"#;
+
+    #[test]
+    fn scanner_extracts_names_and_medians_in_order() {
+        let parsed = parse_benchmarks(SAMPLE);
+        assert_eq!(
+            parsed,
+            vec![
+                ("scheduler/push_pop_10k".to_string(), 1_200_345),
+                ("workload/websearch_gen_agg_1m".to_string(), 450_000_000),
+            ]
+        );
+    }
+
+    #[test]
+    fn smoke_flag_is_detected() {
+        assert!(!is_smoke(SAMPLE));
+        assert!(is_smoke(
+            &SAMPLE.replace("\"smoke\": false", "\"smoke\": true")
+        ));
+    }
+
+    #[test]
+    fn scanner_survives_truncated_input() {
+        assert!(parse_benchmarks("{\"benchmarks\": []}").is_empty());
+        assert!(parse_benchmarks("\"name\": \"dangling").is_empty());
+        let cut = &SAMPLE[..SAMPLE.find("450000000").unwrap()];
+        assert_eq!(parse_benchmarks(cut).len(), 1);
+    }
+}

@@ -14,9 +14,8 @@
 //! otherwise.
 
 use netsim::{Counter, SimTime};
-use stats::{binned, completion_fraction, fmt_ratio, paper_bins, samples, BinStats, Table};
+use stats::{completion_fraction, fmt_ratio, samples, BinSpec, BinStats, FctAccumulator, Table};
 use topology::FatTreeParams;
-use workloads::{all_to_all, FlowSizeDist};
 
 use crate::report::{Opts, Report};
 use crate::scenario::{sweep_schemes, Window};
@@ -51,29 +50,41 @@ pub struct A2AResult {
 /// Run the all-to-all sweep over `schemes` × `loads`. All schemes see the
 /// *same* flow arrivals at a given load (same generator seed), so
 /// normalization compares like with like.
+///
+/// Traffic comes from the workload registry: the historical web-search
+/// all-to-all by default, or whatever `--workload` selected — the RNG
+/// stream is unchanged, so the default reproduces the pre-registry flow
+/// lists byte for byte. Binned statistics go through the streaming
+/// [`FctAccumulator`] (the same path `trace_scale` uses at millions of
+/// flows), with counts and means exact and tail percentiles within its
+/// 0.5 % sketch guarantee.
 pub fn sweep(opts: &Opts, schemes: &[SchemeSpec], loads: &[f64]) -> Vec<A2AResult> {
     opts.validate();
     let params = FatTreeParams::paper();
     let duration = opts.scaled(SimTime::from_ms(100));
     let window = Window::for_duration(duration, SimTime::from_ms(400));
-    let dist = FlowSizeDist::web_search();
+    let workload = opts.workload_or("websearch");
 
     sweep_schemes(schemes, loads, |scheme, &load| {
         let mut rng = netsim::DetRng::new(opts.seed, 0xA2A ^ (load * 1000.0) as u64);
-        let specs = all_to_all(&params, load, duration, &dist, &mut rng);
+        let specs = workload.generate(&params, load, duration, &mut rng);
         let out = crate::run_fat_tree(params, scheme, &specs, window.drain_until, opts.seed);
         // First-finisher-wins view: identical to `out.flows` for every
         // non-replicating scheme.
         let flows = out.effective_flows();
         let s = samples(&flows, window.start, window.end);
         let fcts: Vec<f64> = s.iter().map(|x| x.fct_s).collect();
+        let mut acc = FctAccumulator::new(BinSpec::paper());
+        for x in &s {
+            acc.record_sample(x);
+        }
         let data = out.get(Counter::DataPktsRcvd).max(1);
         A2AResult {
             load,
             scheme: scheme.name().to_string(),
-            bins: binned(&s, &paper_bins()),
-            mean_s: stats::mean(&fcts).unwrap_or(0.0),
-            p99_s: stats::percentile(&fcts, 0.99).unwrap_or(0.0),
+            bins: acc.binned(),
+            mean_s: acc.overall().mean().unwrap_or(0.0),
+            p99_s: acc.overall().quantile(0.99).unwrap_or(0.0),
             ooo_frac: out.get(Counter::OooPktsRcvd) as f64 / data as f64,
             completion: completion_fraction(&flows, window.start, window.end),
             reroutes: out.get(Counter::Reroutes) + out.get(Counter::TimeoutReroutes),
@@ -128,7 +139,7 @@ fn normalized_table(results: &[A2AResult], loads: &[f64], tail: bool) -> Table {
     let mut table = Table::new(header);
     for &load in loads {
         let base = find(results, load, &base_name);
-        for (bi, bin) in paper_bins().iter().enumerate() {
+        for (bi, bin) in BinSpec::paper().bins().iter().enumerate() {
             // Empty bins carry `None` — render "-" so a binless config
             // can't masquerade as a perfect (0 s) tail.
             let abs = if tail {
@@ -255,11 +266,19 @@ fn completion_note(r: &mut Report, results: &[A2AResult]) {
 pub fn run_all(opts: &Opts) -> Vec<Report> {
     let selection = opts.scheme_selection(&schemes::paper_set());
     let results = sweep(opts, &selection, &LOADS);
-    vec![
+    let mut reports = vec![
         fig3_report(&results, &LOADS),
         fig4_report(&results, &LOADS),
         ooo_report(&results, &LOADS),
-    ]
+    ];
+    // A non-default workload changes what the tables mean — say so.
+    if opts.workload.is_some() {
+        let wl = opts.workload_or("websearch").name();
+        for r in &mut reports {
+            r.note(format!("traffic workload: {wl} (selected with --workload)"));
+        }
+    }
+    reports
 }
 
 #[cfg(test)]

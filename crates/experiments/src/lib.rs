@@ -22,10 +22,13 @@
 //! | [`flowlet`] | extension: FlowBender vs LetFlow-style flowlet switching |
 //! | [`ablation`] | §3.4/§5 design refinements |
 //! | [`repflow`] | extension: RepFlow-style short-flow replication vs rerouting |
+//! | [`trace_scale`] | extension: million-flow workload engine + streaming FCT sketches |
 //!
 //! Which load-balancing designs exist — and how a new one is added in a
-//! single file — is owned by the [`schemes`] registry; the shared runners
-//! and sweep machinery live in [`scenario`].
+//! single file — is owned by the [`schemes`] registry; which traffic
+//! patterns exist is owned by the `workloads` crate's registry (selected
+//! with `--workload`); the shared runners and sweep machinery live in
+//! [`scenario`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -48,6 +51,7 @@ pub mod schemes;
 pub mod sensitivity;
 pub mod table1;
 pub mod topo_dep;
+pub mod trace_scale;
 
 pub use registry::{find, registry, Experiment};
 pub use report::{timeline_json, Opts, Report, RunSummary, TraceSel};
@@ -67,6 +71,21 @@ pub fn schemes_help(unknown: &str) -> String {
         .join(", ");
     format!(
         "unknown scheme `{unknown}`; registered schemes: {known} (try the `schemes` subcommand)"
+    )
+}
+
+/// The error text for an unknown `--workload` value: names the offender
+/// and lists every registered workload, mirroring [`schemes_help`].
+pub fn workloads_help(unknown: &str) -> String {
+    let known = workloads::registry()
+        .iter()
+        .map(|w| w.slug())
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "unknown workload `{unknown}`; registered workloads: {known} \
+         (parameterized forms like incast:1000 or hotspot:1.5 also work; \
+         try the `workloads` subcommand)"
     )
 }
 

@@ -1,14 +1,16 @@
 //! CLI for the FlowBender reproduction harness.
 //!
 //! ```text
-//! experiments <command> [--scale F] [--seed N] [--scheme A,B] [--out DIR] [--json DIR]
-//!                       [--trace flow=ID[,ID..]|slowest=K]
+//! experiments <command> [--scale F] [--seed N] [--scheme A,B] [--workload W]
+//!                       [--out DIR] [--json DIR] [--trace flow=ID[,ID..]|slowest=K]
 //! ```
 //!
 //! The command list and descriptions come from the experiment registry
 //! ([`experiments::registry`]); run with no arguments to see it. The
 //! `schemes` subcommand prints the scheme registry, and `--scheme a,b`
-//! narrows an experiment to a named selection. Besides the rendered
+//! narrows an experiment to a named selection; the `workloads` subcommand
+//! prints the traffic-pattern registry, and `--workload <slug>` swaps the
+//! generator of experiments that honor it. Besides the rendered
 //! tables (`--out`), `--json DIR` writes one deterministic
 //! machine-readable JSON file per instrumented run plus a
 //! `BENCH_run.json` wall-clock record for the whole invocation.
@@ -21,7 +23,7 @@ use stats::Json;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <command> [--scale F] [--seed N] [--scheme A,B] [--out DIR] [--json DIR] [--trace SEL]"
+        "usage: experiments <command> [--scale F] [--seed N] [--scheme A,B] [--workload W] [--out DIR] [--json DIR] [--trace SEL]"
     );
     eprintln!();
     eprintln!("commands:");
@@ -33,6 +35,10 @@ fn usage() -> ! {
         "  {:<13} list the registered load-balancing schemes",
         "schemes"
     );
+    eprintln!(
+        "  {:<13} list the registered traffic workloads",
+        "workloads"
+    );
     eprintln!();
     eprintln!("options:");
     eprintln!("  --scale F    duration/size multiplier (default 1.0; ~10 approaches");
@@ -40,6 +46,9 @@ fn usage() -> ! {
     eprintln!("  --seed N     master seed (default 1)");
     eprintln!("  --scheme A,B comma-separated scheme selection (see `schemes`);");
     eprintln!("               default: each experiment's own set");
+    eprintln!("  --workload W traffic workload slug (see `workloads`); parameterized");
+    eprintln!("               forms like incast:1000 or hotspot:1.5 work too;");
+    eprintln!("               default: each experiment's own generator");
     eprintln!("  --out DIR    also write .txt/.csv reports there (default: results/)");
     eprintln!("  --json DIR   write per-run JSON summaries and BENCH_run.json there");
     eprintln!("  --trace SEL  flight recorder: flow=<id>[,<id>...] traces those flows,");
@@ -64,6 +73,27 @@ fn print_schemes() {
     print!("{}", table.render());
 }
 
+/// Print the workload registry: one row per traffic pattern, with its
+/// selection slug, parameter form, and whether it can stream.
+fn print_workloads() {
+    let mut table = stats::Table::new(vec!["workload", "slug", "streams", "summary"]);
+    for w in workloads::registry() {
+        table.row(vec![
+            w.name(),
+            w.slug(),
+            if w.stream_dist().is_some() {
+                "yes".to_string()
+            } else {
+                "no".to_string()
+            },
+            w.brief(),
+        ]);
+    }
+    println!("registered workloads (select with --workload, slugs or parameterized");
+    println!("forms like incast:1000, hotspot:1.5, onoff:8):\n");
+    print!("{}", table.render());
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -72,6 +102,10 @@ fn main() -> ExitCode {
     let command = args[0].clone();
     if command == "schemes" {
         print_schemes();
+        return ExitCode::SUCCESS;
+    }
+    if command == "workloads" {
+        print_workloads();
         return ExitCode::SUCCESS;
     }
     let mut opts = Opts::default();
@@ -106,6 +140,11 @@ fn main() -> ExitCode {
                 let list = args.get(i + 1).unwrap_or_else(|| usage());
                 opts.schemes
                     .extend(list.split(',').map(|s| s.trim().to_string()));
+                i += 2;
+            }
+            "--workload" => {
+                let w = args.get(i + 1).unwrap_or_else(|| usage());
+                opts.workload = Some(w.trim().to_string());
                 i += 2;
             }
             "--trace" => {

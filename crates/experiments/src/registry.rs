@@ -146,8 +146,14 @@ experiment!(
     "extension: RepFlow-style short-flow replication vs rerouting",
     |opts: &Opts| vec![crate::repflow::run(opts)]
 );
+experiment!(
+    TraceScale,
+    "trace-scale",
+    "extension: million-flow workload engine + streaming FCT sketches",
+    |opts: &Opts| vec![crate::trace_scale::run(opts)]
+);
 
-static REGISTRY: [&dyn Experiment; 17] = [
+static REGISTRY: [&dyn Experiment; 18] = [
     &Table1,
     &Fig3,
     &Fig4,
@@ -165,6 +171,7 @@ static REGISTRY: [&dyn Experiment; 17] = [
     &FlowletExt,
     &Ablation,
     &RepFlow,
+    &TraceScale,
 ];
 
 /// All experiments, in the paper's presentation order.
@@ -197,7 +204,7 @@ mod tests {
             let found = find(e.name()).expect("registered name must resolve");
             assert_eq!(found.name(), e.name());
         }
-        assert_eq!(registry().len(), 17);
+        assert_eq!(registry().len(), 18);
         assert!(find("no-such-experiment").is_none());
     }
 

@@ -90,6 +90,11 @@ pub struct Opts {
     /// [`crate::schemes::find`], so `flowbender`, `Flowlet(100us)`, and
     /// `flowlet_100us` all work.
     pub schemes: Vec<String>,
+    /// Workload slug selected on the command line (`--workload websearch`).
+    /// `None` means "each experiment's own default generator". Names are
+    /// resolved through [`workloads::find`], so `websearch`, `incast:64`,
+    /// and `hotspot_z_1` all work.
+    pub workload: Option<String>,
     /// Flight-recorder selection (`--trace`). Experiments that don't
     /// support tracing ignore it (the CLI warns).
     pub trace: TraceSel,
@@ -101,6 +106,7 @@ impl Default for Opts {
             scale: 1.0,
             seed: 1,
             schemes: Vec::new(),
+            workload: None,
             trace: TraceSel::Off,
         }
     }
@@ -130,6 +136,11 @@ impl Opts {
                 return Err(crate::schemes_help(name));
             }
         }
+        if let Some(name) = &self.workload {
+            if workloads::find(name).is_none() {
+                return Err(crate::workloads_help(name));
+            }
+        }
         Ok(())
     }
 
@@ -150,6 +161,19 @@ impl Opts {
             .iter()
             .map(|n| crate::schemes::find(n).unwrap_or_else(|| panic!("unknown scheme `{n}`")))
             .collect()
+    }
+
+    /// The workload this invocation should generate traffic with: the
+    /// `--workload` selection if one was given, otherwise `default` (an
+    /// experiment's historical generator, e.g. `websearch` for the
+    /// Figure 3/4 sweeps).
+    ///
+    /// # Panics
+    /// On unknown names — [`Opts::check`] reports them gracefully first
+    /// on every CLI path.
+    pub fn workload_or(&self, default: &str) -> Box<dyn workloads::Workload> {
+        let slug = self.workload.as_deref().unwrap_or(default);
+        workloads::find(slug).unwrap_or_else(|| panic!("unknown workload `{slug}`"))
     }
 
     /// Panicking form of [`Opts::check`], for library/test call sites.
@@ -762,6 +786,24 @@ mod tests {
         assert!(ok(0.0).unwrap_err().contains("positive"));
         assert!(ok(-2.0).unwrap_err().contains("positive"));
         assert!(ok(101.0).unwrap_err().contains("out of range"));
+    }
+
+    #[test]
+    fn opts_workload_selection_and_validation() {
+        let mut o = Opts::default();
+        assert!(o.check().is_ok(), "no workload is the default");
+        assert_eq!(
+            o.workload_or("websearch").name(),
+            "Websearch",
+            "falls back to the experiment's default"
+        );
+        o.workload = Some("incast:64".into());
+        assert!(o.check().is_ok(), "parameterized slugs validate");
+        assert_eq!(o.workload_or("websearch").name(), "Incast(64:1)");
+        o.workload = Some("nosuch".into());
+        let err = o.check().unwrap_err();
+        assert!(err.contains("nosuch"), "names the offender: {err}");
+        assert!(err.contains("websearch"), "lists the registry: {err}");
     }
 
     #[test]

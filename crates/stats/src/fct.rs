@@ -96,8 +96,57 @@ pub struct SizeBin {
 
 impl SizeBin {
     /// True if `bytes` falls in this bin.
+    ///
+    /// Edge cases are pinned by tests: a degenerate bin with `lo >= hi`
+    /// contains nothing, and `hi == u64::MAX` means "unbounded above" —
+    /// it admits `bytes == u64::MAX` rather than silently excluding the
+    /// one value the half-open convention can't express.
     pub fn contains(&self, bytes: u64) -> bool {
-        bytes >= self.lo && bytes < self.hi
+        if self.lo >= self.hi {
+            return false;
+        }
+        bytes >= self.lo && (bytes < self.hi || self.hi == u64::MAX)
+    }
+}
+
+/// A value-type set of flow-size bins — the unit the binned-FCT APIs take
+/// ([`binned`], [`crate::FctAccumulator`]) instead of a loose `&[SizeBin]`
+/// slice. Constructors carry the semantics: [`BinSpec::paper`] (also the
+/// `Default`) is the paper's Figure 3/4 binning; [`BinSpec::custom`] takes
+/// any bin list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinSpec {
+    bins: Vec<SizeBin>,
+}
+
+impl BinSpec {
+    /// The paper's Figure 3/4 bins (see [`paper_bins`]).
+    pub fn paper() -> Self {
+        BinSpec {
+            bins: paper_bins().to_vec(),
+        }
+    }
+
+    /// An arbitrary bin list (need not partition; overlaps mean a flow
+    /// counts toward its first matching bin in index order).
+    pub fn custom(bins: Vec<SizeBin>) -> Self {
+        BinSpec { bins }
+    }
+
+    /// The bins, in order.
+    pub fn bins(&self) -> &[SizeBin] {
+        &self.bins
+    }
+
+    /// Index of the first bin containing `bytes`, if any.
+    pub fn index_of(&self, bytes: u64) -> Option<usize> {
+        self.bins.iter().position(|b| b.contains(bytes))
+    }
+}
+
+impl Default for BinSpec {
+    fn default() -> Self {
+        BinSpec::paper()
     }
 }
 
@@ -148,9 +197,12 @@ pub struct BinStats {
     pub p999_s: Option<f64>,
 }
 
-/// Summarize `samples` into the given bins.
-pub fn binned(samples: &[Sample], bins: &[SizeBin]) -> Vec<BinStats> {
-    bins.iter()
+/// Summarize `samples` into the given bins (exact path: holds all FCTs
+/// per bin in memory — fine at experiment scale; at millions of flows use
+/// the streaming [`crate::FctAccumulator`] instead).
+pub fn binned(samples: &[Sample], spec: &BinSpec) -> Vec<BinStats> {
+    spec.bins()
+        .iter()
         .map(|&bin| {
             let fcts: Vec<f64> = samples
                 .iter()
@@ -168,10 +220,28 @@ pub fn binned(samples: &[Sample], bins: &[SizeBin]) -> Vec<BinStats> {
         .collect()
 }
 
-/// Average job completion time in seconds: flows are grouped by job id; a
-/// job completes when its last flow completes; a job only counts if every
-/// one of its flows completed. Returns `(avg_jct, jobs_counted)`.
-pub fn avg_job_completion(records: &[FlowRecord]) -> (f64, usize) {
+/// Job/coflow completion-time summary: flows are grouped by job id; a job
+/// completes when its last flow completes; a job only counts toward the
+/// latency statistics if every one of its flows completed.
+#[derive(Debug, Clone, Copy)]
+pub struct JobStats {
+    /// Distinct job ids seen (complete or not).
+    pub jobs_total: usize,
+    /// Jobs whose every flow completed.
+    pub jobs_complete: usize,
+    /// Mean JCT in seconds over complete jobs; `None` if none completed.
+    pub mean_s: Option<f64>,
+    /// Median JCT in seconds; `None` if no job completed.
+    pub p50_s: Option<f64>,
+    /// 99th-percentile JCT in seconds; `None` if no job completed.
+    pub p99_s: Option<f64>,
+    /// Slowest complete job's JCT in seconds; `None` if none completed.
+    pub max_s: Option<f64>,
+}
+
+/// Full job/coflow completion-time statistics from `jobs_by_id`-style
+/// tagging (the paper's partition-aggregate jobs; RepNet-style coflows).
+pub fn job_completion(records: &[FlowRecord]) -> JobStats {
     use std::collections::HashMap;
     let mut jobs: HashMap<u32, (SimTime, SimTime, bool)> = HashMap::new();
     for r in records {
@@ -188,7 +258,22 @@ pub fn avg_job_completion(records: &[FlowRecord]) -> (f64, usize) {
         .filter(|(_, _, complete)| *complete)
         .map(|(start, end, _)| (*end - *start).as_secs_f64())
         .collect();
-    (mean(&jcts).unwrap_or(0.0), jcts.len())
+    JobStats {
+        jobs_total: jobs.len(),
+        jobs_complete: jcts.len(),
+        mean_s: mean(&jcts),
+        p50_s: percentile(&jcts, 0.5),
+        p99_s: percentile(&jcts, 0.99),
+        max_s: percentile(&jcts, 1.0),
+    }
+}
+
+/// Average job completion time in seconds, as `(avg_jct, jobs_counted)`.
+/// Thin wrapper over [`job_completion`] kept for the original call sites;
+/// note it reports `0.0` (not `None`) when no job completed.
+pub fn avg_job_completion(records: &[FlowRecord]) -> (f64, usize) {
+    let js = job_completion(records);
+    (js.mean_s.unwrap_or(0.0), js.jobs_complete)
 }
 
 #[cfg(test)]
@@ -326,12 +411,78 @@ mod tests {
                 fct_s: 10.0,
             },
         ];
-        let b = binned(&samples, &paper_bins());
+        let b = binned(&samples, &BinSpec::paper());
         assert_eq!(b[0].count, 2);
         assert_eq!(b[0].mean_s, Some(2.0));
         assert_eq!(b[0].p99_s, Some(3.0));
         assert_eq!(b[3].count, 1);
         assert_eq!(b[3].mean_s, Some(10.0));
+    }
+
+    #[test]
+    fn size_bin_degenerate_and_unbounded_edges() {
+        // lo == hi: an empty interval contains nothing, not even lo.
+        let empty = SizeBin {
+            label: "empty",
+            lo: 100,
+            hi: 100,
+        };
+        assert!(!empty.contains(100));
+        assert!(!empty.contains(99));
+        assert!(!empty.contains(101));
+        // lo > hi is equally degenerate.
+        let inverted = SizeBin {
+            label: "inverted",
+            lo: 200,
+            hi: 100,
+        };
+        assert!(!inverted.contains(150));
+        // hi == u64::MAX acts unbounded: u64::MAX itself is included,
+        // instead of being the one value a half-open bin can never hold.
+        let top = SizeBin {
+            label: "top",
+            lo: 1_000_001,
+            hi: u64::MAX,
+        };
+        assert!(top.contains(1_000_001));
+        assert!(top.contains(u64::MAX - 1));
+        assert!(top.contains(u64::MAX));
+        assert!(!top.contains(1_000_000));
+        // A bounded bin still excludes its upper edge.
+        let bounded = SizeBin {
+            label: "bounded",
+            lo: 0,
+            hi: 10,
+        };
+        assert!(bounded.contains(9));
+        assert!(!bounded.contains(10));
+    }
+
+    #[test]
+    fn bin_spec_default_is_paper_and_indexes_first_match() {
+        let spec = BinSpec::default();
+        assert_eq!(spec, BinSpec::paper());
+        assert_eq!(spec.bins().len(), 4);
+        assert_eq!(spec.index_of(5_000), Some(0));
+        assert_eq!(spec.index_of(50_000), Some(1));
+        assert_eq!(spec.index_of(2_000_000), Some(3));
+        assert_eq!(spec.index_of(u64::MAX), Some(3));
+        // Overlapping custom bins: first match wins.
+        let overlap = BinSpec::custom(vec![
+            SizeBin {
+                label: "a",
+                lo: 0,
+                hi: 100,
+            },
+            SizeBin {
+                label: "b",
+                lo: 50,
+                hi: 200,
+            },
+        ]);
+        assert_eq!(overlap.index_of(75), Some(0));
+        assert_eq!(overlap.index_of(150), Some(1));
+        assert_eq!(overlap.index_of(500), None);
     }
 
     #[test]
@@ -342,13 +493,13 @@ mod tests {
             bytes: 5_000,
             fct_s: 1.0,
         }];
-        let b = binned(&samples, &paper_bins());
+        let b = binned(&samples, &BinSpec::paper());
         assert_eq!(b[1].count, 0);
         assert_eq!(b[1].mean_s, None);
         assert_eq!(b[1].p99_s, None);
         assert_eq!(b[1].p999_s, None);
         // And a fully empty input leaves every bin explicit about it.
-        for bs in binned(&[], &paper_bins()) {
+        for bs in binned(&[], &BinSpec::paper()) {
             assert_eq!(bs.count, 0);
             assert_eq!(bs.p99_s, None);
         }
@@ -369,5 +520,38 @@ mod tests {
         let (avg, n) = avg_job_completion(&records);
         assert_eq!(n, 1);
         assert!((avg - 300e-6).abs() < 1e-12);
+        // The full summary agrees and adds the tail view.
+        let js = job_completion(&records);
+        assert_eq!(js.jobs_total, 2);
+        assert_eq!(js.jobs_complete, 1);
+        assert!((js.mean_s.unwrap() - 300e-6).abs() < 1e-12);
+        assert_eq!(js.p50_s, js.p99_s, "one job: every quantile is it");
+        assert_eq!(js.p99_s, js.max_s);
+    }
+
+    #[test]
+    fn job_completion_percentiles_over_many_jobs() {
+        // 100 jobs with JCTs 100us..10ms; p99 picks the 99th.
+        let mut records = Vec::new();
+        for j in 0..100u32 {
+            records.push(rec(j, 1000, 0, Some(100 * (j as u64 + 1)), Some(j)));
+        }
+        let js = job_completion(&records);
+        assert_eq!(js.jobs_total, 100);
+        assert_eq!(js.jobs_complete, 100);
+        assert!((js.p50_s.unwrap() - 5_000e-6).abs() < 1e-12);
+        assert!((js.p99_s.unwrap() - 9_900e-6).abs() < 1e-12);
+        assert!((js.max_s.unwrap() - 10_000e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn job_completion_empty_reports_none() {
+        let js = job_completion(&[rec(0, 1000, 0, Some(5), None)]);
+        assert_eq!(js.jobs_total, 0);
+        assert_eq!(js.jobs_complete, 0);
+        assert_eq!(js.mean_s, None);
+        assert_eq!(js.p99_s, None);
+        let (avg, n) = avg_job_completion(&[]);
+        assert_eq!((avg, n), (0.0, 0));
     }
 }

@@ -11,11 +11,13 @@
 
 pub mod fct;
 pub mod json;
+pub mod sketch;
 pub mod table;
 
 pub use fct::{
-    avg_job_completion, binned, cdf_points, completion_fraction, mean, paper_bins, percentile,
-    samples, BinStats, Sample, SizeBin,
+    avg_job_completion, binned, cdf_points, completion_fraction, job_completion, mean, paper_bins,
+    percentile, samples, BinSpec, BinStats, JobStats, Sample, SizeBin,
 };
 pub use json::Json;
+pub use sketch::{FctAccumulator, QuantileSketch};
 pub use table::{fmt_gbps, fmt_ratio, fmt_secs, Table};

@@ -50,6 +50,31 @@ impl FlowSizeDist {
         ])
     }
 
+    /// The data-mining distribution from the DCTCP/VL2 measurement line
+    /// (Greenberg et al., *VL2*; Alizadeh et al., *DCTCP*): even more
+    /// extreme than web-search — the large majority of flows are tiny
+    /// (≈ 80 % under 10 KB), but the tail stretches to 1 GB and flows
+    /// above 1 MB carry ≈ 95 % of all bytes.
+    ///
+    /// Bin shares (the paper's Figure 3/4 bins): `[1 KB, 10 KB]` ≈ 78 %
+    /// of flows, `(10 KB, 128 KB]` ≈ 8 %, `(128 KB, 1 MB]` ≈ 6 %,
+    /// `> 1 MB` ≈ 8 % — with a mean near 5 MB, an order of magnitude
+    /// above web-search's.
+    pub fn data_mining() -> Self {
+        FlowSizeDist::Cdf(vec![
+            (100, 0.00),
+            (300, 0.30),
+            (1_000, 0.55),
+            (3_000, 0.70),
+            (10_000, 0.78),
+            (100_000, 0.86),
+            (1_000_000, 0.92),
+            (10_000_000, 0.96),
+            (100_000_000, 0.99),
+            (1_000_000_000, 1.00),
+        ])
+    }
+
     /// Validate CDF monotonicity (and bounds ordering for `Uniform`).
     ///
     /// # Panics
@@ -199,6 +224,52 @@ mod tests {
         let sampled: f64 = (0..n).map(|_| d.sample(&mut r) as f64).sum::<f64>() / n as f64;
         let rel = (analytic - sampled).abs() / analytic;
         assert!(rel < 0.02, "analytic {analytic} vs sampled {sampled}");
+    }
+
+    #[test]
+    fn data_mining_is_valid_and_tinier_flows_heavier_tail() {
+        // CDF-shape sanity against the published distribution: the mass
+        // of flows is tiny, the mass of bytes is in the giant tail, and
+        // the mean sits an order of magnitude above web-search's.
+        let d = FlowSizeDist::data_mining();
+        d.validate();
+        let mut r = rng();
+        let n = 200_000;
+        let mut tiny = 0u64; // <= 10KB flows
+        let mut big_bytes = 0u64; // bytes in > 1MB flows
+        let mut total_bytes = 0u64;
+        for _ in 0..n {
+            let s = d.sample(&mut r);
+            assert!((100..=1_000_000_000).contains(&s));
+            total_bytes += s;
+            if s <= 10_000 {
+                tiny += 1;
+            }
+            if s > 1_000_000 {
+                big_bytes += s;
+            }
+        }
+        let tiny_frac = tiny as f64 / n as f64;
+        let big_byte_share = big_bytes as f64 / total_bytes as f64;
+        assert!((0.73..0.83).contains(&tiny_frac), "tiny flows: {tiny_frac}");
+        assert!(
+            big_byte_share > 0.90,
+            "byte share of >1MB flows: {big_byte_share}"
+        );
+        // Percentile spot checks straight off the knots.
+        let FlowSizeDist::Cdf(knots) = &d else {
+            unreachable!()
+        };
+        assert_eq!(FlowSizeDist::inverse(knots, 0.55), 1_000);
+        assert_eq!(FlowSizeDist::inverse(knots, 0.78), 10_000);
+        assert_eq!(FlowSizeDist::inverse(knots, 0.92), 1_000_000);
+        // Mean near 5 MB, ~8x web-search's ~600KB.
+        let mean = d.mean_bytes();
+        assert!(
+            (3e6..8e6).contains(&mean),
+            "data-mining mean {mean} out of expected band"
+        );
+        assert!(mean > 4.0 * FlowSizeDist::web_search().mean_bytes());
     }
 
     #[test]

@@ -13,6 +13,13 @@
 //!
 //! The [`load`] module converts the paper's "% of bisection bandwidth"
 //! into per-host arrival rates.
+//!
+//! On top of the free-function generators sits the [`spec`] registry: every
+//! traffic pattern as a named, parameterized [`Workload`] selectable by
+//! slug (`websearch`, `datamining`, `alltoall`, `incast:<fanin>`,
+//! `hotspot:<zipf-skew>`, `onoff:<burst>`) — the traffic-side twin of the
+//! experiments crate's scheme registry — and [`stream::PoissonStream`],
+//! the O(hosts)-memory streaming generator for trace-scale runs.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -20,9 +27,14 @@
 pub mod dist;
 pub mod gen;
 pub mod load;
+pub mod patterns;
+pub mod spec;
+pub mod stream;
 
 pub use dist::FlowSizeDist;
 pub use gen::{
     all_to_all, hotspot, jobs_by_id, microbench, partition_aggregate, permutation, stride,
     testbed_one_tor,
 };
+pub use spec::{find, registry, Workload};
+pub use stream::PoissonStream;

@@ -1,0 +1,48 @@
+//! `alltoall` — Poisson all-to-all with fixed 1 MB flows: the
+//! constant-size control for separating size-distribution effects from
+//! routing effects.
+
+use netsim::{DetRng, FlowSpec, SimTime};
+use topology::FatTreeParams;
+
+use crate::dist::FlowSizeDist;
+use crate::gen;
+use crate::spec::Workload;
+
+/// Poisson all-to-all, every flow exactly 1 MB.
+pub struct AllToAll;
+
+/// The `alltoall` workload.
+pub fn alltoall() -> AllToAll {
+    AllToAll
+}
+
+impl AllToAll {
+    fn dist(&self) -> FlowSizeDist {
+        FlowSizeDist::Fixed(1_000_000)
+    }
+}
+
+impl Workload for AllToAll {
+    fn name(&self) -> String {
+        "AllToAll(1MB)".into()
+    }
+
+    fn brief(&self) -> String {
+        "Poisson all-to-all, fixed 1 MB flows (size-distribution control)".into()
+    }
+
+    fn generate(
+        &self,
+        p: &FatTreeParams,
+        load: f64,
+        duration: SimTime,
+        rng: &mut DetRng,
+    ) -> Vec<FlowSpec> {
+        gen::all_to_all(p, load, duration, &self.dist(), rng)
+    }
+
+    fn stream_dist(&self) -> Option<FlowSizeDist> {
+        Some(self.dist())
+    }
+}

@@ -1,0 +1,42 @@
+//! `datamining` — Poisson all-to-all with the even heavier-tailed
+//! data-mining flow sizes (VL2/DCTCP measurement line).
+
+use netsim::{DetRng, FlowSpec, SimTime};
+use topology::FatTreeParams;
+
+use crate::dist::FlowSizeDist;
+use crate::gen;
+use crate::spec::Workload;
+
+/// Poisson all-to-all with [`FlowSizeDist::data_mining`] sizes: ≈80 % of
+/// flows under 10 KB, ≈95 % of bytes in the >1 MB tail.
+pub struct Datamining;
+
+/// The `datamining` workload.
+pub fn datamining() -> Datamining {
+    Datamining
+}
+
+impl Workload for Datamining {
+    fn name(&self) -> String {
+        "Datamining".into()
+    }
+
+    fn brief(&self) -> String {
+        "Poisson all-to-all, extreme-tailed data-mining flow sizes (VL2)".into()
+    }
+
+    fn generate(
+        &self,
+        p: &FatTreeParams,
+        load: f64,
+        duration: SimTime,
+        rng: &mut DetRng,
+    ) -> Vec<FlowSpec> {
+        gen::all_to_all(p, load, duration, &FlowSizeDist::data_mining(), rng)
+    }
+
+    fn stream_dist(&self) -> Option<FlowSizeDist> {
+        Some(FlowSizeDist::data_mining())
+    }
+}

@@ -1,0 +1,86 @@
+//! `hotspot:<zipf-skew>` — a Zipf-skewed destination matrix: every host
+//! Poisson-generates flows, but destinations are drawn by Zipf rank, so a
+//! few hosts soak up most of the traffic and the links around them become
+//! persistent hotspots (the fabric-asymmetry stressor the testbed's
+//! UDP-pin hotspot approximates with one flow).
+
+use netsim::{DetRng, FlowSpec, SimTime};
+use topology::FatTreeParams;
+
+use crate::dist::FlowSizeDist;
+use crate::load;
+use crate::spec::Workload;
+
+/// Zipf-skewed all-to-all: destination with rank `j` (0-based, by host
+/// id) is drawn with weight `1/(j+1)^skew`; `skew = 0` degenerates to the
+/// uniform all-to-all, larger skews concentrate harder. Flow sizes are
+/// web-search.
+pub struct ZipfHotspot {
+    skew: f64,
+}
+
+/// The `hotspot:<skew>` workload (`hotspot` alone defaults to z = 1).
+pub fn zipf_hotspot(skew: f64) -> ZipfHotspot {
+    assert!(skew.is_finite() && skew >= 0.0, "bad zipf skew {skew}");
+    ZipfHotspot { skew }
+}
+
+impl Workload for ZipfHotspot {
+    fn name(&self) -> String {
+        format!("Hotspot(z={})", self.skew)
+    }
+
+    fn brief(&self) -> String {
+        format!(
+            "Poisson senders, Zipf(s={}) destination skew pinning hotspots",
+            self.skew
+        )
+    }
+
+    fn generate(
+        &self,
+        p: &FatTreeParams,
+        load: f64,
+        duration: SimTime,
+        rng: &mut DetRng,
+    ) -> Vec<FlowSpec> {
+        let n = p.n_hosts() as u32;
+        assert!(n >= 2);
+        let dist = FlowSizeDist::web_search();
+        let rate = load::fat_tree_flow_rate_per_host(p, load, dist.mean_bytes());
+        let mean_gap_secs = 1.0 / rate;
+        // Cumulative Zipf weights over host ids; a destination is picked
+        // by binary search on a uniform draw scaled to the total mass.
+        let mut cum = Vec::with_capacity(n as usize);
+        let mut total = 0.0f64;
+        for j in 0..n {
+            total += 1.0 / ((j + 1) as f64).powf(self.skew);
+            cum.push(total);
+        }
+        let mut specs = Vec::new();
+        for src in 0..n {
+            let mut t = SimTime::from_secs_f64(rng.gen_exp(mean_gap_secs));
+            while t < duration {
+                // Rejection on self-sends keeps the marginal Zipf shape
+                // over the remaining hosts.
+                let dst = loop {
+                    let u = rng.gen_f64() * total;
+                    let d = cum.partition_point(|&c| c < u) as u32;
+                    let d = d.min(n - 1);
+                    if d != src {
+                        break d;
+                    }
+                };
+                let bytes = dist.sample(rng);
+                specs.push((t, src, dst, bytes));
+                t += SimTime::from_secs_f64(rng.gen_exp(mean_gap_secs));
+            }
+        }
+        specs.sort_by_key(|&(t, src, _, _)| (t, src));
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(id, (t, src, dst, bytes))| FlowSpec::tcp(id as u32, src, dst, bytes, t))
+            .collect()
+    }
+}

@@ -1,0 +1,20 @@
+//! One file per registered workload (see [`crate::spec`]).
+//!
+//! Each file defines one small struct implementing [`crate::Workload`]
+//! plus a lowercase constructor — the same layout as the experiments
+//! crate's scheme registry, so adding a pattern never touches another
+//! pattern's file.
+
+mod alltoall;
+mod datamining;
+mod hotspot;
+mod incast;
+mod onoff;
+mod websearch;
+
+pub use alltoall::alltoall;
+pub use datamining::datamining;
+pub use hotspot::zipf_hotspot;
+pub use incast::incast;
+pub use onoff::onoff;
+pub use websearch::websearch;

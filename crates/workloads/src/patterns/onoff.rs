@@ -1,0 +1,92 @@
+//! `onoff:<burst>` — ON/OFF bursty senders: each host alternates
+//! exponential ON and OFF periods, sending only while ON at `burst`× the
+//! calibrated average rate. The time-average offered load matches the
+//! uniform all-to-all at the same `load`, but arrivals come in squalls —
+//! the burstiness the paper's Poisson workloads deliberately lack.
+
+use netsim::{DetRng, FlowSpec, SimTime};
+use topology::FatTreeParams;
+
+use crate::dist::FlowSizeDist;
+use crate::load;
+use crate::spec::Workload;
+
+/// Mean ON-period length. A couple of milliseconds is long against the
+/// fabric RTT (~40 µs) and short against run durations, so queues see
+/// genuine squalls rather than a slightly-modulated Poisson process.
+const ON_MEAN_S: f64 = 2e-3;
+
+/// ON/OFF bursty all-to-all: ON periods exp(2 ms), OFF periods scaled so
+/// the duty cycle is `1/burst`, in-ON arrival rate `burst`× the average —
+/// preserving the load calibration while concentrating arrivals.
+pub struct OnOff {
+    burst: f64,
+}
+
+/// The `onoff:<burst>` workload (`onoff` alone defaults to burst = 5).
+pub fn onoff(burst: f64) -> OnOff {
+    assert!(
+        burst.is_finite() && burst >= 1.0,
+        "bad burst factor {burst}"
+    );
+    OnOff { burst }
+}
+
+impl Workload for OnOff {
+    fn name(&self) -> String {
+        format!("OnOff(burst={})", self.burst)
+    }
+
+    fn brief(&self) -> String {
+        format!(
+            "ON/OFF bursty senders, {}x peak rate at 1/{} duty cycle",
+            self.burst, self.burst
+        )
+    }
+
+    fn generate(
+        &self,
+        p: &FatTreeParams,
+        load: f64,
+        duration: SimTime,
+        rng: &mut DetRng,
+    ) -> Vec<FlowSpec> {
+        let n = p.n_hosts() as u32;
+        let dist = FlowSizeDist::web_search();
+        let avg_rate = load::fat_tree_flow_rate_per_host(p, load, dist.mean_bytes());
+        let on_gap_secs = 1.0 / (avg_rate * self.burst);
+        let off_mean_s = ON_MEAN_S * (self.burst - 1.0);
+        let mut specs = Vec::new();
+        for src in 0..n {
+            let mut t = 0.0f64;
+            // Desynchronize sources: start each at a random phase of its
+            // first OFF period.
+            if off_mean_s > 0.0 {
+                t += rng.gen_f64() * (ON_MEAN_S + off_mean_s);
+            }
+            while t < duration.as_secs_f64() {
+                let on_end = t + rng.gen_exp(ON_MEAN_S);
+                let mut s = t + rng.gen_exp(on_gap_secs);
+                while s < on_end && s < duration.as_secs_f64() {
+                    let mut dst = rng.gen_range(n - 1);
+                    if dst >= src {
+                        dst += 1;
+                    }
+                    let bytes = dist.sample(rng);
+                    specs.push((SimTime::from_secs_f64(s), src, dst, bytes));
+                    s += rng.gen_exp(on_gap_secs);
+                }
+                t = on_end;
+                if off_mean_s > 0.0 {
+                    t += rng.gen_exp(off_mean_s);
+                }
+            }
+        }
+        specs.sort_by_key(|&(t, src, _, _)| (t, src));
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(id, (t, src, dst, bytes))| FlowSpec::tcp(id as u32, src, dst, bytes, t))
+            .collect()
+    }
+}

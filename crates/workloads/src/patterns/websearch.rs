@@ -1,0 +1,45 @@
+//! `websearch` — the paper's §4.2.2 evaluation workload: Poisson
+//! all-to-all with heavy-tailed web-search flow sizes.
+
+use netsim::{DetRng, FlowSpec, SimTime};
+use topology::FatTreeParams;
+
+use crate::dist::FlowSizeDist;
+use crate::gen;
+use crate::spec::Workload;
+
+/// Poisson all-to-all with [`FlowSizeDist::web_search`] sizes.
+///
+/// This is byte-for-byte the generator the Figure 3/4 sweeps always used
+/// (`gen::all_to_all` + web-search CDF): selecting it through the
+/// registry reproduces the historical flow lists exactly.
+pub struct Websearch;
+
+/// The `websearch` workload.
+pub fn websearch() -> Websearch {
+    Websearch
+}
+
+impl Workload for Websearch {
+    fn name(&self) -> String {
+        "Websearch".into()
+    }
+
+    fn brief(&self) -> String {
+        "Poisson all-to-all, heavy-tailed web-search flow sizes (Fig. 3/4)".into()
+    }
+
+    fn generate(
+        &self,
+        p: &FatTreeParams,
+        load: f64,
+        duration: SimTime,
+        rng: &mut DetRng,
+    ) -> Vec<FlowSpec> {
+        gen::all_to_all(p, load, duration, &FlowSizeDist::web_search(), rng)
+    }
+
+    fn stream_dist(&self) -> Option<FlowSizeDist> {
+        Some(FlowSizeDist::web_search())
+    }
+}

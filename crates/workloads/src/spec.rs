@@ -1,0 +1,217 @@
+//! The workload registry: every traffic pattern as one named,
+//! parameterized [`Workload`] selectable by slug — the traffic-side twin
+//! of the experiments crate's `SchemeSpec` registry.
+//!
+//! One file per workload under [`crate::patterns`]. Adding a workload is:
+//! write one new file next to the existing ones, add one line to
+//! [`registry`] (and, if it takes a parameter, one arm to [`find`]) —
+//! nothing else. Experiments select a generator with `--workload <slug>`
+//! instead of hard-coding free functions.
+//!
+//! | slug | pattern |
+//! |------|---------|
+//! | `websearch` | Poisson all-to-all, web-search flow sizes |
+//! | `datamining` | Poisson all-to-all, data-mining flow sizes |
+//! | `alltoall` | Poisson all-to-all, fixed 1 MB flows |
+//! | `incast:<fanin>` | partition-aggregate jobs, `<fanin>`:1 (to 1000:1) |
+//! | `hotspot:<skew>` | Zipf(`<skew>`)-skewed destination matrix |
+//! | `onoff:<burst>` | ON/OFF bursty senders at `<burst>`× peak rate |
+
+use netsim::{DetRng, FlowSpec, SimTime};
+use topology::FatTreeParams;
+
+use crate::dist::FlowSizeDist;
+use crate::patterns;
+
+/// One named traffic pattern: everything a runner needs to generate the
+/// offered load, plus how to present it.
+///
+/// `load` is the same unit everywhere: average pod-uplink utilization
+/// (the paper's "% of bisection bandwidth"), so workloads are swappable
+/// under a fixed load point. Generators must return dense, arrival-sorted
+/// flow ids `0..n` and draw all randomness from the caller's [`DetRng`].
+pub trait Workload: Sync + Send {
+    /// Display name, parameters included (e.g. `Incast(32:1)`).
+    fn name(&self) -> String;
+
+    /// One-line description for the registry table.
+    fn brief(&self) -> String;
+
+    /// Generate the flow list for one run.
+    fn generate(
+        &self,
+        p: &FatTreeParams,
+        load: f64,
+        duration: SimTime,
+        rng: &mut DetRng,
+    ) -> Vec<FlowSpec>;
+
+    /// For workloads that are memory-less Poisson all-to-all processes:
+    /// the size distribution, enabling the O(hosts)-memory streaming path
+    /// ([`crate::stream::PoissonStream`]) at millions of flows. `None`
+    /// for patterns with cross-flow structure (jobs, bursts, pinned
+    /// hotspots) that need the batch generator.
+    fn stream_dist(&self) -> Option<FlowSizeDist> {
+        None
+    }
+
+    /// File-system/JSON-label-safe form of the name: lowercase, with
+    /// every run of non-alphanumerics collapsed to one underscore
+    /// (`Incast(32:1)` → `incast_32_1`).
+    fn slug(&self) -> String {
+        let name = self.name();
+        let mut out = String::with_capacity(name.len());
+        for c in name.chars() {
+            if c.is_ascii_alphanumeric() {
+                out.push(c.to_ascii_lowercase());
+            } else if !out.ends_with('_') {
+                out.push('_');
+            }
+        }
+        out.trim_matches('_').to_string()
+    }
+}
+
+/// Every registered workload with default parameters, in deterministic
+/// presentation order: the paper's patterns first, then the extensions.
+pub fn registry() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(patterns::websearch()),
+        Box::new(patterns::datamining()),
+        Box::new(patterns::alltoall()),
+        Box::new(patterns::incast(32)),
+        Box::new(patterns::zipf_hotspot(1.0)),
+        Box::new(patterns::onoff(5.0)),
+    ]
+}
+
+/// Look a workload up by slug, case-insensitively, with optional
+/// parameter: `incast:1000`, `hotspot:1.2`, `onoff:8` (also accepted as
+/// `incast(1000)`). Matches the full display name, the base name, the
+/// slug, and common underscore aliases (`web_search`, `data_mining`,
+/// `all_to_all`, `on_off`). `None` for unknown names or bad parameters —
+/// callers should print the registry, like the scheme CLI does.
+pub fn find(name: &str) -> Option<Box<dyn Workload>> {
+    let want = name.trim().to_ascii_lowercase();
+    // Split `base:param` / `base(param)` forms.
+    let (base, param) = match want.split_once(':') {
+        Some((b, p)) => (b.to_string(), Some(p.trim().to_string())),
+        None => match want.split_once('(') {
+            Some((b, p)) => (
+                b.to_string(),
+                Some(p.trim_end_matches(')').trim().to_string()),
+            ),
+            None => (want.clone(), None),
+        },
+    };
+    // Collapse separators so `web_search` and `web-search` hit `websearch`.
+    let canon: String = base.chars().filter(|c| c.is_ascii_alphanumeric()).collect();
+    match canon.as_str() {
+        "websearch" => param
+            .is_none()
+            .then(|| Box::new(patterns::websearch()) as _),
+        "datamining" => param
+            .is_none()
+            .then(|| Box::new(patterns::datamining()) as _),
+        "alltoall" => param.is_none().then(|| Box::new(patterns::alltoall()) as _),
+        "incast" => {
+            let fan_in = match param {
+                Some(p) => p.parse::<u32>().ok().filter(|&f| f >= 1)?,
+                None => 32,
+            };
+            Some(Box::new(patterns::incast(fan_in)))
+        }
+        "hotspot" => {
+            let skew = match param {
+                Some(p) => p
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|s| s.is_finite() && *s >= 0.0)?,
+                None => 1.0,
+            };
+            Some(Box::new(patterns::zipf_hotspot(skew)))
+        }
+        "onoff" => {
+            let burst = match param {
+                Some(p) => p
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|b| b.is_finite() && *b >= 1.0)?,
+                None => 5.0,
+            };
+            Some(Box::new(patterns::onoff(burst)))
+        }
+        // Fall through to exact full-name/slug matches against the
+        // registry defaults (`incast_32_1`, `Hotspot(z=1)`, ...).
+        _ => registry().into_iter().find(|w| {
+            let full = w.name().to_ascii_lowercase();
+            want == full || want == w.slug()
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_deterministic_and_named_uniquely() {
+        let a = registry();
+        let names: Vec<String> = a.iter().map(|w| w.name()).collect();
+        let b: Vec<String> = registry().iter().map(|w| w.name()).collect();
+        assert_eq!(names, b);
+        let unique: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len(), "names must be unique: {names:?}");
+        for w in &a {
+            assert!(!w.brief().is_empty(), "{}: brief", w.name());
+            assert!(!w.slug().is_empty(), "{}: slug", w.name());
+        }
+    }
+
+    #[test]
+    fn find_matches_slug_alias_and_param_forms() {
+        assert_eq!(find("websearch").unwrap().name(), "Websearch");
+        assert_eq!(find("web_search").unwrap().name(), "Websearch");
+        assert_eq!(find("WebSearch").unwrap().name(), "Websearch");
+        assert_eq!(find("data_mining").unwrap().name(), "Datamining");
+        assert_eq!(find("all_to_all").unwrap().name(), "AllToAll(1MB)");
+        assert_eq!(find("incast").unwrap().name(), "Incast(32:1)");
+        assert_eq!(find("incast:1000").unwrap().name(), "Incast(1000:1)");
+        assert_eq!(find("incast(64)").unwrap().name(), "Incast(64:1)");
+        assert_eq!(find("incast_32_1").unwrap().name(), "Incast(32:1)");
+        assert_eq!(find("hotspot").unwrap().name(), "Hotspot(z=1)");
+        assert_eq!(find("hotspot:1.5").unwrap().name(), "Hotspot(z=1.5)");
+        assert_eq!(find("onoff").unwrap().name(), "OnOff(burst=5)");
+        assert_eq!(find("on_off:8").unwrap().name(), "OnOff(burst=8)");
+        assert!(find("vl2").is_none());
+        assert!(find("incast:zero").is_none(), "bad parameter is an error");
+        assert!(find("incast:0").is_none(), "fan-in must be >= 1");
+        assert!(find("onoff:0.5").is_none(), "burst must be >= 1");
+    }
+
+    #[test]
+    fn slugs_are_label_safe_and_roundtrip_through_find() {
+        for w in registry() {
+            let slug = w.slug();
+            assert!(
+                slug.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "slug {slug} not label-safe"
+            );
+            let back = find(&slug).unwrap_or_else(|| panic!("slug {slug} not findable"));
+            assert_eq!(back.name(), w.name(), "slug {slug} round-trips");
+        }
+    }
+
+    #[test]
+    fn only_memoryless_all_to_alls_stream() {
+        for w in registry() {
+            let streams = w.stream_dist().is_some();
+            let expect = matches!(
+                w.slug().as_str(),
+                "websearch" | "datamining" | "alltoall_1mb"
+            );
+            assert_eq!(streams, expect, "{}", w.name());
+        }
+    }
+}
