@@ -167,6 +167,39 @@ fn bench_workload_engine(h: &Harness) {
     }
 }
 
+/// Sharded-engine scaling: the same fig3-style Poisson all-to-all on a
+/// k=16 fat-tree (1024 hosts), executed by 1, 2, and 4 worker shards.
+/// Every run produces byte-identical results (enforced by the
+/// `sharded_determinism` test), so the three medians are a pure
+/// wall-clock scaling curve for the conservative barrier-epoch engine.
+/// `elements` is the run's event count (identical at every shard count),
+/// so `elems_per_sec` is engine throughput in events/sec.
+fn bench_sharding(h: &Harness) {
+    let params = topology::FatTreeParams::k_ary(16).expect("k=16 is valid");
+    let scheme = experiments::schemes::flowbender(Default::default());
+    let rng = DetRng::new(3, 0xFAB);
+    let specs: Vec<netsim::FlowSpec> = workloads::PoissonStream::new(
+        &params,
+        0.3,
+        SimTime::from_ms(1),
+        workloads::FlowSizeDist::web_search(),
+        &rng,
+    )
+    .collect();
+    let until = SimTime::from_ms(25);
+    // One untimed probe run sizes `elements` with the real event count.
+    let events = experiments::run_fat_tree_sharded(params, &scheme, &specs, until, 3, 1)
+        .expect("1 shard always partitions")
+        .events;
+    for shards in [1usize, 2, 4] {
+        h.bench(&format!("shard/alltoall_1024h_s{shards}"), events, || {
+            let out = experiments::run_fat_tree_sharded(params, &scheme, &specs, until, 3, shards)
+                .expect("shard counts divide k=16's 16 pods");
+            black_box(out.events)
+        });
+    }
+}
+
 /// Sketch ingestion alone: 1M pre-drawn FCT values into a fresh
 /// [`stats::QuantileSketch`], isolating aggregation from generation.
 fn bench_sketch(h: &Harness) {
@@ -192,6 +225,7 @@ fn main() {
     bench_forwarding(&h);
     bench_forwarding_traced(&h);
     bench_workload_engine(&h);
+    bench_sharding(&h);
     bench_sketch(&h);
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
     h.write_json(out).expect("write BENCH_engine.json");

@@ -37,6 +37,7 @@ pub mod ablation;
 pub mod alltoall;
 pub mod asym;
 pub mod buffers;
+pub mod fabric_scale;
 pub mod fig5;
 pub mod fig8;
 pub mod flowlet;
@@ -57,7 +58,8 @@ pub use registry::{find, registry, Experiment};
 pub use report::{timeline_json, Opts, Report, RunSummary, TraceSel};
 pub use scenario::{
     parallel_map, run_fat_tree, run_fat_tree_faults, run_fat_tree_faults_traced,
-    run_fat_tree_traced, run_testbed, slowest_flows, sweep_schemes, RunOutput, Window,
+    run_fat_tree_sharded, run_fat_tree_traced, run_testbed, slowest_flows, sweep_schemes,
+    RunOutput, ShardStats, Window,
 };
 pub use schemes::{Replication, SchemeSpec};
 

@@ -3,6 +3,7 @@
 //! ```text
 //! experiments <command> [--scale F] [--seed N] [--scheme A,B] [--workload W]
 //!                       [--out DIR] [--json DIR] [--trace flow=ID[,ID..]|slowest=K]
+//!                       [--shards N] [--topo k=K] [--smoke]
 //! ```
 //!
 //! The command list and descriptions come from the experiment registry
@@ -23,7 +24,7 @@ use stats::Json;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <command> [--scale F] [--seed N] [--scheme A,B] [--workload W] [--out DIR] [--json DIR] [--trace SEL]"
+        "usage: experiments <command> [--scale F] [--seed N] [--scheme A,B] [--workload W] [--out DIR] [--json DIR] [--trace SEL] [--shards N] [--topo k=K] [--smoke]"
     );
     eprintln!();
     eprintln!("commands:");
@@ -54,6 +55,12 @@ fn usage() -> ! {
     eprintln!("  --trace SEL  flight recorder: flow=<id>[,<id>...] traces those flows,");
     eprintln!("               slowest=<k> traces the k slowest TCP flows (found by an");
     eprintln!("               untraced probe run); one timeline JSON per flow under --json");
+    eprintln!("  --shards N   worker threads for the sharded engine (default 1 — the");
+    eprintln!("               classic single-threaded engine; results are identical at");
+    eprintln!("               any N). honored by: fabric-scale");
+    eprintln!("  --topo k=K   k-ary fat-tree arity for fabric-building experiments");
+    eprintln!("               (hosts = k^3/4: k=8 -> 128, k=16 -> 1024, k=32 -> 8192)");
+    eprintln!("  --smoke      CI-sized run: smaller fabric and shorter windows");
     std::process::exit(2);
 }
 
@@ -157,6 +164,36 @@ fn main() -> ExitCode {
                     }
                 }
                 i += 2;
+            }
+            "--shards" => {
+                let n = args.get(i + 1).unwrap_or_else(|| usage());
+                match n.parse::<usize>() {
+                    Ok(n) => opts.shards = n,
+                    Err(_) => {
+                        eprintln!("error: --shards {n}: pass a whole number of worker shards");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
+            "--topo" => {
+                let spec = args.get(i + 1).unwrap_or_else(|| usage());
+                let Some(k) = spec
+                    .strip_prefix("k=")
+                    .and_then(|v| v.parse::<usize>().ok())
+                else {
+                    eprintln!(
+                        "error: --topo {spec}: expected k=<even K>, e.g. --topo k=16 \
+                         for a 1024-host fat-tree"
+                    );
+                    return ExitCode::from(2);
+                };
+                opts.topo_k = Some(k);
+                i += 2;
+            }
+            "--smoke" => {
+                opts.smoke = true;
+                i += 1;
             }
             _ => usage(),
         }

@@ -152,8 +152,14 @@ experiment!(
     "extension: million-flow workload engine + streaming FCT sketches",
     |opts: &Opts| vec![crate::trace_scale::run(opts)]
 );
+experiment!(
+    FabricScale,
+    "fabric-scale",
+    "extension: 1024-host all-to-all on the sharded multi-core engine",
+    |opts: &Opts| vec![crate::fabric_scale::run(opts)]
+);
 
-static REGISTRY: [&dyn Experiment; 18] = [
+static REGISTRY: [&dyn Experiment; 19] = [
     &Table1,
     &Fig3,
     &Fig4,
@@ -172,6 +178,7 @@ static REGISTRY: [&dyn Experiment; 18] = [
     &Ablation,
     &RepFlow,
     &TraceScale,
+    &FabricScale,
 ];
 
 /// All experiments, in the paper's presentation order.
@@ -204,7 +211,7 @@ mod tests {
             let found = find(e.name()).expect("registered name must resolve");
             assert_eq!(found.name(), e.name());
         }
-        assert_eq!(registry().len(), 18);
+        assert_eq!(registry().len(), 19);
         assert!(find("no-such-experiment").is_none());
     }
 

@@ -98,6 +98,18 @@ pub struct Opts {
     /// Flight-recorder selection (`--trace`). Experiments that don't
     /// support tracing ignore it (the CLI warns).
     pub trace: TraceSel,
+    /// Worker shards for experiments that support the sharded engine
+    /// (`--shards N`). Defaults to 1 — the classic single-threaded engine;
+    /// parallelism is never switched on implicitly.
+    pub shards: usize,
+    /// Fat-tree arity override (`--topo k=K`) for experiments that build
+    /// k-ary fabrics (hosts = k³/4, so k=16 → 1024 hosts). `None` means
+    /// each experiment's own default.
+    pub topo_k: Option<usize>,
+    /// Shrink runs to CI-smoke size (`--smoke`): smaller fabric, shorter
+    /// window, fewer sweep points. Experiments that have no smoke mode
+    /// ignore it.
+    pub smoke: bool,
 }
 
 impl Default for Opts {
@@ -108,6 +120,9 @@ impl Default for Opts {
             schemes: Vec::new(),
             workload: None,
             trace: TraceSel::Off,
+            shards: 1,
+            topo_k: None,
+            smoke: false,
         }
     }
 }
@@ -140,6 +155,22 @@ impl Opts {
             if workloads::find(name).is_none() {
                 return Err(crate::workloads_help(name));
             }
+        }
+        // `--topo k=K` must describe a buildable fat-tree, and `--shards`
+        // must partition it; both produce actionable errors here so every
+        // CLI path rejects bad combinations before any run starts.
+        if let Some(k) = self.topo_k {
+            topology::FatTreeParams::k_ary(k)?;
+        }
+        if self.shards != 1 {
+            let params = match self.topo_k {
+                Some(k) => topology::FatTreeParams::k_ary(k)?,
+                // The sharded experiments default to k=16 (1024 hosts),
+                // or k=8 under --smoke; validate against the smaller one
+                // so --smoke --shards combinations are not over-rejected.
+                None => topology::FatTreeParams::k_ary(if self.smoke { 8 } else { 16 })?,
+            };
+            topology::ShardPlan::new(&params, self.shards)?;
         }
         Ok(())
     }

@@ -8,13 +8,17 @@
 //! a bounded worker pool.
 
 use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
 
 use netsim::{
-    FlowId, FlowSpec, PortStats, Proto, RunResults, SimTime, Simulator, TelemetryConfig,
-    TraceConfig,
+    Conservation, FlowId, FlowSpec, Handoff, PortStats, Proto, RunResults, SimTime, Simulator,
+    TelemetryConfig, TraceConfig,
 };
-use topology::{build_fat_tree, build_testbed, FatTree, FatTreeParams, Testbed, TestbedParams};
-use transport::install_agents;
+use topology::{
+    build_fat_tree, build_testbed, FatTree, FatTreeParams, ShardPlan, Testbed, TestbedParams,
+};
+use transport::{install_agents, install_agents_on};
 
 use crate::schemes::SchemeSpec;
 
@@ -38,6 +42,24 @@ pub struct RunOutput {
     /// appear in `flows` like any other; use [`RunOutput::effective_flows`]
     /// for the first-finisher-wins view.
     pub replicas: Vec<(FlowId, FlowId)>,
+    /// Cross-shard accounting of a sharded run (`None` for the classic
+    /// single-threaded runners and for `shards == 1`).
+    pub shard_stats: Option<ShardStats>,
+}
+
+/// What the sharded engine did, summed over workers — exported/imported
+/// are verified equal before results are handed out.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardStats {
+    /// Worker (shard) count.
+    pub shards: usize,
+    /// Packets handed off across shard boundaries (sum over shards; equals
+    /// the verified import count).
+    pub handoffs: u64,
+    /// Synchronization epochs the coordinator ran.
+    pub rounds: u64,
+    /// The conservative lookahead every epoch granted, in picoseconds.
+    pub lookahead_ps: u64,
 }
 
 impl Deref for RunOutput {
@@ -68,6 +90,7 @@ impl RunOutput {
             events,
             conservation,
             replicas,
+            shard_stats: None,
         }
     }
 
@@ -214,6 +237,235 @@ pub fn run_fat_tree_traced(
     install_agents(&mut sim, &specs, &scheme.tcp_config());
     sim.run_until(until);
     RunOutput::from_sim(sim, &[], replicas)
+}
+
+/// The synchronization state shared by all workers of one sharded run.
+///
+/// The engine is a conservative barrier-epoch parallel DES. Each epoch:
+///
+/// 1. every shard publishes its next pending event time (`fetch_min` into
+///    `round_min`) and hits barrier A;
+/// 2. the barrier leader computes the global minimum `M` and opens the
+///    window `[M, min(M + L - 1, until)]`, where `L` is the lookahead —
+///    the minimum latency any message needs to *cross* a shard boundary;
+///    barrier B publishes it;
+/// 3. every shard runs its local events inside the window. Any message a
+///    shard generates for another lands at `>= t + L >= M + L`, i.e.
+///    strictly after the window, so nothing processed this epoch could
+///    have been affected by a message still in transit;
+/// 4. outboxes are posted into per-destination mailboxes, barrier C, and
+///    each shard imports its mail sorted by source shard — a fixed merge
+///    order, so event seq numbers (the tie-breakers) are reproducible
+///    regardless of thread scheduling.
+///
+/// The run ends when the global minimum is beyond `until` (or no events
+/// remain anywhere).
+struct ShardCoord {
+    barrier: Barrier,
+    /// `fetch_min` target for the epoch's next-event agreement.
+    round_min: AtomicU64,
+    /// Global lookahead `L` in ps (`fetch_min` over shards before epoch 0).
+    lookahead: AtomicU64,
+    /// The agreed window deadline (inclusive, ps); `u64::MAX` = done.
+    window: AtomicU64,
+    rounds: AtomicU64,
+    /// `mailboxes[dst]` collects `(src, messages)` posted this epoch.
+    mailboxes: Vec<Mailbox>,
+}
+
+/// One shard's incoming mail for the epoch: `(source shard, messages)`.
+type Mailbox = Mutex<Vec<(usize, Vec<Handoff>)>>;
+
+const DONE: u64 = u64::MAX;
+
+impl ShardCoord {
+    fn new(shards: usize) -> Self {
+        ShardCoord {
+            barrier: Barrier::new(shards),
+            round_min: AtomicU64::new(u64::MAX),
+            lookahead: AtomicU64::new(u64::MAX),
+            window: AtomicU64::new(DONE),
+            rounds: AtomicU64::new(0),
+            mailboxes: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    /// Publish this shard's next event time and agree on the epoch window.
+    /// Returns the inclusive deadline to run, or `None` when the run is
+    /// over everywhere.
+    fn agree(&self, next_ps: u64, until_ps: u64) -> Option<SimTime> {
+        self.round_min.fetch_min(next_ps, Ordering::SeqCst);
+        if self.barrier.wait().is_leader() {
+            let m = self.round_min.swap(u64::MAX, Ordering::SeqCst);
+            let l = self.lookahead.load(Ordering::SeqCst);
+            let w = if m == u64::MAX || m > until_ps {
+                DONE
+            } else {
+                // Process [m, m + l - 1]: messages generated at t >= m
+                // arrive at >= m + l, strictly outside the window.
+                m.saturating_add(l).saturating_sub(1).min(until_ps)
+            };
+            self.window.store(w, Ordering::SeqCst);
+            self.rounds.fetch_add(1, Ordering::Relaxed);
+        }
+        self.barrier.wait();
+        let w = self.window.load(Ordering::SeqCst);
+        (w != DONE).then_some(SimTime::from_ps(w))
+    }
+
+    /// Post this shard's outbox into the destination mailboxes, then wait
+    /// for every shard to do the same (barrier C).
+    fn post(&self, from: usize, outbox: Vec<Handoff>, plan: &ShardPlan) {
+        if !outbox.is_empty() {
+            let n = self.mailboxes.len();
+            let mut per: Vec<Vec<Handoff>> = vec![Vec::new(); n];
+            for h in outbox {
+                per[plan.owner_of(h.node())].push(h);
+            }
+            for (dst, msgs) in per.into_iter().enumerate() {
+                if !msgs.is_empty() {
+                    self.mailboxes[dst].lock().unwrap().push((from, msgs));
+                }
+            }
+        }
+        self.barrier.wait();
+    }
+
+    /// Drain this shard's mailbox in source-shard order.
+    fn collect(&self, me: usize) -> Vec<Handoff> {
+        let mut entries = std::mem::take(&mut *self.mailboxes[me].lock().unwrap());
+        entries.sort_by_key(|&(src, _)| src);
+        entries.into_iter().flat_map(|(_, v)| v).collect()
+    }
+}
+
+/// [`run_fat_tree`] on `shards` worker threads (the sharded multi-core
+/// engine). `shards == 1` delegates to the classic single-threaded runner
+/// — byte-identical to [`run_fat_tree`] by construction. For `shards > 1`
+/// the fabric is partitioned pod-granularly per [`ShardPlan`], each worker
+/// simulates its partition over a private event ladder and packet slab,
+/// and workers synchronize through the conservative barrier-epoch
+/// protocol of `ShardCoord` (above). Results merge in fixed shard order, so a
+/// run is reproducible for a given `(seed, shards)` regardless of how the
+/// OS schedules the workers.
+///
+/// Telemetry and fault plans are deliberately unsupported here: fault
+/// plans draw from a run-global RNG stream whose draw *order* depends on
+/// the event interleaving, which sharding changes by design.
+///
+/// Errors (rather than panics) on shard counts the fabric cannot host —
+/// the CLI surfaces these directly.
+pub fn run_fat_tree_sharded(
+    params: FatTreeParams,
+    scheme: &SchemeSpec,
+    specs: &[FlowSpec],
+    until: SimTime,
+    seed: u64,
+    shards: usize,
+) -> Result<RunOutput, String> {
+    let plan = ShardPlan::new(&params, shards)?;
+    if shards == 1 {
+        return Ok(run_fat_tree(params, scheme, specs, until, seed));
+    }
+    let (specs, replicas) = expand_replicas(specs, scheme);
+    let coord = ShardCoord::new(shards);
+    let mut worker_out: Vec<(RunResults, u64, Conservation)> = Vec::with_capacity(shards);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..shards)
+            .map(|shard| {
+                let coord = &coord;
+                let plan = &plan;
+                let specs = &specs[..];
+                scope.spawn(move || {
+                    let mut sim = Simulator::new(seed);
+                    let _ft = build_fat_tree(&mut sim, params, scheme.switch_config());
+                    sim.set_owned(plan.owned_mask(shard));
+                    install_agents_on(&mut sim, specs, &scheme.tcp_config(), |h| {
+                        plan.owner_of(h) == shard
+                    });
+                    let lookahead = sim
+                        .lookahead()
+                        .expect("a multi-shard plan must produce cross-shard links");
+                    coord
+                        .lookahead
+                        .fetch_min(lookahead.as_ps(), Ordering::SeqCst);
+                    let until_ps = until.as_ps();
+                    loop {
+                        let next = sim.next_event_time().map_or(u64::MAX, |t| t.as_ps());
+                        let Some(deadline) = coord.agree(next, until_ps) else {
+                            break;
+                        };
+                        sim.run_window(deadline);
+                        coord.post(shard, sim.take_outbox(), plan);
+                        for h in coord.collect(shard) {
+                            sim.import(h);
+                        }
+                    }
+                    sim.assert_conservation();
+                    let events = sim.events_processed();
+                    let conservation = sim.conservation();
+                    (sim.into_results(), events, conservation)
+                })
+            })
+            .collect();
+        worker_out = handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect();
+    });
+
+    // Deterministic merge in shard order, then the cross-shard ledger:
+    // every packet exported by one shard must have been imported by
+    // another, and the global invariant must balance once handoffs cancel.
+    let mut it = worker_out.into_iter();
+    let (mut results, mut events, first_c) = it.next().expect("at least one shard");
+    let (mut injected, mut delivered, mut in_flight) =
+        (first_c.injected, first_c.delivered, first_c.in_flight);
+    let mut dropped = first_c.dropped;
+    let (mut exported, mut imported) = (first_c.exported, first_c.imported);
+    for (r, e, c) in it {
+        results.merge(r);
+        events += e;
+        injected += c.injected;
+        delivered += c.delivered;
+        in_flight += c.in_flight;
+        for (a, b) in dropped.iter_mut().zip(c.dropped) {
+            *a += b;
+        }
+        exported += c.exported;
+        imported += c.imported;
+    }
+    assert_eq!(
+        exported, imported,
+        "cross-shard handoff imbalance at quiesce: {exported} exported vs {imported} imported"
+    );
+    let conservation = Conservation {
+        // Imports re-insert packets that already counted at their source
+        // shard; subtract them so `injected` means true injections.
+        injected: injected - imported,
+        delivered,
+        dropped,
+        in_flight,
+        exported: exported - imported,
+        imported: 0,
+    };
+    assert!(
+        conservation.holds(),
+        "packet conservation violated across shards: {conservation}"
+    );
+    Ok(RunOutput {
+        results,
+        port_stats: Vec::new(),
+        events,
+        conservation,
+        replicas,
+        shard_stats: Some(ShardStats {
+            shards,
+            handoffs: exported,
+            rounds: coord.rounds.load(Ordering::Relaxed),
+            lookahead_ps: coord.lookahead.load(Ordering::Relaxed),
+        }),
+    })
 }
 
 /// [`run_fat_tree_with`] plus a [`netsim::FaultPlan`] built against the

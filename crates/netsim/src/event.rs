@@ -303,6 +303,23 @@ impl Scheduler {
         best
     }
 
+    /// Time of the earliest pending event, advancing the bucket window to
+    /// reach it — exactly the positioning work [`Scheduler::pop_before`]
+    /// would do, minus the pop. Unlike [`Scheduler::peek_time`] this is
+    /// amortized O(1), which is what the sharded engine needs: it asks for
+    /// the next event time once per synchronization epoch.
+    pub fn next_time(&mut self) -> Option<SimTime> {
+        loop {
+            if let Some(e) = self.current.peek() {
+                return Some(e.time);
+            }
+            if self.len == 0 {
+                return None;
+            }
+            self.advance_window();
+        }
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.len

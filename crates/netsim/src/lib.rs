@@ -80,7 +80,7 @@ pub use packet::{
 pub use queue::{EcnQueue, EnqueueResult, QueueStats};
 pub use record::{Counter, DropAudit, DropReason, FlowRecord, Recorder, RunResults, Sink};
 pub use rng::DetRng;
-pub use sim::{Conservation, LinkSpec, PortStats, QueueSpec, Simulator, SwitchConfig};
+pub use sim::{Conservation, Handoff, LinkSpec, PortStats, QueueSpec, Simulator, SwitchConfig};
 pub use slab::{PacketId, PacketSlab};
 pub use switch::{FlowletState, ForwardingScheme, PfcConfig, RoutingTable};
 pub use telemetry::{ProbeKind, Series, SeriesKey, Telemetry, TelemetryConfig};

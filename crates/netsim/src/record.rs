@@ -232,6 +232,25 @@ impl DropAudit {
         rows.sort_unstable_by_key(|&(k, _)| k);
         rows
     }
+
+    /// Fold another audit into this one (sharded-run aggregation). Ports
+    /// first seen in `other` append in `other`'s first-drop order, so
+    /// merging shards in a fixed order keeps the row order deterministic.
+    pub fn merge(&mut self, other: &DropAudit) {
+        for &((node, port), counts) in &other.rows {
+            let rows = &mut self.rows;
+            let idx = *self.index.entry((node, port)).or_insert_with(|| {
+                rows.push(((node, port), [0; DropReason::COUNT]));
+                rows.len() - 1
+            });
+            for (slot, &n) in self.rows[idx].1.iter_mut().zip(counts.iter()) {
+                *slot += n;
+            }
+        }
+        for (slot, &n) in self.totals.iter_mut().zip(other.totals.iter()) {
+            *slot += n;
+        }
+    }
 }
 
 /// The write-side interface to run-wide measurement collection.
@@ -476,6 +495,46 @@ impl RunResults {
     /// Consume the view, returning the flow records.
     pub fn into_flows(self) -> Vec<FlowRecord> {
         self.flows
+    }
+
+    /// Fold another shard's results into this one. Every shard of a
+    /// sharded run registers the *same* dense flow list (only the owner of
+    /// a flow's endpoints completes it), so flow records merge by taking
+    /// the earliest completion; counters and drop audits sum; telemetry
+    /// series concatenate (each series key lives in exactly one shard);
+    /// timelines of a flow traced across shards merge-sort by timestamp.
+    /// Merging shards in a fixed order (0, 1, 2, ...) makes the combined
+    /// view deterministic regardless of worker scheduling.
+    pub fn merge(&mut self, other: RunResults) {
+        assert_eq!(
+            self.flows.len(),
+            other.flows.len(),
+            "shards must register identical flow lists"
+        );
+        for (a, b) in self.flows.iter_mut().zip(other.flows) {
+            debug_assert_eq!(
+                (a.flow, a.src, a.dst, a.start),
+                (b.flow, b.src, b.dst, b.start)
+            );
+            if b.end < a.end {
+                a.end = b.end;
+            }
+        }
+        for (a, b) in self.counters.iter_mut().zip(other.counters) {
+            *a += b;
+        }
+        self.drops.merge(&other.drops);
+        self.series.extend(other.series);
+        for tl in other.timelines {
+            match self.timelines.iter_mut().find(|t| t.flow == tl.flow) {
+                None => self.timelines.push(tl),
+                Some(mine) => {
+                    mine.truncated += tl.truncated;
+                    mine.events.extend(tl.events);
+                    mine.events.sort_by_key(|&(t, _)| t);
+                }
+            }
+        }
     }
 
     /// Read counter `c`.

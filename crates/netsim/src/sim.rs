@@ -27,7 +27,7 @@ use crate::agent::{Agent, Ctx, NullAgent};
 use crate::event::{EventKind, Scheduler};
 use crate::faults::{FaultAction, FaultPlan};
 use crate::hashing::{EcmpHasher, HashConfig};
-use crate::packet::{Flags, NodeId, PortId, Proto, INGRESS_NONE};
+use crate::packet::{Flags, NodeId, Packet, PortId, Proto, INGRESS_NONE};
 use crate::queue::{EcnQueue, EnqueueResult, QueueStats};
 use crate::record::{Counter, DropReason, Recorder, RunResults};
 use crate::rng::DetRng;
@@ -266,12 +266,62 @@ struct QueueWatcher {
     samples: Vec<(SimTime, u64)>,
 }
 
+/// A message crossing a shard boundary in the sharded engine: the owning
+/// simulator of the source node produced it during a synchronization
+/// window; the owning simulator of `node` schedules it at `at` (which the
+/// conservative lookahead guarantees lies beyond every window already
+/// processed).
+#[derive(Debug, Clone)]
+pub enum Handoff {
+    /// A packet finishing propagation towards non-owned `node`; the owner
+    /// re-inserts it into its slab and schedules the arrival.
+    Arrive {
+        /// Arrival time (link propagation + receiver processing delay).
+        at: SimTime,
+        /// Receiving node.
+        node: NodeId,
+        /// Receiving port on `node`.
+        port: PortId,
+        /// The packet itself, lifted out of the exporting shard's slab.
+        pkt: Packet,
+    },
+    /// A PFC pause/resume frame towards non-owned `node`'s egress port.
+    Pfc {
+        /// Frame arrival time (link propagation only).
+        at: SimTime,
+        /// Node whose egress port is being paused/resumed.
+        node: NodeId,
+        /// The egress port.
+        port: PortId,
+        /// `true` = pause, `false` = resume.
+        pause: bool,
+    },
+}
+
+impl Handoff {
+    /// The destination node — what the coordinator routes on.
+    pub fn node(&self) -> NodeId {
+        match self {
+            Handoff::Arrive { node, .. } | Handoff::Pfc { node, .. } => *node,
+        }
+    }
+
+    /// Scheduled arrival time at the destination shard.
+    pub fn at(&self) -> SimTime {
+        match self {
+            Handoff::Arrive { at, .. } | Handoff::Pfc { at, .. } => *at,
+        }
+    }
+}
+
 /// The packet-conservation ledger: every packet the slab ever issued must
-/// be delivered to an agent, dropped with a [`DropReason`], or still in
-/// flight. Produced by [`Simulator::conservation`].
+/// be delivered to an agent, dropped with a [`DropReason`], exported to
+/// another shard, or still in flight. Produced by
+/// [`Simulator::conservation`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Conservation {
-    /// Packets ever inserted into the slab ([`Ctx::send`]).
+    /// Packets ever inserted into the slab ([`Ctx::send`] injections plus
+    /// cross-shard imports).
     pub injected: u64,
     /// Packets handed to destination agents.
     pub delivered: u64,
@@ -279,6 +329,12 @@ pub struct Conservation {
     pub dropped: [u64; DropReason::COUNT],
     /// Packets still parked in the slab.
     pub in_flight: u64,
+    /// Packets exported to other shards (0 in single-shard runs).
+    pub exported: u64,
+    /// Packets imported from other shards (0 in single-shard runs; a
+    /// subset of `injected`, reported so the coordinator can check that
+    /// `Σ exported == Σ imported` across shards at quiesce).
+    pub imported: u64,
 }
 
 impl Conservation {
@@ -287,9 +343,11 @@ impl Conservation {
         self.dropped.iter().sum()
     }
 
-    /// Does `injected == delivered + dropped + in-flight` hold?
+    /// Does `injected == delivered + dropped + in-flight + exported`
+    /// hold? (Imports count inside `injected`; `exported` is 0 outside
+    /// sharded runs, reducing to the classic single-engine invariant.)
     pub fn holds(&self) -> bool {
-        self.injected == self.delivered + self.dropped_total() + self.in_flight
+        self.injected == self.delivered + self.dropped_total() + self.in_flight + self.exported
     }
 }
 
@@ -308,7 +366,15 @@ impl fmt::Display for Conservation {
             }
             write!(f, "{} {}", reason.name(), self.dropped[i])?;
         }
-        write!(f, ") + in-flight {}", self.in_flight)
+        write!(f, ") + in-flight {}", self.in_flight)?;
+        if self.exported != 0 || self.imported != 0 {
+            write!(
+                f,
+                " + exported {} (imported {})",
+                self.exported, self.imported
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -338,6 +404,20 @@ pub struct Simulator {
     events_processed: u64,
     host_ids: Vec<NodeId>,
     watchers: Vec<QueueWatcher>,
+    /// Sharded-engine ownership mask, indexed by node id: `None` (the
+    /// default) means this simulator owns every node — the classic
+    /// single-threaded engine with zero extra work on the hot path. When
+    /// set, packets leaving an owned node towards a non-owned peer are
+    /// diverted into `outbox` instead of being scheduled locally.
+    owned: Option<Vec<bool>>,
+    /// Cross-shard messages generated by the current window, drained by
+    /// the shard coordinator via [`Simulator::take_outbox`].
+    outbox: Vec<Handoff>,
+    /// Packets exported to other shards (conservation ledger term).
+    exported: u64,
+    /// Packets imported from other shards (already counted in the slab's
+    /// `total_inserted`).
+    imported: u64,
 }
 
 impl Simulator {
@@ -360,6 +440,10 @@ impl Simulator {
             events_processed: 0,
             host_ids: Vec::new(),
             watchers: Vec::new(),
+            owned: None,
+            outbox: Vec::new(),
+            exported: 0,
+            imported: 0,
         }
     }
 
@@ -694,6 +778,8 @@ impl Simulator {
             delivered: self.delivered,
             dropped: self.recorder.drops().totals(),
             in_flight: self.packets.len() as u64,
+            exported: self.exported,
+            imported: self.imported,
         }
     }
 
@@ -708,6 +794,139 @@ impl Simulator {
     /// High-water mark of simultaneously in-flight packets.
     pub fn packets_peak(&self) -> usize {
         self.packets.peak()
+    }
+
+    // ------------------------------------------------------------------
+    // Sharded engine
+    // ------------------------------------------------------------------
+
+    /// Declare which nodes this simulator owns (sharded engine). `mask`
+    /// is indexed by node id and must cover every node; call after the
+    /// topology is built. Packets leaving an owned node towards a
+    /// non-owned peer are diverted to the [`Simulator::take_outbox`]
+    /// buffer instead of being scheduled locally, and non-owned nodes
+    /// never process events. Without this call (the default) every node
+    /// is owned and the engine behaves exactly as it always has.
+    pub fn set_owned(&mut self, mask: Vec<bool>) {
+        assert_eq!(
+            mask.len(),
+            self.nodes.len(),
+            "ownership mask must cover every node"
+        );
+        self.owned = Some(mask);
+    }
+
+    #[inline]
+    fn is_owned(&self, node: NodeId) -> bool {
+        match &self.owned {
+            None => true,
+            Some(m) => m[node as usize],
+        }
+    }
+
+    /// The conservative lookahead this shard grants the others: the
+    /// minimum latency any message needs to cross *into* this shard
+    /// (minimum over links from a non-owned node to an owned one of
+    /// propagation delay, plus the receiver's ingress processing delay —
+    /// unless any switch runs PFC, whose pause frames skip ingress
+    /// processing). `None` when no cross-shard link exists (single-shard)
+    /// or ownership was never set.
+    pub fn lookahead(&self) -> Option<SimTime> {
+        let owned = self.owned.as_ref()?;
+        let any_pfc = self
+            .nodes
+            .iter()
+            .any(|n| matches!(&n.kind, NodeKind::Switch(m) if m.pfc.is_some()));
+        let mut best: Option<SimTime> = None;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if owned[i] {
+                continue;
+            }
+            for p in &n.ports {
+                if !owned[p.peer as usize] {
+                    continue;
+                }
+                let lat = if any_pfc {
+                    p.delay
+                } else {
+                    p.delay + self.nodes[p.peer as usize].proc_delay
+                };
+                if best.is_none_or(|b| lat < b) {
+                    best = Some(lat);
+                }
+            }
+        }
+        best
+    }
+
+    /// Time of the earliest pending event, or `None` when quiescent. The
+    /// shard coordinator publishes this each epoch to agree on the next
+    /// safe window. Starts the agents on first call — their initial sends
+    /// must be visible before the first window is negotiated, or an
+    /// untouched shard would report quiescence and end the run early.
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        self.start_agents();
+        self.sched.next_time()
+    }
+
+    /// Run every event with `time <= deadline` without parking the clock
+    /// at the deadline afterwards — one synchronization window of a
+    /// sharded run. The coordinator guarantees every cross-shard message
+    /// generated anywhere during this window arrives strictly after
+    /// `deadline`, so importing between windows never travels back in
+    /// time.
+    pub fn run_window(&mut self, deadline: SimTime) {
+        self.run_core(deadline);
+    }
+
+    /// Drain the cross-shard messages generated since the last call, in
+    /// generation order.
+    pub fn take_outbox(&mut self) -> Vec<Handoff> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Accept a message exported by another shard. Must target an owned
+    /// node at a time beyond the last processed window.
+    pub fn import(&mut self, h: Handoff) {
+        debug_assert!(self.is_owned(h.node()), "import for non-owned node");
+        match h {
+            Handoff::Arrive {
+                at,
+                node,
+                port,
+                pkt,
+            } => {
+                let id = self.packets.insert(pkt);
+                self.imported += 1;
+                self.sched.schedule(
+                    at,
+                    EventKind::Arrive {
+                        node,
+                        port,
+                        pkt: id,
+                    },
+                );
+            }
+            Handoff::Pfc {
+                at,
+                node,
+                port,
+                pause,
+            } => {
+                self.sched
+                    .schedule(at, EventKind::Pfc { node, port, pause });
+            }
+        }
+    }
+
+    /// Packets exported to other shards so far.
+    pub fn exported(&self) -> u64 {
+        self.exported
+    }
+
+    /// Packets imported from other shards so far.
+    pub fn imported(&self) -> u64 {
+        self.imported
     }
 
     // ------------------------------------------------------------------
@@ -954,14 +1173,23 @@ impl Simulator {
                 }
                 if let Some((peer, peer_port, delay, pause)) = pfc_send {
                     self.recorder.bump(Counter::PfcPauses);
-                    self.sched.schedule(
-                        self.now + delay,
-                        EventKind::Pfc {
+                    if self.is_owned(peer) {
+                        self.sched.schedule(
+                            self.now + delay,
+                            EventKind::Pfc {
+                                node: peer,
+                                port: peer_port,
+                                pause,
+                            },
+                        );
+                    } else {
+                        self.outbox.push(Handoff::Pfc {
+                            at: self.now + delay,
                             node: peer,
                             port: peer_port,
                             pause,
-                        },
-                    );
+                        });
+                    }
                 }
                 self.try_start_tx(sw, egress);
             }
@@ -1122,14 +1350,23 @@ impl Simulator {
         };
         if let Some((peer, peer_port, delay)) = resume {
             self.recorder.bump(Counter::PfcResumes);
-            self.sched.schedule(
-                self.now + delay,
-                EventKind::Pfc {
+            if self.is_owned(peer) {
+                self.sched.schedule(
+                    self.now + delay,
+                    EventKind::Pfc {
+                        node: peer,
+                        port: peer_port,
+                        pause: false,
+                    },
+                );
+            } else {
+                self.outbox.push(Handoff::Pfc {
+                    at: self.now + delay,
                     node: peer,
                     port: peer_port,
                     pause: false,
-                },
-            );
+                });
+            }
         }
     }
 
@@ -1173,14 +1410,26 @@ impl Simulator {
             // Clear simulator-internal state before the packet enters the
             // next node.
             self.packets.get_mut(id).ingress_tag = INGRESS_NONE;
-            self.sched.schedule(
-                arrive_at,
-                EventKind::Arrive {
+            if self.is_owned(peer) {
+                self.sched.schedule(
+                    arrive_at,
+                    EventKind::Arrive {
+                        node: peer,
+                        port: peer_port,
+                        pkt: id,
+                    },
+                );
+            } else {
+                // Shard boundary: the peer's owner schedules the arrival.
+                let pkt = self.packets.remove(id);
+                self.exported += 1;
+                self.outbox.push(Handoff::Arrive {
+                    at: arrive_at,
                     node: peer,
                     port: peer_port,
-                    pkt: id,
-                },
-            );
+                    pkt,
+                });
+            }
         }
         self.try_start_tx(node, port);
     }

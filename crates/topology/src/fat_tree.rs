@@ -93,6 +93,34 @@ impl FatTreeParams {
         }
     }
 
+    /// A canonical k-ary fat-tree (Al-Fares et al.): `k` pods of `k/2`
+    /// ToRs and `k/2` aggs, `k/2` hosts per ToR, `(k/2)^2` cores, one
+    /// link per (ToR, agg) pair — `k^3/4` hosts total with full bisection
+    /// bandwidth (k=8 → 128 hosts, k=16 → 1024, k=32 → 8192). This is the
+    /// `--topo k=<K>` fabric of the sharded-engine experiments.
+    ///
+    /// Returns an actionable error for a `k` that does not describe a
+    /// fat-tree (odd, too small) or is beyond what a simulation can hold.
+    pub fn k_ary(k: usize) -> Result<Self, String> {
+        if k < 4 || !k.is_multiple_of(2) || k > 64 {
+            return Err(format!(
+                "--topo k={k}: a k-ary fat-tree needs an even k between 4 and 64 \
+                 (hosts = k^3/4: k=8 -> 128, k=16 -> 1024, k=32 -> 8192)"
+            ));
+        }
+        Ok(FatTreeParams {
+            pods: k,
+            tors_per_pod: k / 2,
+            aggs_per_pod: k / 2,
+            hosts_per_tor: k / 2,
+            core_links_per_agg: k / 2,
+            links_per_tor_agg: 1,
+            link_bps: 10_000_000_000,
+            link_delay: SimTime::from_ns(100),
+            fabric_queue: QueueSpec::switch_10g(),
+        })
+    }
+
     /// Total number of servers.
     pub fn n_hosts(&self) -> usize {
         self.pods * self.tors_per_pod * self.hosts_per_tor

@@ -11,6 +11,10 @@
 //! * [`testbed`] — the §4.3 testbed shape: 15 ToRs of 12–16 servers behind
 //!   4 aggregation switches, 4 equal-cost paths between ToRs.
 //!
+//! [`fat_tree::FatTreeParams::k_ary`] generalizes the fat-tree to the
+//! canonical k-ary form (k=8..32 → 128–8192 hosts), and [`shard`] maps its
+//! nodes onto event-engine shards for the multi-core simulator.
+//!
 //! Both builders create hosts first so host `NodeId`s are dense from 0,
 //! which is what routing tables and the flow recorder index by.
 
@@ -18,7 +22,9 @@
 #![forbid(unsafe_code)]
 
 pub mod fat_tree;
+pub mod shard;
 pub mod testbed;
 
 pub use fat_tree::{build_fat_tree, degrade_agg_core_link, FatTree, FatTreeParams};
+pub use shard::ShardPlan;
 pub use testbed::{build_testbed, Testbed, TestbedParams};

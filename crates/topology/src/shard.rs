@@ -1,0 +1,184 @@
+//! Partitioning a fat-tree across event-engine shards.
+//!
+//! The sharded simulator gives each worker thread its own
+//! [`netsim::Simulator`] holding the *full* fabric (identical node ids and
+//! RNG streams in every shard), but each node is *owned* by exactly one
+//! shard: only the owner processes its events; packets leaving an owned
+//! node towards a non-owned one are handed off between workers.
+//!
+//! [`ShardPlan`] is the ownership map. Partitioning is pod-granular —
+//! a shard owns the hosts, ToRs, and aggs of a contiguous run of pods,
+//! so the only cross-shard links are agg↔core. Core switches are dealt
+//! round-robin. Pod granularity keeps the conservative lookahead large
+//! (a packet crossing shards always pays one link propagation plus the
+//! receiving switch's ingress delay) and makes ownership a pure function
+//! of the node id, identical in every worker.
+
+use netsim::NodeId;
+
+use crate::FatTreeParams;
+
+/// The node→shard ownership map of one sharded run. Construction
+/// validates the shard count against the fabric; the map itself is a pure
+/// function of `(params, shards)`, so every worker computes the same plan.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    shards: usize,
+    pods_per_shard: usize,
+    n_hosts: usize,
+    n_tors: usize,
+    n_aggs: usize,
+    n_cores: usize,
+    hosts_per_pod: usize,
+    tors_per_pod: usize,
+    aggs_per_pod: usize,
+}
+
+impl ShardPlan {
+    /// Build the plan, or explain why `shards` cannot partition `params`.
+    pub fn new(params: &FatTreeParams, shards: usize) -> Result<Self, String> {
+        let n_hosts = params.n_hosts();
+        if shards == 0 {
+            return Err(
+                "--shards 0: at least one shard is required; use --shards 1 for the \
+                 single-threaded engine (the default)"
+                    .to_string(),
+            );
+        }
+        if shards > n_hosts {
+            return Err(format!(
+                "--shards {shards}: more shards than the fabric's {n_hosts} hosts; \
+                 pick a shard count that divides the {} pods",
+                params.pods
+            ));
+        }
+        if !params.pods.is_multiple_of(shards) {
+            let divisors: Vec<String> = (1..=params.pods)
+                .filter(|d| params.pods.is_multiple_of(*d))
+                .map(|d| d.to_string())
+                .collect();
+            return Err(format!(
+                "--shards {shards}: sharding is pod-granular and {shards} does not divide \
+                 this fabric's {} pods; valid shard counts: {}",
+                params.pods,
+                divisors.join(", ")
+            ));
+        }
+        Ok(ShardPlan {
+            shards,
+            pods_per_shard: params.pods / shards,
+            n_hosts,
+            n_tors: params.pods * params.tors_per_pod,
+            n_aggs: params.pods * params.aggs_per_pod,
+            n_cores: params.n_cores(),
+            hosts_per_pod: params.tors_per_pod * params.hosts_per_tor,
+            tors_per_pod: params.tors_per_pod,
+            aggs_per_pod: params.aggs_per_pod,
+        })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Total number of nodes in the fabric (hosts + all switch tiers).
+    pub fn n_nodes(&self) -> usize {
+        self.n_hosts + self.n_tors + self.n_aggs + self.n_cores
+    }
+
+    /// The shard owning host `h` (dense host index).
+    pub fn host_owner(&self, h: usize) -> usize {
+        (h / self.hosts_per_pod) / self.pods_per_shard
+    }
+
+    /// The shard owning `node`. Node ids follow [`crate::build_fat_tree`]'s
+    /// creation order: hosts, then ToRs, aggs, cores.
+    pub fn owner_of(&self, node: NodeId) -> usize {
+        let n = node as usize;
+        if n < self.n_hosts {
+            return self.host_owner(n);
+        }
+        let n = n - self.n_hosts;
+        if n < self.n_tors {
+            return (n / self.tors_per_pod) / self.pods_per_shard;
+        }
+        let n = n - self.n_tors;
+        if n < self.n_aggs {
+            return (n / self.aggs_per_pod) / self.pods_per_shard;
+        }
+        let n = n - self.n_aggs;
+        assert!(n < self.n_cores, "node {node} beyond the fabric");
+        // Cores belong to no pod; deal them round-robin so every shard
+        // carries a similar slice of the core tier.
+        n % self.shards
+    }
+
+    /// Ownership mask for `shard`, indexed by node id.
+    pub fn owned_mask(&self, shard: usize) -> Vec<bool> {
+        (0..self.n_nodes())
+            .map(|n| self.owner_of(n as NodeId) == shard)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_shard_counts_with_actionable_errors() {
+        let p = FatTreeParams::k_ary(8).unwrap();
+        let err = ShardPlan::new(&p, 0).unwrap_err();
+        assert!(err.contains("--shards 1"), "{err}");
+        let err = ShardPlan::new(&p, 1000).unwrap_err();
+        assert!(err.contains("128 hosts"), "{err}");
+        let err = ShardPlan::new(&p, 3).unwrap_err();
+        assert!(err.contains("valid shard counts"), "{err}");
+        assert!(err.contains("1, 2, 4, 8"), "{err}");
+    }
+
+    #[test]
+    fn every_node_has_exactly_one_owner_and_pods_stay_whole() {
+        let p = FatTreeParams::k_ary(8).unwrap();
+        let plan = ShardPlan::new(&p, 4).unwrap();
+        assert_eq!(plan.n_nodes(), 128 + 32 + 32 + 16);
+        let masks: Vec<Vec<bool>> = (0..4).map(|s| plan.owned_mask(s)).collect();
+        for n in 0..plan.n_nodes() {
+            let owners = masks.iter().filter(|m| m[n]).count();
+            assert_eq!(owners, 1, "node {n} owned by {owners} shards");
+        }
+        // Hosts of one pod share an owner with their pod's ToRs and aggs.
+        for pod in 0..p.pods {
+            let h0 = pod * p.tors_per_pod * p.hosts_per_tor;
+            let owner = plan.host_owner(h0);
+            for t in 0..p.tors_per_pod {
+                let tor = 128 + pod * p.tors_per_pod + t;
+                assert_eq!(plan.owner_of(tor as NodeId), owner);
+            }
+            for a in 0..p.aggs_per_pod {
+                let agg = 128 + 32 + pod * p.aggs_per_pod + a;
+                assert_eq!(plan.owner_of(agg as NodeId), owner);
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let p = FatTreeParams::paper();
+        let plan = ShardPlan::new(&p, 1).unwrap();
+        assert!(plan.owned_mask(0).iter().all(|&b| b));
+    }
+
+    #[test]
+    fn cores_spread_over_all_shards() {
+        let p = FatTreeParams::k_ary(16).unwrap();
+        let plan = ShardPlan::new(&p, 4).unwrap();
+        let core0 = 1024 + 128 + 128;
+        let mut per_shard = [0usize; 4];
+        for c in 0..64 {
+            per_shard[plan.owner_of((core0 + c) as NodeId)] += 1;
+        }
+        assert_eq!(per_shard, [16, 16, 16, 16]);
+    }
+}

@@ -227,6 +227,21 @@ impl Agent for HostAgent {
 ///
 /// Specs must have dense ids `0..n` (workload generators guarantee this).
 pub fn install_agents(sim: &mut Simulator, specs: &[FlowSpec], cfg: &TcpConfig) {
+    install_agents_on(sim, specs, cfg, |_| true);
+}
+
+/// [`install_agents`] restricted to the hosts `owned` selects: *every*
+/// spec still registers with the recorder (the flow table must be dense
+/// and identical in every shard of a sharded run), but only owned hosts
+/// get a protocol stack — the rest keep the inert default agent and
+/// never source traffic. Single-shard callers pass `|_| true` and get the
+/// classic behavior.
+pub fn install_agents_on(
+    sim: &mut Simulator,
+    specs: &[FlowSpec],
+    cfg: &TcpConfig,
+    owned: impl Fn(HostId) -> bool,
+) {
     register_flows(sim.recorder_mut(), specs);
     let hosts: Vec<HostId> = sim.hosts().to_vec();
     let mut outgoing: DetHashMap<HostId, Vec<FlowSpec>> = DetHashMap::default();
@@ -236,6 +251,9 @@ pub fn install_agents(sim: &mut Simulator, specs: &[FlowSpec], cfg: &TcpConfig) 
         incoming.entry(s.dst).or_default().push(s.clone());
     }
     for h in hosts {
+        if !owned(h) {
+            continue;
+        }
         let agent = HostAgent::new(
             cfg.clone(),
             outgoing.remove(&h).unwrap_or_default(),
