@@ -200,6 +200,53 @@ fn bench_sharding(h: &Harness) {
     }
 }
 
+/// Chaos-engine overhead: the same 1024-host Poisson all-to-all as
+/// `shard/alltoall_1024h_s4`, but with the chaos experiment's scripted
+/// incident (gray ramp → core crash → flap storm → recovery) and the
+/// reconvergence SLO probe armed — the fault-injection hot paths
+/// (per-port fault RNG draws, directed-fault events, per-epoch
+/// conservation asserts, delivery-probe hook) priced against the healthy
+/// run above. `elements` is the faulted run's own event count, so
+/// `elems_per_sec` stays engine throughput in events/sec.
+fn bench_chaos(h: &Harness) {
+    let params = topology::FatTreeParams::k_ary(16).expect("k=16 is valid");
+    let scheme = experiments::schemes::flowbender(Default::default());
+    let rng = DetRng::new(3, 0xFAB);
+    let specs: Vec<netsim::FlowSpec> = workloads::PoissonStream::new(
+        &params,
+        0.3,
+        SimTime::from_ms(1),
+        workloads::FlowSizeDist::web_search(),
+        &rng,
+    )
+    .collect();
+    let until = SimTime::from_ms(25);
+    let incident = experiments::chaos::Incident::over(SimTime::from_ms(1));
+    let slo = Some(netsim::SloConfig {
+        fail_at: incident.fail_at,
+        bin: SimTime::from_us(50),
+    });
+    let run = |shards: usize| {
+        experiments::run_fat_tree_sharded_faults(
+            params,
+            &scheme,
+            &specs,
+            until,
+            3,
+            shards,
+            slo,
+            |ft| incident.plan(ft),
+        )
+        .expect("shard counts divide k=16's 16 pods")
+    };
+    let events = run(1).events;
+    for shards in [1usize, 4] {
+        h.bench(&format!("shard/chaos_1024h_s{shards}"), events, || {
+            black_box(run(shards).events)
+        });
+    }
+}
+
 /// Sketch ingestion alone: 1M pre-drawn FCT values into a fresh
 /// [`stats::QuantileSketch`], isolating aggregation from generation.
 fn bench_sketch(h: &Harness) {
@@ -226,6 +273,7 @@ fn main() {
     bench_forwarding_traced(&h);
     bench_workload_engine(&h);
     bench_sharding(&h);
+    bench_chaos(&h);
     bench_sketch(&h);
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
     h.write_json(out).expect("write BENCH_engine.json");

@@ -23,6 +23,8 @@
 //! | [`ablation`] | §3.4/§5 design refinements |
 //! | [`repflow`] | extension: RepFlow-style short-flow replication vs rerouting |
 //! | [`trace_scale`] | extension: million-flow workload engine + streaming FCT sketches |
+//! | [`fabric_scale`] | extension: 1024-host all-to-all on the sharded multi-core engine |
+//! | [`chaos`] | extension: incident-timeline chaos drill with reconvergence SLOs |
 //!
 //! Which load-balancing designs exist — and how a new one is added in a
 //! single file — is owned by the [`schemes`] registry; which traffic
@@ -37,6 +39,7 @@ pub mod ablation;
 pub mod alltoall;
 pub mod asym;
 pub mod buffers;
+pub mod chaos;
 pub mod fabric_scale;
 pub mod fig5;
 pub mod fig8;
@@ -58,8 +61,8 @@ pub use registry::{find, registry, Experiment};
 pub use report::{timeline_json, Opts, Report, RunSummary, TraceSel};
 pub use scenario::{
     parallel_map, run_fat_tree, run_fat_tree_faults, run_fat_tree_faults_traced,
-    run_fat_tree_sharded, run_fat_tree_traced, run_testbed, slowest_flows, sweep_schemes,
-    RunOutput, ShardStats, Window,
+    run_fat_tree_sharded, run_fat_tree_sharded_faults, run_fat_tree_traced, run_testbed,
+    slowest_flows, sweep_schemes, RunOutput, ShardStats, Window,
 };
 pub use schemes::{Replication, SchemeSpec};
 

@@ -9,14 +9,13 @@
 //! hash lands on the dead link black-hole forever; FlowBender flows take
 //! one RTO, bend, and finish.
 
-use netsim::{Counter, SimTime, Simulator};
+use netsim::{Counter, FaultPlan, SimTime};
 use stats::{fmt_secs, Table};
-use topology::{build_fat_tree, FatTreeParams};
-use transport::install_agents;
+use topology::FatTreeParams;
 use workloads::microbench;
 
 use crate::report::{Opts, Report};
-use crate::scenario::parallel_map;
+use crate::scenario::{parallel_map, run_fat_tree_sharded_faults};
 use crate::schemes::{self, SchemeSpec};
 
 /// Result of one scheme's failure run.
@@ -36,34 +35,55 @@ pub struct FailureResult {
     pub max_fct_s: f64,
 }
 
-/// Run the failure experiment for one scheme.
-pub fn run_scheme(scheme: &SchemeSpec, bytes: u64, fail_at: SimTime, seed: u64) -> FailureResult {
+/// Run the failure experiment for one scheme. `shards` selects the
+/// engine (`--shards N`); the failure is a [`FaultPlan::kill`] — both
+/// link directions die. As in the gray-failure microbenchmark, the
+/// synchronized flows tie at shared switches, so a sharded run is a
+/// reproducible parallel execution rather than a byte-replica of
+/// `shards == 1`. Errors on shard counts the paper fabric (4 pods)
+/// cannot host.
+pub fn run_scheme(
+    scheme: &SchemeSpec,
+    bytes: u64,
+    fail_at: SimTime,
+    seed: u64,
+    shards: usize,
+) -> Result<FailureResult, String> {
     let params = FatTreeParams::paper();
-    let mut sim = Simulator::new(seed);
-    let ft = build_fat_tree(&mut sim, params, scheme.switch_config());
     // 16 flows: two per host pair between ToR0/pod0 and ToR0/pod1.
     let specs = microbench(&params, 16, bytes);
-    install_agents(&mut sim, &specs, &scheme.tcp_config());
-    // Fail agg 0 of pod 0's first core uplink: one of the 8 inter-pod
-    // paths dies. Packets already hashed onto it black-hole.
-    let (node, port) = ft.agg_core_link(0, 0);
-    sim.schedule_link_state(node, port, false, fail_at);
-    sim.run_until(SimTime::from_secs(60));
-    let rec = sim.recorder();
-    let fcts: Vec<f64> = rec
-        .flows()
+    let out = run_fat_tree_sharded_faults(
+        params,
+        scheme,
+        &specs,
+        SimTime::from_secs(60),
+        seed,
+        shards,
+        None,
+        |ft| {
+            // Fail agg 0 of pod 0's first core uplink: one of the 8
+            // inter-pod paths dies. Packets already hashed onto it
+            // black-hole.
+            let (node, port) = ft.agg_core_link(0, 0);
+            let mut plan = FaultPlan::new();
+            plan.kill(node, port, fail_at);
+            plan
+        },
+    )?;
+    let fcts: Vec<f64> = out
+        .flows
         .iter()
         .filter_map(|f| f.fct())
         .map(|t| t.as_secs_f64())
         .collect();
-    FailureResult {
+    Ok(FailureResult {
         scheme: scheme.name().to_string(),
         completed: fcts.len(),
         flows: specs.len(),
-        timeouts: rec.get(Counter::Timeouts),
-        timeout_reroutes: rec.get(Counter::TimeoutReroutes),
+        timeouts: out.get(Counter::Timeouts),
+        timeout_reroutes: out.get(Counter::TimeoutReroutes),
         max_fct_s: fcts.iter().cloned().fold(0.0, f64::max),
-    }
+    })
 }
 
 /// Produce the report.
@@ -75,7 +95,9 @@ pub fn run(opts: &Opts) -> Report {
         schemes::ecmp(),
         schemes::flowbender(flowbender::Config::default()),
     ];
-    let results = parallel_map(contenders, |s| run_scheme(&s, bytes, fail_at, opts.seed));
+    let results = parallel_map(contenders, |s| {
+        run_scheme(&s, bytes, fail_at, opts.seed, opts.shards).unwrap_or_else(|e| panic!("{e}"))
+    });
 
     let mut table = Table::new(vec![
         "scheme",
@@ -116,13 +138,15 @@ mod tests {
     #[test]
     fn flowbender_survives_failure_ecmp_strands_flows() {
         let bytes = 3_000_000;
-        let ecmp = run_scheme(&schemes::ecmp(), bytes, SimTime::from_ms(2), 21);
+        let ecmp = run_scheme(&schemes::ecmp(), bytes, SimTime::from_ms(2), 21, 1).unwrap();
         let fb = run_scheme(
             &schemes::flowbender(flowbender::Config::default()),
             bytes,
             SimTime::from_ms(2),
             21,
-        );
+            1,
+        )
+        .unwrap();
         assert_eq!(fb.completed, fb.flows, "FlowBender must complete all flows");
         assert!(
             fb.timeout_reroutes > 0,
@@ -135,5 +159,27 @@ mod tests {
         // Recovery is RTO-scale: with a 10ms RTO floor the whole 3MB flow
         // set still finishes far faster than any routing reconvergence.
         assert!(fb.max_fct_s < 5.0, "max fct = {}", fb.max_fct_s);
+    }
+
+    #[test]
+    fn sharded_failure_run_strands_the_same_flows() {
+        // Like the gray-failure microbenchmark, the synchronized flows
+        // here tie at shared switches, so shards > 1 is not a byte-replica
+        // of the classic engine — but the *experiment's* outcome (which
+        // hash buckets black-hole) is topology-determined and must agree,
+        // and a fixed shard count must reproduce exactly.
+        let bytes = 400_000;
+        let one = run_scheme(&schemes::ecmp(), bytes, SimTime::from_ms(2), 21, 1).unwrap();
+        for shards in [2, 4] {
+            let n = run_scheme(&schemes::ecmp(), bytes, SimTime::from_ms(2), 21, shards).unwrap();
+            assert_eq!(one.completed, n.completed, "shards={shards}");
+            let again =
+                run_scheme(&schemes::ecmp(), bytes, SimTime::from_ms(2), 21, shards).unwrap();
+            assert_eq!(
+                n.max_fct_s.to_bits(),
+                again.max_fct_s.to_bits(),
+                "shards={shards}"
+            );
+        }
     }
 }

@@ -56,8 +56,9 @@ fn usage() -> ! {
     eprintln!("               slowest=<k> traces the k slowest TCP flows (found by an");
     eprintln!("               untraced probe run); one timeline JSON per flow under --json");
     eprintln!("  --shards N   worker threads for the sharded engine (default 1 — the");
-    eprintln!("               classic single-threaded engine; results are identical at");
-    eprintln!("               any N). honored by: fabric-scale");
+    eprintln!("               classic single-threaded engine; Poisson-workload results");
+    eprintln!("               are identical at any N). honored by: fabric-scale, chaos,");
+    eprintln!("               gray-failure, link-failure");
     eprintln!("  --topo k=K   k-ary fat-tree arity for fabric-building experiments");
     eprintln!("               (hosts = k^3/4: k=8 -> 128, k=16 -> 1024, k=32 -> 8192)");
     eprintln!("  --smoke      CI-sized run: smaller fabric and shorter windows");

@@ -158,8 +158,14 @@ experiment!(
     "extension: 1024-host all-to-all on the sharded multi-core engine",
     |opts: &Opts| vec![crate::fabric_scale::run(opts)]
 );
+experiment!(
+    Chaos,
+    "chaos",
+    "extension: incident-timeline chaos drill with reconvergence SLOs",
+    |opts: &Opts| vec![crate::chaos::run(opts)]
+);
 
-static REGISTRY: [&dyn Experiment; 19] = [
+static REGISTRY: [&dyn Experiment; 20] = [
     &Table1,
     &Fig3,
     &Fig4,
@@ -179,6 +185,7 @@ static REGISTRY: [&dyn Experiment; 19] = [
     &RepFlow,
     &TraceScale,
     &FabricScale,
+    &Chaos,
 ];
 
 /// All experiments, in the paper's presentation order.
@@ -211,7 +218,7 @@ mod tests {
             let found = find(e.name()).expect("registered name must resolve");
             assert_eq!(found.name(), e.name());
         }
-        assert_eq!(registry().len(), 19);
+        assert_eq!(registry().len(), 20);
         assert!(find("no-such-experiment").is_none());
     }
 

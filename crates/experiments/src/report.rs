@@ -253,8 +253,60 @@ pub struct RunSummary {
         (netsim::NodeId, netsim::PortId),
         [u64; netsim::DropReason::COUNT],
     )>,
+    /// Reconvergence SLO summary of a run with an armed probe
+    /// ([`netsim::SloConfig`]); `None` — the JSON omits the section —
+    /// for every run without one, keeping probe-free summaries
+    /// byte-identical to earlier layouts.
+    pub recon: Option<ReconSummary>,
     /// Events the simulator processed.
     pub events: u64,
+}
+
+/// The JSON-facing digest of a run's [`netsim::SloResults`]: how fast
+/// flows that were in flight at the failure instant delivered their first
+/// post-failure payload, plus the binned goodput curve the dip metrics
+/// are computed from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReconSummary {
+    /// The failure instant the probe was armed with (s).
+    pub fail_at_s: f64,
+    /// Goodput bin width (s).
+    pub bin_s: f64,
+    /// Flows that reconverged (CI greps for a nonzero `"samples"`).
+    pub samples: u64,
+    /// Reconvergence-latency percentiles in seconds, as `(name, value)`;
+    /// empty when no flow reconverged.
+    pub latency_percentiles: Vec<(String, f64)>,
+    /// Delivered payload bytes per goodput bin, summed across shards.
+    pub goodput_bytes: Vec<u64>,
+}
+
+impl ReconSummary {
+    /// Digest measured SLO results.
+    pub fn from_slo(slo: &netsim::SloResults) -> Self {
+        let lats: Vec<f64> = slo
+            .reconvergence_latencies()
+            .iter()
+            .map(|t| t.as_secs_f64())
+            .collect();
+        let mut latency_percentiles = Vec::new();
+        for (name, value) in [
+            ("p50_s", stats::percentile(&lats, 0.5)),
+            ("p99_s", stats::percentile(&lats, 0.99)),
+            ("max_s", stats::percentile(&lats, 1.0)),
+        ] {
+            if let Some(v) = value {
+                latency_percentiles.push((name.to_string(), v));
+            }
+        }
+        ReconSummary {
+            fail_at_s: slo.fail_at.as_secs_f64(),
+            bin_s: slo.bin.as_secs_f64(),
+            samples: slo.samples() as u64,
+            latency_percentiles,
+            goodput_bytes: slo.goodput_bins.clone(),
+        }
+    }
 }
 
 impl RunSummary {
@@ -312,6 +364,7 @@ impl RunSummary {
             fct_percentiles,
             series,
             drops: out.drops().per_port(),
+            recon: out.slo().map(ReconSummary::from_slo),
             events: out.events,
         }
     }
@@ -355,6 +408,21 @@ impl RunSummary {
             root.set("drops", drops);
         }
         root.set("fct_percentiles", fct);
+        if let Some(recon) = &self.recon {
+            let mut r = Json::obj();
+            r.set("fail_at_s", Json::Num(recon.fail_at_s));
+            r.set("bin_s", Json::Num(recon.bin_s));
+            r.set("samples", Json::U64(recon.samples));
+            for (name, value) in &recon.latency_percentiles {
+                r.set(name.clone(), Json::Num(*value));
+            }
+            let mut bins = Json::arr();
+            for &b in &recon.goodput_bytes {
+                bins.push(Json::U64(b));
+            }
+            r.set("goodput_bytes", bins);
+            root.set("reconvergence", r);
+        }
         root.set("series", series);
         root
     }
@@ -636,7 +704,9 @@ fn trace_event_json(at: netsim::SimTime, ev: &TraceEvent) -> Json {
         TraceEvent::CwndChange { cwnd_bytes } => {
             o.set("cwnd_bytes", Json::U64(cwnd_bytes));
         }
-        TraceEvent::FastRetransmitEnter | TraceEvent::FastRetransmitExit => {}
+        TraceEvent::FastRetransmitEnter
+        | TraceEvent::FastRetransmitExit
+        | TraceEvent::Reconverge => {}
         TraceEvent::RtoFire { backoff_exp } => {
             o.set("backoff_exp", Json::U64(backoff_exp as u64));
         }
@@ -691,6 +761,7 @@ mod tests {
             fct_percentiles: vec![("mean_s".into(), 0.5)],
             series: vec![("vfield.f0".into(), vec![(0.0, 3.0)])],
             drops: vec![],
+            recon: None,
             events: 10,
         };
         let j = rs.to_json("demo").to_string();
@@ -720,6 +791,7 @@ mod tests {
             fct_percentiles: vec![],
             series: vec![],
             drops: vec![((4, 1), [0, 0, 0, 0])],
+            recon: None,
             events: 0,
         };
         // All-zero rows count as loss-free: no section.
@@ -733,6 +805,43 @@ mod tests {
         assert!(j.contains(r#"{"node":9,"port":0,"link_down":1,"corruption":3}"#));
         // Reasons sum to the advertised total.
         assert_eq!(2 + 1 + 7 + 3, 13);
+    }
+
+    #[test]
+    fn reconvergence_section_appears_only_with_an_armed_probe() {
+        let mut rs = RunSummary {
+            label: "l".into(),
+            scheme: "ECMP".into(),
+            scale: 1.0,
+            seed: 1,
+            counters: vec![],
+            fct_percentiles: vec![],
+            series: vec![],
+            drops: vec![],
+            recon: None,
+            events: 0,
+        };
+        assert!(!rs.to_json("demo").to_string().contains("reconvergence"));
+        rs.recon = Some(ReconSummary {
+            fail_at_s: 0.005,
+            bin_s: 0.0005,
+            samples: 3,
+            latency_percentiles: vec![("p50_s".into(), 0.0001), ("p99_s".into(), 0.011)],
+            goodput_bytes: vec![1000, 0, 2000],
+        });
+        let j = rs.to_json("demo").to_string();
+        assert!(
+            j.contains(
+                r#""reconvergence":{"fail_at_s":0.005,"bin_s":0.0005,"samples":3,"p50_s":0.0001,"p99_s":0.011,"goodput_bytes":[1000,0,2000]}"#
+            ),
+            "{j}"
+        );
+        // The section sits between fct_percentiles and series, so
+        // probe-free layouts (pinned above) are unchanged.
+        let fct = j.find("fct_percentiles").unwrap();
+        let recon = j.find("reconvergence").unwrap();
+        let series = j.find("series").unwrap();
+        assert!(fct < recon && recon < series);
     }
 
     #[test]

@@ -349,9 +349,11 @@ impl ShardCoord {
 /// run is reproducible for a given `(seed, shards)` regardless of how the
 /// OS schedules the workers.
 ///
-/// Telemetry and fault plans are deliberately unsupported here: fault
-/// plans draw from a run-global RNG stream whose draw *order* depends on
-/// the event interleaving, which sharding changes by design.
+/// This is the empty-fault-plan special case of
+/// [`run_fat_tree_sharded_faults`]. Telemetry and flight-recorder tracing
+/// remain single-threaded features (their probe streams are keyed to one
+/// event ladder); fault plans and reconvergence SLO probes shard cleanly
+/// and live in the `_faults` variant.
 ///
 /// Errors (rather than panics) on shard counts the fabric cannot host —
 /// the CLI surfaces these directly.
@@ -363,9 +365,82 @@ pub fn run_fat_tree_sharded(
     seed: u64,
     shards: usize,
 ) -> Result<RunOutput, String> {
+    run_fat_tree_sharded_faults(params, scheme, specs, until, seed, shards, None, |_| {
+        netsim::FaultPlan::new()
+    })
+}
+
+/// [`run_fat_tree_sharded`] plus deterministic fault injection and an
+/// optional reconvergence SLO probe — the chaos engine's entry point.
+///
+/// The fault plan is built once per worker against that worker's own copy
+/// of the topology (the closure must therefore be a pure function of the
+/// [`FatTree`]). Determinism across shard counts rests on two properties:
+///
+/// * **Per-port fault RNG.** Gray-loss and corruption draws come from a
+///   per-directed-port PCG stream split off a never-advanced root, so a
+///   port's draw sequence is a function of its own departure order — which
+///   sharding does not change — rather than of the global event
+///   interleaving, which it does.
+/// * **Anchor-owner handoff.** Each plan step is compiled to directed
+///   per-port faults by the shard owning the step's anchor node; the
+///   directions owned by other shards travel through the epoch mailbox as
+///   [`Handoff::Fault`] messages. The exchange below runs one mailbox
+///   round *before* any traffic is installed, so fault events get seq
+///   numbers below every flow event on every shard — the same relative
+///   order the classic runner produces by installing faults first.
+///
+/// With an empty plan no handoffs are posted and no draws are made, so
+/// fault-free output is byte-identical to [`run_fat_tree_sharded`] (and,
+/// at `shards == 1`, to [`run_fat_tree`]).
+///
+/// When `slo` is set, every worker arms the same probe and the per-shard
+/// [`netsim::SloResults`] merge with the flow records; the per-shard
+/// conservation ledger is additionally asserted after **every** epoch's
+/// import phase, so a fault that corrupts the books is caught in the
+/// epoch it happens, not at quiesce.
+///
+/// Byte-identity across shard counts additionally requires a *tie-free*
+/// workload: when two packets arrive at the same switch at the exact same
+/// picosecond from different ingress ports, their service order is the
+/// event insertion order, which the classic and sharded engines reach
+/// differently. Poisson-arrival workloads (fabric-scale, chaos, the
+/// property suite) never tie in practice; the synchronized `microbench`
+/// flow sets (gray-failure, link-failure) tie constantly and are
+/// reproducible per shard count but not byte-stable across counts — a
+/// pre-existing property of the engine, not of fault injection.
+///
+/// One caveat carried over from [`netsim::Simulator::install_faults`]:
+/// two same-instant plan steps from *different* anchor nodes targeting
+/// the same directed egress may apply in source-shard order rather than
+/// plan order. Plans that want a deterministic winner across shard counts
+/// should separate such steps in time.
+#[allow(clippy::too_many_arguments)]
+pub fn run_fat_tree_sharded_faults<F>(
+    params: FatTreeParams,
+    scheme: &SchemeSpec,
+    specs: &[FlowSpec],
+    until: SimTime,
+    seed: u64,
+    shards: usize,
+    slo: Option<netsim::SloConfig>,
+    plan_fn: F,
+) -> Result<RunOutput, String>
+where
+    F: Fn(&FatTree) -> netsim::FaultPlan + Sync,
+{
     let plan = ShardPlan::new(&params, shards)?;
     if shards == 1 {
-        return Ok(run_fat_tree(params, scheme, specs, until, seed));
+        let mut sim = Simulator::new(seed);
+        if let Some(cfg) = slo {
+            sim.set_slo(cfg);
+        }
+        let ft: FatTree = build_fat_tree(&mut sim, params, scheme.switch_config());
+        sim.install_faults(&plan_fn(&ft));
+        let (specs, replicas) = expand_replicas(specs, scheme);
+        install_agents(&mut sim, &specs, &scheme.tcp_config());
+        sim.run_until(until);
+        return Ok(RunOutput::from_sim(sim, &[], replicas));
     }
     let (specs, replicas) = expand_replicas(specs, scheme);
     let coord = ShardCoord::new(shards);
@@ -376,10 +451,22 @@ pub fn run_fat_tree_sharded(
                 let coord = &coord;
                 let plan = &plan;
                 let specs = &specs[..];
+                let plan_fn = &plan_fn;
                 scope.spawn(move || {
                     let mut sim = Simulator::new(seed);
-                    let _ft = build_fat_tree(&mut sim, params, scheme.switch_config());
+                    let ft = build_fat_tree(&mut sim, params, scheme.switch_config());
                     sim.set_owned(plan.owned_mask(shard));
+                    if let Some(cfg) = slo {
+                        sim.set_slo(cfg);
+                    }
+                    sim.install_faults(&plan_fn(&ft));
+                    // Round 0: cross-shard fault directions cross the mailbox
+                    // before any traffic exists, so their event seqs sit below
+                    // every flow event — the classic runner's install order.
+                    coord.post(shard, sim.take_outbox(), plan);
+                    for h in coord.collect(shard) {
+                        sim.import(h);
+                    }
                     install_agents_on(&mut sim, specs, &scheme.tcp_config(), |h| {
                         plan.owner_of(h) == shard
                     });
@@ -400,6 +487,10 @@ pub fn run_fat_tree_sharded(
                         for h in coord.collect(shard) {
                             sim.import(h);
                         }
+                        // Every epoch keeps the books balanced, not just the
+                        // quiesced end state — a fault that leaks or double
+                        // counts a packet is caught in the epoch it happens.
+                        sim.assert_conservation();
                     }
                     sim.assert_conservation();
                     let events = sim.events_processed();

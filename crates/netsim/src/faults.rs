@@ -75,6 +75,104 @@ pub enum FaultAction {
         /// Per-bit error probability in `[0, 1]`.
         ber: f64,
     },
+    /// Whole-switch failure: every port of `node` goes down at once, in
+    /// both directions — the incident-scale analogue of a power loss or a
+    /// control-plane crash taking a ToR/agg/core out of the fabric.
+    SwitchDown {
+        /// The switch that dies.
+        node: NodeId,
+    },
+    /// Whole-switch recovery: every port of `node` comes back up (both
+    /// directions), undoing a [`FaultAction::SwitchDown`].
+    SwitchUp {
+        /// The switch that recovers.
+        node: NodeId,
+    },
+}
+
+impl FaultAction {
+    /// The *anchor* node the action names. In a sharded run the shard
+    /// owning this node compiles the step into directed transitions and
+    /// hands the non-owned directions to their owners.
+    pub fn node(&self) -> NodeId {
+        match *self {
+            FaultAction::LinkState { node, .. }
+            | FaultAction::LinkRate { node, .. }
+            | FaultAction::GrayLoss { node, .. }
+            | FaultAction::Corruption { node, .. }
+            | FaultAction::SwitchDown { node }
+            | FaultAction::SwitchUp { node } => node,
+        }
+    }
+}
+
+/// One *directed* fault transition: the single-`(node, port)` unit a
+/// [`FaultAction`] compiles into. Both-direction actions (`LinkState`,
+/// `LinkRate`, `SwitchDown`/`SwitchUp`) expand to one `DirectedFault` per
+/// affected direction; in a sharded run each direction is applied by the
+/// shard owning its node — directions whose owner differs from the
+/// action's anchor travel through the epoch mailbox as
+/// `Handoff::Fault` so both sides commit them in the same window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DirectedFault {
+    /// Set the administrative state of the `(node, port)` egress.
+    LinkState {
+        /// Node owning the port.
+        node: NodeId,
+        /// Port index on that node.
+        port: PortId,
+        /// New administrative state.
+        up: bool,
+    },
+    /// Set the serialization rate of the `(node, port)` egress.
+    Rate {
+        /// Node owning the port.
+        node: NodeId,
+        /// Port index on that node.
+        port: PortId,
+        /// New rate in bits per second.
+        rate_bps: u64,
+    },
+    /// Set the gray-loss probability on the `(node, port)` egress.
+    GrayLoss {
+        /// Node owning the port.
+        node: NodeId,
+        /// Port index on that node.
+        port: PortId,
+        /// Per-packet loss probability in `[0, 1]`.
+        loss: f64,
+    },
+    /// Set the bit error rate on the `(node, port)` egress.
+    Corruption {
+        /// Node owning the port.
+        node: NodeId,
+        /// Port index on that node.
+        port: PortId,
+        /// Per-bit error probability in `[0, 1]`.
+        ber: f64,
+    },
+}
+
+impl DirectedFault {
+    /// The node whose egress this transition touches (its owner applies it).
+    pub fn node(&self) -> NodeId {
+        match *self {
+            DirectedFault::LinkState { node, .. }
+            | DirectedFault::Rate { node, .. }
+            | DirectedFault::GrayLoss { node, .. }
+            | DirectedFault::Corruption { node, .. } => node,
+        }
+    }
+
+    /// The port index on [`DirectedFault::node`].
+    pub fn port(&self) -> PortId {
+        match *self {
+            DirectedFault::LinkState { port, .. }
+            | DirectedFault::Rate { port, .. }
+            | DirectedFault::GrayLoss { port, .. }
+            | DirectedFault::Corruption { port, .. } => port,
+        }
+    }
 }
 
 /// A declarative schedule of fault transitions for one run.
@@ -105,17 +203,46 @@ impl FaultPlan {
 
     /// Schedule `action` at absolute time `at`. Steps may be pushed in any
     /// order; the event queue orders them (ties break in push order).
+    ///
+    /// # Panics
+    ///
+    /// On invalid parameters — see [`FaultPlan::try_at`] for the
+    /// non-panicking form and the exact rules.
     pub fn at(&mut self, at: SimTime, action: FaultAction) -> &mut Self {
+        self.try_at(at, action).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Schedule `action` at absolute time `at`, rejecting invalid
+    /// parameters with an actionable error instead of panicking.
+    ///
+    /// Out-of-range values are **rejected, never clamped**: a gray-loss
+    /// probability or BER must lie in `[0, 1]` (NaN and negative values
+    /// fail the range check), and a link rate must be positive. Catching
+    /// these at construction keeps garbage out of the per-port RNG draw
+    /// path, where a NaN would silently poison every subsequent
+    /// loss decision.
+    pub fn try_at(&mut self, at: SimTime, action: FaultAction) -> Result<&mut Self, String> {
         if let FaultAction::GrayLoss { loss: p, .. } | FaultAction::Corruption { ber: p, .. } =
             action
         {
-            assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!(
+                    "probability {p} outside [0, 1]: fault probabilities are rejected, \
+                     not clamped (NaN and negative values included)"
+                ));
+            }
         }
         if let FaultAction::LinkRate { rate_bps, .. } = action {
-            assert!(rate_bps > 0, "link rate must be positive");
+            if rate_bps == 0 {
+                return Err(
+                    "link rate must be positive: use LinkState { up: false } (or \
+                     FaultPlan::kill) to take a link down, not a zero rate"
+                        .to_string(),
+                );
+            }
         }
         self.steps.push((at, action));
-        self
+        Ok(self)
     }
 
     /// Gray failure: from `at` on, drop packets leaving `(node, port)` with
@@ -181,6 +308,24 @@ impl FaultPlan {
                 rate_bps,
             },
         )
+    }
+
+    /// Whole-switch crash at `at`: every port of `node` dies at once (both
+    /// directions of every attached link).
+    pub fn crash(&mut self, node: NodeId, at: SimTime) -> &mut Self {
+        self.at(at, FaultAction::SwitchDown { node })
+    }
+
+    /// Whole-switch recovery at `at`: every port of `node` comes back up.
+    pub fn revive(&mut self, node: NodeId, at: SimTime) -> &mut Self {
+        self.at(at, FaultAction::SwitchUp { node })
+    }
+
+    /// A scripted switch outage: crash `node` at `down_at`, revive it at
+    /// `up_at`.
+    pub fn switch_outage(&mut self, node: NodeId, down_at: SimTime, up_at: SimTime) -> &mut Self {
+        assert!(down_at < up_at, "outage must go down before it comes up");
+        self.crash(node, down_at).revive(node, up_at)
     }
 
     /// The scheduled steps, in push order.
@@ -267,6 +412,73 @@ mod tests {
     #[should_panic(expected = "outside [0, 1]")]
     fn loss_above_one_rejected() {
         FaultPlan::new().gray_loss(0, 0, 1.5, SimTime::ZERO);
+    }
+
+    #[test]
+    fn try_at_rejects_garbage_with_actionable_errors() {
+        let mut plan = FaultPlan::new();
+        let nan = plan.try_at(
+            SimTime::ZERO,
+            FaultAction::GrayLoss {
+                node: 0,
+                port: 0,
+                loss: f64::NAN,
+            },
+        );
+        assert!(nan.unwrap_err().contains("rejected, not clamped"));
+        let neg = plan.try_at(
+            SimTime::ZERO,
+            FaultAction::Corruption {
+                node: 0,
+                port: 0,
+                ber: -0.1,
+            },
+        );
+        assert!(neg.unwrap_err().contains("outside [0, 1]"));
+        let zero = plan.try_at(
+            SimTime::ZERO,
+            FaultAction::LinkRate {
+                node: 0,
+                port: 0,
+                rate_bps: 0,
+            },
+        );
+        assert!(zero.unwrap_err().contains("FaultPlan::kill"));
+        assert!(plan.is_empty(), "rejected steps must not be recorded");
+        plan.try_at(
+            SimTime::ZERO,
+            FaultAction::GrayLoss {
+                node: 0,
+                port: 0,
+                loss: 0.5,
+            },
+        )
+        .unwrap();
+        assert_eq!(plan.len(), 1);
+    }
+
+    #[test]
+    fn switch_outage_pushes_crash_then_revive() {
+        let mut plan = FaultPlan::new();
+        plan.switch_outage(7, SimTime::from_ms(1), SimTime::from_ms(3));
+        assert_eq!(
+            plan.steps(),
+            &[
+                (SimTime::from_ms(1), FaultAction::SwitchDown { node: 7 }),
+                (SimTime::from_ms(3), FaultAction::SwitchUp { node: 7 }),
+            ]
+        );
+        assert_eq!(plan.steps()[0].1.node(), 7);
+    }
+
+    #[test]
+    fn directed_fault_accessors() {
+        let d = DirectedFault::Rate {
+            node: 5,
+            port: 3,
+            rate_bps: 1,
+        };
+        assert_eq!((d.node(), d.port()), (5, 3));
     }
 
     #[test]

@@ -16,9 +16,9 @@
 //! * administrative link failures (black-holing until "routing reconverges",
 //!   which in these experiments never happens — that is the point),
 //! * deterministic fault injection via [`FaultPlan`] — gray (probabilistic)
-//!   loss, link flaps, mid-run rate degradation, and bit-error corruption —
-//!   with per-port drop-reason accounting and an end-of-run conservation
-//!   audit ([`Simulator::conservation`]),
+//!   loss, link flaps, whole-switch outages, mid-run rate degradation, and
+//!   bit-error corruption — with per-port drop-reason accounting and an
+//!   end-of-run conservation audit ([`Simulator::conservation`]),
 //! * a run-wide [`Recorder`] of flow completions, event counters, and
 //!   (opt-in, via [`TelemetryConfig`]) named time-series probes — queue
 //!   depths, link utilization, per-flow cwnd/`F`, V-field reroute traces,
@@ -70,7 +70,7 @@ pub mod time;
 pub mod trace;
 
 pub use agent::{Agent, Ctx, NullAgent};
-pub use faults::{FaultAction, FaultPlan};
+pub use faults::{DirectedFault, FaultAction, FaultPlan};
 pub use flow::{register_flows, FlowSpec};
 pub use hashing::{DetHashMap, EcmpHasher, FxBuildHasher, FxHasher, HashConfig};
 pub use packet::{
@@ -78,7 +78,9 @@ pub use packet::{
     MTU,
 };
 pub use queue::{EcnQueue, EnqueueResult, QueueStats};
-pub use record::{Counter, DropAudit, DropReason, FlowRecord, Recorder, RunResults, Sink};
+pub use record::{
+    Counter, DropAudit, DropReason, FlowRecord, Recorder, RunResults, Sink, SloConfig, SloResults,
+};
 pub use rng::DetRng;
 pub use sim::{Conservation, Handoff, LinkSpec, PortStats, QueueSpec, Simulator, SwitchConfig};
 pub use slab::{PacketId, PacketSlab};

@@ -182,6 +182,91 @@ impl DropReason {
     }
 }
 
+/// Configuration of the reconvergence / goodput SLO probe
+/// ([`crate::Simulator::set_slo`]).
+///
+/// When set, the recorder watches every data delivery: per-flow
+/// reconvergence latency (first delivery at or after `fail_at`, for flows
+/// that started no later than `fail_at`) and a goodput histogram binned by
+/// `bin`, both reported through [`SloResults`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloConfig {
+    /// The failure instant reconvergence latencies are measured against.
+    pub fail_at: SimTime,
+    /// Goodput histogram bin width (must be positive).
+    pub bin: SimTime,
+}
+
+/// The write-side state behind [`SloConfig`].
+#[derive(Debug)]
+struct SloProbe {
+    cfg: SloConfig,
+    /// First at-or-post-failure delivery instant per affected flow.
+    first_after: DetHashMap<FlowId, SimTime>,
+    /// Delivered payload bytes per `cfg.bin`-wide time bin, from t = 0.
+    goodput_bins: Vec<u64>,
+}
+
+/// Reconvergence and goodput measurements of one run, produced when the
+/// SLO probe was configured ([`crate::Simulator::set_slo`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SloResults {
+    /// The configured failure instant.
+    pub fail_at: SimTime,
+    /// The configured goodput bin width.
+    pub bin: SimTime,
+    /// `(flow, first delivery at or after fail_at)` for every flow that
+    /// started no later than `fail_at` and delivered again, sorted by
+    /// flow id. Reconvergence latency is the difference to `fail_at`.
+    pub first_after: Vec<(FlowId, SimTime)>,
+    /// Delivered payload bytes per `bin`-wide time bin, from t = 0.
+    pub goodput_bins: Vec<u64>,
+}
+
+impl SloResults {
+    /// Per-flow reconvergence latencies (first post-failure delivery minus
+    /// the failure instant), in flow-id order.
+    pub fn reconvergence_latencies(&self) -> Vec<SimTime> {
+        self.first_after
+            .iter()
+            .map(|&(_, at)| at - self.fail_at)
+            .collect()
+    }
+
+    /// Number of flows with a recorded post-failure delivery.
+    pub fn samples(&self) -> usize {
+        self.first_after.len()
+    }
+
+    /// Fold another shard's SLO view into this one. A flow delivers at
+    /// exactly one shard (its destination's owner), so the per-flow maps
+    /// are disjoint; the earliest instant is kept anyway for safety.
+    /// Goodput bins sum elementwise, padding to the longer histogram.
+    pub fn merge(&mut self, other: SloResults) {
+        assert_eq!(
+            (self.fail_at, self.bin),
+            (other.fail_at, other.bin),
+            "shards must share one SLO config"
+        );
+        for (flow, at) in other.first_after {
+            match self.first_after.binary_search_by_key(&flow, |&(f, _)| f) {
+                Ok(i) => {
+                    if at < self.first_after[i].1 {
+                        self.first_after[i].1 = at;
+                    }
+                }
+                Err(i) => self.first_after.insert(i, (flow, at)),
+            }
+        }
+        if other.goodput_bins.len() > self.goodput_bins.len() {
+            self.goodput_bins.resize(other.goodput_bins.len(), 0);
+        }
+        for (slot, n) in self.goodput_bins.iter_mut().zip(other.goodput_bins) {
+            *slot += n;
+        }
+    }
+}
+
 /// Per-port, per-reason drop tallies for one run.
 ///
 /// Rows are kept in first-drop order internally (deterministic, since the
@@ -296,6 +381,7 @@ pub struct Recorder {
     drops: DropAudit,
     telemetry: Telemetry,
     trace: Trace,
+    slo: Option<SloProbe>,
 }
 
 impl Default for Recorder {
@@ -306,6 +392,7 @@ impl Default for Recorder {
             drops: DropAudit::default(),
             telemetry: Telemetry::new(),
             trace: Trace::new(),
+            slo: None,
         }
     }
 }
@@ -417,6 +504,46 @@ impl Recorder {
         self.trace.set_config(cfg);
     }
 
+    /// Arm the reconvergence / goodput SLO probe. Call before the run
+    /// starts; without it every delivery hook is a single branch.
+    pub fn set_slo(&mut self, cfg: SloConfig) {
+        assert!(cfg.bin.as_ps() > 0, "SLO goodput bin must be positive");
+        self.slo = Some(SloProbe {
+            cfg,
+            first_after: DetHashMap::default(),
+            goodput_bins: Vec::new(),
+        });
+    }
+
+    /// Report one packet delivered to its destination host. A single
+    /// branch when the SLO probe is disarmed. ACKs (`payload == 0`) carry
+    /// no goodput and never count as reconvergence evidence — the paper's
+    /// recovery story is about *data* flowing again on the new path.
+    #[inline]
+    pub fn slo_delivery(&mut self, now: SimTime, flow: FlowId, payload: u32) {
+        let Some(slo) = &mut self.slo else { return };
+        if payload == 0 {
+            return;
+        }
+        let bin = (now.as_ps() / slo.cfg.bin.as_ps()) as usize;
+        if bin >= slo.goodput_bins.len() {
+            slo.goodput_bins.resize(bin + 1, 0);
+        }
+        slo.goodput_bins[bin] += payload as u64;
+        if now >= slo.cfg.fail_at
+            && self
+                .flows
+                .get(flow as usize)
+                .is_some_and(|f| f.start <= slo.cfg.fail_at)
+            && !slo.first_after.contains_key(&flow)
+        {
+            slo.first_after.insert(flow, now);
+            if self.trace.wants(flow) {
+                self.trace.record(now, flow, TraceEvent::Reconverge);
+            }
+        }
+    }
+
     /// Is any flow being traced? One load; hot paths branch on this
     /// before computing anything trace-only (e.g. queue depth).
     #[inline]
@@ -446,6 +573,16 @@ impl Recorder {
             drops: self.drops,
             series: self.telemetry.into_series(),
             timelines: self.trace.into_timelines(),
+            slo: self.slo.map(|p| {
+                let mut first_after: Vec<(FlowId, SimTime)> = p.first_after.into_iter().collect();
+                first_after.sort_unstable_by_key(|&(f, _)| f);
+                SloResults {
+                    fail_at: p.cfg.fail_at,
+                    bin: p.cfg.bin,
+                    first_after,
+                    goodput_bins: p.goodput_bins,
+                }
+            }),
         }
     }
 }
@@ -484,6 +621,7 @@ pub struct RunResults {
     drops: DropAudit,
     series: Vec<Series>,
     timelines: Vec<FlowTimeline>,
+    slo: Option<SloResults>,
 }
 
 impl RunResults {
@@ -525,6 +663,11 @@ impl RunResults {
         }
         self.drops.merge(&other.drops);
         self.series.extend(other.series);
+        match (&mut self.slo, other.slo) {
+            (Some(mine), Some(theirs)) => mine.merge(theirs),
+            (mine @ None, theirs) => *mine = theirs,
+            (_, None) => {}
+        }
         for tl in other.timelines {
             match self.timelines.iter_mut().find(|t| t.flow == tl.flow) {
                 None => self.timelines.push(tl),
@@ -566,6 +709,12 @@ impl RunResults {
     /// id. Empty unless tracing was enabled for the run.
     pub fn timelines(&self) -> &[FlowTimeline] {
         &self.timelines
+    }
+
+    /// Reconvergence / goodput measurements; `None` unless the SLO probe
+    /// was armed ([`crate::Simulator::set_slo`]).
+    pub fn slo(&self) -> Option<&SloResults> {
+        self.slo.as_ref()
     }
 }
 
@@ -686,6 +835,70 @@ mod tests {
         assert_eq!(out.timelines().len(), 1);
         assert_eq!(out.timelines()[0].flow, 1);
         assert_eq!(out.timelines()[0].count_kind("cwnd"), 1);
+    }
+
+    #[test]
+    fn slo_probe_records_reconvergence_and_goodput() {
+        let mut r = Recorder::new();
+        r.flow_started(rec(0)); // starts at 10us
+        r.flow_started(rec(1));
+        r.set_slo(SloConfig {
+            fail_at: SimTime::from_us(100),
+            bin: SimTime::from_us(50),
+        });
+        r.slo_delivery(SimTime::from_us(20), 0, 1000); // pre-failure: goodput only
+        r.slo_delivery(SimTime::from_us(120), 0, 1000); // first post-failure
+        r.slo_delivery(SimTime::from_us(130), 0, 1000); // later: goodput only
+        r.slo_delivery(SimTime::from_us(140), 1, 0); // ACK: ignored entirely
+        let out = r.finish();
+        let slo = out.slo().unwrap();
+        assert_eq!(slo.first_after, vec![(0, SimTime::from_us(120))]);
+        assert_eq!(slo.reconvergence_latencies(), vec![SimTime::from_us(20)]);
+        assert_eq!(slo.samples(), 1);
+        assert_eq!(slo.goodput_bins, vec![1000, 0, 2000]);
+    }
+
+    #[test]
+    fn slo_probe_ignores_flows_started_after_the_failure() {
+        let mut r = Recorder::new();
+        let mut late = rec(0);
+        late.start = SimTime::from_us(200);
+        r.flow_started(late);
+        r.set_slo(SloConfig {
+            fail_at: SimTime::from_us(100),
+            bin: SimTime::from_us(50),
+        });
+        r.slo_delivery(SimTime::from_us(250), 0, 500);
+        let out = r.finish();
+        let slo = out.slo().unwrap();
+        assert_eq!(slo.samples(), 0, "post-failure flows never reconverge");
+        assert_eq!(slo.goodput_bins.last(), Some(&500), "goodput still counts");
+    }
+
+    #[test]
+    fn slo_merge_unions_flows_and_sums_bins() {
+        let mut a = SloResults {
+            fail_at: SimTime::from_us(100),
+            bin: SimTime::from_us(50),
+            first_after: vec![(0, SimTime::from_us(120)), (2, SimTime::from_us(150))],
+            goodput_bins: vec![100, 200],
+        };
+        let b = SloResults {
+            fail_at: SimTime::from_us(100),
+            bin: SimTime::from_us(50),
+            first_after: vec![(1, SimTime::from_us(110)), (2, SimTime::from_us(140))],
+            goodput_bins: vec![10, 20, 30],
+        };
+        a.merge(b);
+        assert_eq!(
+            a.first_after,
+            vec![
+                (0, SimTime::from_us(120)),
+                (1, SimTime::from_us(110)),
+                (2, SimTime::from_us(140)),
+            ]
+        );
+        assert_eq!(a.goodput_bins, vec![110, 220, 30]);
     }
 
     #[test]

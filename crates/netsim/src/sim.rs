@@ -25,11 +25,11 @@ use std::fmt;
 
 use crate::agent::{Agent, Ctx, NullAgent};
 use crate::event::{EventKind, Scheduler};
-use crate::faults::{FaultAction, FaultPlan};
+use crate::faults::{DirectedFault, FaultAction, FaultPlan};
 use crate::hashing::{EcmpHasher, HashConfig};
 use crate::packet::{Flags, NodeId, Packet, PortId, Proto, INGRESS_NONE};
 use crate::queue::{EcnQueue, EnqueueResult, QueueStats};
-use crate::record::{Counter, DropReason, Recorder, RunResults};
+use crate::record::{Counter, DropReason, Recorder, RunResults, SloConfig};
 use crate::rng::DetRng;
 use crate::slab::{PacketId, PacketSlab};
 use crate::switch::{
@@ -142,6 +142,13 @@ struct Port {
     /// Bit error rate: a departing packet of `b` bits is corrupted (and
     /// dropped) with probability `1 - (1 - ber)^b` (0 = healthy).
     ber: f64,
+    /// Lazily-split per-port fault RNG stream: gray-loss and corruption
+    /// draws for packets departing this egress come from here, so the
+    /// sequence of draws a port sees depends only on its own departure
+    /// order — which every shard count reproduces identically — never on
+    /// the global interleaving of faulted ports. `None` until the first
+    /// draw; fault-free ports never split a stream at all.
+    fault_rng: Option<DetRng>,
     /// Serialization epoch. Bumped when a mid-run rate change reschedules
     /// the in-flight `TxDone`; a pending `TxDone` carrying a stale epoch is
     /// ignored when it fires.
@@ -296,6 +303,20 @@ pub enum Handoff {
         /// `true` = pause, `false` = resume.
         pause: bool,
     },
+    /// One directed fault transition whose `(node, port)` egress is owned
+    /// by another shard. Fault-plan steps that span a shard boundary — a
+    /// `LinkState`/`LinkRate` on a cross-shard link, a `SwitchDown` whose
+    /// peers live elsewhere — are compiled by the shard owning the action's
+    /// anchor node; the directions it does not own travel through the epoch
+    /// mailbox as this variant, so both owners commit the transition in the
+    /// same synchronization window and at the same instant.
+    Fault {
+        /// When the transition fires.
+        at: SimTime,
+        /// The directed transition; its [`DirectedFault::node`] is the
+        /// destination the coordinator routes on.
+        fault: DirectedFault,
+    },
 }
 
 impl Handoff {
@@ -303,13 +324,14 @@ impl Handoff {
     pub fn node(&self) -> NodeId {
         match self {
             Handoff::Arrive { node, .. } | Handoff::Pfc { node, .. } => *node,
+            Handoff::Fault { fault, .. } => fault.node(),
         }
     }
 
     /// Scheduled arrival time at the destination shard.
     pub fn at(&self) -> SimTime {
         match self {
-            Handoff::Arrive { at, .. } | Handoff::Pfc { at, .. } => *at,
+            Handoff::Arrive { at, .. } | Handoff::Pfc { at, .. } | Handoff::Fault { at, .. } => *at,
         }
     }
 }
@@ -390,13 +412,17 @@ pub struct Simulator {
     host_rngs: Vec<DetRng>,
     recorder: Recorder,
     master_rng: DetRng,
-    /// RNG for gray-loss / corruption draws. A dedicated stream, consulted
-    /// only when a port has a nonzero loss rate or BER — fault-free runs
-    /// never touch it, so they stay byte-identical with or without faults
-    /// installed elsewhere.
+    /// Root of the fault RNG tree. Never advanced: each faulted port
+    /// lazily splits its own child stream off this root ([`Port::fault_rng`])
+    /// on its first gray-loss/corruption draw, keyed by `(node, port)` —
+    /// so draw sequences are a pure function of each port's own departure
+    /// order, identical for every shard count, and fault-free runs never
+    /// touch any fault stream at all.
     faults_rng: DetRng,
-    /// Installed fault actions; `EventKind::Fault` events index into this.
-    fault_actions: Vec<FaultAction>,
+    /// Installed directed fault transitions; `EventKind::Fault` events
+    /// index into this (indices are local to this simulator — in a sharded
+    /// run each worker compiles its own subset).
+    fault_actions: Vec<DirectedFault>,
     /// Packets handed to destination agents (the conservation audit's
     /// "delivered" term).
     delivered: u64,
@@ -511,6 +537,7 @@ impl Simulator {
             paused: false,
             loss_rate: 0.0,
             ber: 0.0,
+            fault_rng: None,
             tx_epoch: 0,
             tx_end: SimTime::ZERO,
             tx_pkt: 0,
@@ -528,6 +555,7 @@ impl Simulator {
             paused: false,
             loss_rate: 0.0,
             ber: 0.0,
+            fault_rng: None,
             tx_epoch: 0,
             tx_end: SimTime::ZERO,
             tx_pkt: 0,
@@ -622,26 +650,109 @@ impl Simulator {
         self.nodes[node as usize].ports[port as usize].ber = ber;
     }
 
-    /// Install a [`FaultPlan`]: validate every referenced port and schedule
-    /// each step as a [`EventKind::Fault`] event at its time. May be called
-    /// repeatedly (plans accumulate) and mid-run for future times.
+    /// Install a [`FaultPlan`]: validate every referenced node/port,
+    /// compile each step into its [`DirectedFault`] transitions, and
+    /// schedule each owned transition as an [`EventKind::Fault`] event at
+    /// its time. May be called repeatedly (plans accumulate) and mid-run
+    /// for future times.
+    ///
+    /// Both-direction steps (`LinkState`, `LinkRate`, `SwitchDown/Up`)
+    /// expand to one directed transition per affected egress. In a sharded
+    /// run, only the shard owning a step's *anchor* node
+    /// ([`FaultAction::node`]) compiles it: transitions on egresses it owns
+    /// are scheduled locally, the rest are pushed into the outbox as
+    /// [`Handoff::Fault`] for their owners to import before the run starts
+    /// (or before the next window, mid-run). Every worker still validates
+    /// every step, so a bad plan panics identically on every shard.
+    ///
+    /// Caveat: two *different* steps targeting the *same* directed egress
+    /// at the *same* instant from *different* anchor nodes may apply in a
+    /// different relative order than the classic engine (imports land after
+    /// locally-anchored steps). Transitions on distinct egresses commute,
+    /// so plans without such same-instant/same-egress conflicts — any plan
+    /// [`FaultPlan::randomized`] can produce — are exactly reproduced.
     pub fn install_faults(&mut self, plan: &FaultPlan) {
         for &(at, action) in plan.steps() {
-            let (node, port) = match action {
-                FaultAction::LinkState { node, port, .. }
-                | FaultAction::LinkRate { node, port, .. }
-                | FaultAction::GrayLoss { node, port, .. }
-                | FaultAction::Corruption { node, port, .. } => (node, port),
-            };
+            let node = action.node();
             assert!(
-                (node as usize) < self.nodes.len()
-                    && (port as usize) < self.nodes[node as usize].ports.len(),
-                "fault plan references nonexistent port ({node}, {port})"
+                (node as usize) < self.nodes.len(),
+                "fault plan references nonexistent node {node}"
             );
-            let idx = self.fault_actions.len() as u32;
-            self.fault_actions.push(action);
-            self.sched.schedule(at, EventKind::Fault { action: idx });
+            if let FaultAction::LinkState { port, .. }
+            | FaultAction::LinkRate { port, .. }
+            | FaultAction::GrayLoss { port, .. }
+            | FaultAction::Corruption { port, .. } = action
+            {
+                assert!(
+                    (port as usize) < self.nodes[node as usize].ports.len(),
+                    "fault plan references nonexistent port ({node}, {port})"
+                );
+            }
+            if !self.is_owned(node) {
+                continue;
+            }
+            let mut directed: Vec<DirectedFault> = Vec::new();
+            match action {
+                FaultAction::LinkState { node, port, up } => {
+                    let (peer, peer_port) = self.peer_of(node, port);
+                    directed.push(DirectedFault::LinkState { node, port, up });
+                    directed.push(DirectedFault::LinkState {
+                        node: peer,
+                        port: peer_port,
+                        up,
+                    });
+                }
+                FaultAction::LinkRate {
+                    node,
+                    port,
+                    rate_bps,
+                } => {
+                    let (peer, peer_port) = self.peer_of(node, port);
+                    directed.push(DirectedFault::Rate {
+                        node,
+                        port,
+                        rate_bps,
+                    });
+                    directed.push(DirectedFault::Rate {
+                        node: peer,
+                        port: peer_port,
+                        rate_bps,
+                    });
+                }
+                FaultAction::GrayLoss { node, port, loss } => {
+                    directed.push(DirectedFault::GrayLoss { node, port, loss });
+                }
+                FaultAction::Corruption { node, port, ber } => {
+                    directed.push(DirectedFault::Corruption { node, port, ber });
+                }
+                FaultAction::SwitchDown { node } | FaultAction::SwitchUp { node } => {
+                    let up = matches!(action, FaultAction::SwitchUp { .. });
+                    for port in 0..self.nodes[node as usize].ports.len() as PortId {
+                        let (peer, peer_port) = self.peer_of(node, port);
+                        directed.push(DirectedFault::LinkState { node, port, up });
+                        directed.push(DirectedFault::LinkState {
+                            node: peer,
+                            port: peer_port,
+                            up,
+                        });
+                    }
+                }
+            }
+            for d in directed {
+                if self.is_owned(d.node()) {
+                    self.schedule_directed_fault(at, d);
+                } else {
+                    self.outbox.push(Handoff::Fault { at, fault: d });
+                }
+            }
         }
+    }
+
+    /// Register one owned directed transition and schedule its event.
+    fn schedule_directed_fault(&mut self, at: SimTime, fault: DirectedFault) {
+        let idx = self.fault_actions.len() as u32;
+        self.fault_actions.push(fault);
+        self.sched.schedule(at, EventKind::Fault { action: idx });
     }
 
     /// The current rate of the directed link out of `(node, port)`.
@@ -719,6 +830,14 @@ impl Simulator {
     /// single branch.
     pub fn set_trace(&mut self, cfg: TraceConfig) {
         self.recorder.set_trace(cfg);
+    }
+
+    /// Arm the reconvergence / goodput SLO probe: per-flow reconvergence
+    /// latency against `cfg.fail_at` and a delivered-goodput histogram.
+    /// Call before the run starts; disarmed (the default), every delivery
+    /// hook is a single branch.
+    pub fn set_slo(&mut self, cfg: SloConfig) {
+        self.recorder.set_slo(cfg);
     }
 
     /// Ids of all hosts, in creation order.
@@ -916,6 +1035,11 @@ impl Simulator {
                 self.sched
                     .schedule(at, EventKind::Pfc { node, port, pause });
             }
+            // A directed fault transition compiled by the anchor's owner.
+            // Not a packet, so the imported/exported ledger is untouched
+            // (those two terms count packets only, and must stay equal
+            // across shards at quiesce).
+            Handoff::Fault { at, fault } => self.schedule_directed_fault(at, fault),
         }
     }
 
@@ -994,15 +1118,26 @@ impl Simulator {
 
     fn apply_fault(&mut self, idx: u32) {
         match self.fault_actions[idx as usize] {
-            FaultAction::LinkState { node, port, up } => self.handle_link_state(node, port, up),
-            FaultAction::LinkRate {
+            DirectedFault::LinkState { node, port, up } => self.apply_link_dir(node, port, up),
+            DirectedFault::Rate {
                 node,
                 port,
                 rate_bps,
-            } => self.set_link_rate(node, port, rate_bps),
-            FaultAction::GrayLoss { node, port, loss } => self.set_gray_loss(node, port, loss),
-            FaultAction::Corruption { node, port, ber } => self.set_corruption(node, port, ber),
+            } => self.apply_rate(node, port, rate_bps),
+            DirectedFault::GrayLoss { node, port, loss } => self.set_gray_loss(node, port, loss),
+            DirectedFault::Corruption { node, port, ber } => self.set_corruption(node, port, ber),
         }
+    }
+
+    /// Apply a link-state change to one directed egress. The other
+    /// direction is a separate [`DirectedFault`] applied by its own owner
+    /// at the same instant; together they reproduce
+    /// [`Simulator::schedule_link_state`]'s both-direction semantics.
+    fn apply_link_dir(&mut self, node: NodeId, port: PortId, up: bool) {
+        self.nodes[node as usize].ports[port as usize].up = up;
+        // Down: black-hole anything already queued towards the dead
+        // egress. Up: restart serialization if the queue has backlog.
+        self.try_start_tx(node, port);
     }
 
     fn handle_sample(&mut self, id: usize) {
@@ -1046,6 +1181,7 @@ impl Simulator {
                 // The packet leaves the slab here: the agent owns it now.
                 let pkt = self.packets.remove(id);
                 self.delivered += 1;
+                self.recorder.slo_delivery(self.now, pkt.flow, pkt.payload);
                 self.with_agent(node, |agent, ctx| agent.on_packet(pkt, ctx));
             }
             NodeKind::Switch(_) => self.forward(node, port, id),
@@ -1381,17 +1517,19 @@ impl Simulator {
             p.busy = false;
             (p.peer, p.peer_port, p.delay, p.up, p.loss_rate, p.ber)
         };
-        // Fault checks, in severity order. Each consults the dedicated
-        // faults RNG only when its fault is actually configured, so healthy
-        // runs make no draws at all.
+        // Fault checks, in severity order. Each consults the departing
+        // port's private fault stream only when its fault is actually
+        // configured, so healthy runs make no draws at all — and since a
+        // port's departure order is identical for every shard count, so is
+        // its draw sequence.
         let dropped = if !link_up {
             Some(DropReason::LinkDown)
-        } else if loss_rate > 0.0 && self.faults_rng.gen_f64() < loss_rate {
+        } else if loss_rate > 0.0 && self.fault_rng_draw(node, port) < loss_rate {
             Some(DropReason::GrayLoss)
         } else if ber > 0.0 && {
             let bits = self.packets.get(id).size as i32 * 8;
             let survive = (1.0 - ber).powi(bits);
-            self.faults_rng.gen_f64() >= survive
+            self.fault_rng_draw(node, port) >= survive
         } {
             Some(DropReason::Corruption)
         } else {
@@ -1432,6 +1570,18 @@ impl Simulator {
             }
         }
         self.try_start_tx(node, port);
+    }
+
+    /// Draw from `(node, port)`'s private fault stream, splitting it off
+    /// the never-advanced root on first use. The split label is the
+    /// directed port identity, so every worker derives the same stream for
+    /// the same egress no matter which other ports are faulted.
+    fn fault_rng_draw(&mut self, node: NodeId, port: PortId) -> f64 {
+        let root = &self.faults_rng;
+        let p = &mut self.nodes[node as usize].ports[port as usize];
+        p.fault_rng
+            .get_or_insert_with(|| root.split(((node as u64) << 16) | port as u64))
+            .gen_f64()
     }
 
     fn handle_pfc(&mut self, node: NodeId, port: PortId, pause: bool) {

@@ -165,6 +165,10 @@ pub enum TraceEvent {
         /// V-field value after the decision.
         to_v: u8,
     },
+    /// First data delivery at or after a configured failure instant: the
+    /// flow's path works again (the reconvergence SLO probe's per-flow
+    /// sample, see [`crate::record::SloConfig`]).
+    Reconverge,
 }
 
 impl TraceEvent {
@@ -181,6 +185,7 @@ impl TraceEvent {
             TraceEvent::FastRetransmitExit => "fast_retransmit_exit",
             TraceEvent::RtoFire { .. } => "rto_fire",
             TraceEvent::Decision { .. } => "decision",
+            TraceEvent::Reconverge => "reconverge",
         }
     }
 }
@@ -419,6 +424,7 @@ mod tests {
             TraceEvent::FastRetransmitExit,
             TraceEvent::RtoFire { backoff_exp: 0 },
             TraceEvent::Decision { from_v: 0, to_v: 1 },
+            TraceEvent::Reconverge,
         ];
         let kinds: std::collections::HashSet<_> = evs.iter().map(|e| e.kind()).collect();
         assert_eq!(kinds.len(), evs.len());

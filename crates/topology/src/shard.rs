@@ -120,6 +120,15 @@ impl ShardPlan {
             .map(|n| self.owner_of(n as NodeId) == shard)
             .collect()
     }
+
+    /// Whether a link between `a` and `b` crosses a shard boundary — the
+    /// links whose faults must travel through the epoch mailbox. With
+    /// pod-granular partitioning only agg↔core links can cross, and a
+    /// chaos plan that wants to exercise the cross-shard fault path picks
+    /// its targets with this.
+    pub fn crosses(&self, a: NodeId, b: NodeId) -> bool {
+        self.owner_of(a) != self.owner_of(b)
+    }
 }
 
 #[cfg(test)]
@@ -168,6 +177,22 @@ mod tests {
         let p = FatTreeParams::paper();
         let plan = ShardPlan::new(&p, 1).unwrap();
         assert!(plan.owned_mask(0).iter().all(|&b| b));
+    }
+
+    #[test]
+    fn crosses_flags_only_boundary_links() {
+        let p = FatTreeParams::k_ary(8).unwrap();
+        let plan = ShardPlan::new(&p, 4).unwrap();
+        // Host ↔ its pod's ToR: same shard.
+        assert!(!plan.crosses(0, 128));
+        // Agg of pod 0 ↔ a core owned by another shard.
+        let agg0 = (128 + 32) as NodeId;
+        let cores0 = (128 + 32 + 32) as NodeId;
+        let cross = (0..16).filter(|&c| plan.crosses(agg0, cores0 + c)).count();
+        assert_eq!(cross, 12, "cores round-robin over 4 shards: 3/4 cross");
+        // shards == 1 never crosses.
+        let plan1 = ShardPlan::new(&p, 1).unwrap();
+        assert!(!plan1.crosses(agg0, cores0));
     }
 
     #[test]
