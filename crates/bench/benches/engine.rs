@@ -146,6 +146,42 @@ fn bench_forwarding_traced(h: &Harness) {
     );
 }
 
+/// INT-stamping overhead on the same 5 000-packet blast:
+/// `simulator/blast_5k_packets_through_switch` above is the feedback-off
+/// baseline (the disabled check is one `Option` branch); here the switch
+/// appends a per-hop INT record to every forwarded packet
+/// ([`netsim::FeedbackConfig::int_only`]) — pricing the lazy stack
+/// allocation plus the per-hop push on the forwarding hot path.
+fn bench_int_stamp(h: &Harness) {
+    h.bench_with_setup(
+        "feedback/int_stamp_overhead",
+        5_000,
+        || {
+            let mut sim = Simulator::new(1);
+            let h0 = sim.add_host(SimTime::ZERO, SimTime::ZERO);
+            let h1 = sim.add_host(SimTime::ZERO, SimTime::ZERO);
+            let sw = sim.add_switch(
+                SwitchConfig::commodity(HashConfig::FiveTuple)
+                    .with_feedback(netsim::FeedbackConfig::int_only()),
+            );
+            sim.connect(h0, sw, LinkSpec::host_10g());
+            sim.connect(h1, sw, LinkSpec::host_10g());
+            let mut rt = RoutingTable::new(2);
+            rt.set(0, vec![0]);
+            rt.set(1, vec![1]);
+            sim.set_routes(sw, rt);
+            let log = RxLog::shared();
+            sim.set_agent(h0, Box::new(Blaster::new(1, 5_000, log.clone())));
+            sim.set_agent(h1, Box::new(CountingSink { log }));
+            sim
+        },
+        |mut sim| {
+            sim.run_to_quiescence();
+            black_box(sim.events_processed())
+        },
+    );
+}
+
 /// Workload-engine throughput: the trace-scale generation+aggregation
 /// curve. Each iteration streams `flows` websearch-CDF flows out of the
 /// registry workload, scores them with the analytic FCT model, and feeds
@@ -271,6 +307,7 @@ fn main() {
     bench_rng(&h);
     bench_forwarding(&h);
     bench_forwarding_traced(&h);
+    bench_int_stamp(&h);
     bench_workload_engine(&h);
     bench_sharding(&h);
     bench_chaos(&h);

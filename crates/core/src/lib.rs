@@ -65,5 +65,5 @@ mod rng;
 
 pub use bender::{BenderStats, Decision, EpochRecord, FlowBender, HISTORY_CAP};
 pub use config::Config;
-pub use controller::{FlowcutGap, PathController, StaticPath};
+pub use controller::{BenderInt, Feedback, FlowcutGap, PathController, StaticPath};
 pub use rng::{Rng, SplitMix64};

@@ -25,6 +25,7 @@
 //! | [`trace_scale`] | extension: million-flow workload engine + streaming FCT sketches |
 //! | [`fabric_scale`] | extension: 1024-host all-to-all on the sharded multi-core engine |
 //! | [`chaos`] | extension: incident-timeline chaos drill with reconvergence SLOs |
+//! | [`feedback`] | extension: switch-assisted feedback — INT telemetry + early CN |
 //!
 //! Which load-balancing designs exist — and how a new one is added in a
 //! single file — is owned by the [`schemes`] registry; which traffic
@@ -41,6 +42,7 @@ pub mod asym;
 pub mod buffers;
 pub mod chaos;
 pub mod fabric_scale;
+pub mod feedback;
 pub mod fig5;
 pub mod fig8;
 pub mod flowlet;
@@ -60,9 +62,10 @@ pub mod trace_scale;
 pub use registry::{find, registry, Experiment};
 pub use report::{timeline_json, Opts, Report, RunSummary, TraceSel};
 pub use scenario::{
-    parallel_map, run_fat_tree, run_fat_tree_faults, run_fat_tree_faults_traced,
-    run_fat_tree_sharded, run_fat_tree_sharded_faults, run_fat_tree_traced, run_testbed,
-    slowest_flows, sweep_schemes, RunOutput, ShardStats, Window,
+    parallel_map, parallel_map_capped, run_fat_tree, run_fat_tree_faults,
+    run_fat_tree_faults_traced, run_fat_tree_sharded, run_fat_tree_sharded_faults,
+    run_fat_tree_traced, run_testbed, slowest_flows, sweep_cap, sweep_schemes,
+    sweep_schemes_sharded, RunOutput, ShardStats, Window,
 };
 pub use schemes::{Replication, SchemeSpec};
 

@@ -58,7 +58,7 @@ fn usage() -> ! {
     eprintln!("  --shards N   worker threads for the sharded engine (default 1 — the");
     eprintln!("               classic single-threaded engine; Poisson-workload results");
     eprintln!("               are identical at any N). honored by: fabric-scale, chaos,");
-    eprintln!("               gray-failure, link-failure");
+    eprintln!("               gray-failure, link-failure, feedback");
     eprintln!("  --topo k=K   k-ary fat-tree arity for fabric-building experiments");
     eprintln!("               (hosts = k^3/4: k=8 -> 128, k=16 -> 1024, k=32 -> 8192)");
     eprintln!("  --smoke      CI-sized run: smaller fabric and shorter windows");
@@ -222,7 +222,7 @@ fn main() -> ExitCode {
     if !opts.trace.is_off() && reports.iter().all(|r| r.traces.is_empty()) {
         eprintln!(
             "warning: --trace requested but `{command}` attached no timelines \
-             (the flight recorder is wired into: gray-failure)"
+             (the flight recorder is wired into: gray-failure, feedback)"
         );
     }
     for report in &reports {

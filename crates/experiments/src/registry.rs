@@ -164,8 +164,14 @@ experiment!(
     "extension: incident-timeline chaos drill with reconvergence SLOs",
     |opts: &Opts| vec![crate::chaos::run(opts)]
 );
+experiment!(
+    Feedback,
+    "feedback",
+    "extension: switch-assisted feedback — INT telemetry + early CN vs the ECN echo",
+    |opts: &Opts| vec![crate::feedback::run(opts)]
+);
 
-static REGISTRY: [&dyn Experiment; 20] = [
+static REGISTRY: [&dyn Experiment; 21] = [
     &Table1,
     &Fig3,
     &Fig4,
@@ -186,6 +192,7 @@ static REGISTRY: [&dyn Experiment; 20] = [
     &TraceScale,
     &FabricScale,
     &Chaos,
+    &Feedback,
 ];
 
 /// All experiments, in the paper's presentation order.
@@ -218,7 +225,7 @@ mod tests {
             let found = find(e.name()).expect("registered name must resolve");
             assert_eq!(found.name(), e.name());
         }
-        assert_eq!(registry().len(), 20);
+        assert_eq!(registry().len(), 21);
         assert!(find("no-such-experiment").is_none());
     }
 

@@ -318,8 +318,13 @@ impl RunSummary {
         seed: u64,
         out: &RunOutput,
     ) -> Self {
+        // Feedback counters (INT/CN) are omitted while zero so the
+        // summaries of feedback-free runs stay byte-identical to the
+        // layouts pinned before the feedback layer existed (same
+        // None-when-empty contract as the `drops` section).
         let counters = Counter::all()
             .iter()
+            .filter(|&&c| !(c.feedback_only() && out.get(c) == 0))
             .map(|&c| (c.name().to_string(), out.get(c)))
             .collect();
         let fcts: Vec<f64> = out
@@ -713,6 +718,15 @@ fn trace_event_json(at: netsim::SimTime, ev: &TraceEvent) -> Json {
         TraceEvent::Decision { from_v, to_v } => {
             o.set("from_v", Json::U64(from_v as u64));
             o.set("to_v", Json::U64(to_v as u64));
+        }
+        TraceEvent::IntStamp { node, port, qbytes } | TraceEvent::CnEmit { node, port, qbytes } => {
+            o.set("node", Json::U64(node as u64));
+            o.set("port", Json::U64(port as u64));
+            o.set("qbytes", Json::U64(qbytes));
+        }
+        TraceEvent::CnArrive { node, port } => {
+            o.set("node", Json::U64(node as u64));
+            o.set("port", Json::U64(port as u64));
         }
     }
     o

@@ -672,6 +672,29 @@ where
     T: Send,
     F: Fn(I) -> T + Sync,
 {
+    parallel_map_capped(inputs, usize::MAX, f)
+}
+
+/// The sweep-worker budget for jobs that each run `shards` engine threads
+/// of their own: one sweep worker per `shards` cores of available
+/// parallelism, never below one. `sweep_cap(1)` is the full machine —
+/// [`parallel_map`]'s classic behavior.
+pub fn sweep_cap(shards: usize) -> usize {
+    let avail = std::thread::available_parallelism().map_or(1, |p| p.get());
+    (avail / shards.max(1)).max(1)
+}
+
+/// [`parallel_map`] with an explicit ceiling on concurrent workers
+/// (effective worker count: `min(cap, available parallelism, inputs)`).
+/// Sweeps whose jobs are themselves multi-threaded — sharded engine runs
+/// with `--shards N` — pass [`sweep_cap`]`(N)` so scheme × load points
+/// still run concurrently without oversubscribing the shard workers.
+pub fn parallel_map_capped<I, T, F>(inputs: Vec<I>, cap: usize, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
     use std::panic::{catch_unwind, AssertUnwindSafe};
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
@@ -682,7 +705,8 @@ where
     }
     let workers = std::thread::available_parallelism()
         .map_or(1, |p| p.get())
-        .min(n);
+        .min(n)
+        .min(cap.max(1));
     let next = AtomicUsize::new(0);
     let inputs: Vec<Mutex<Option<I>>> = inputs.into_iter().map(|i| Mutex::new(Some(i))).collect();
     let results: Vec<Mutex<Option<std::thread::Result<T>>>> =
@@ -734,11 +758,30 @@ where
     T: Send,
     F: Fn(&SchemeSpec, &P) -> T + Sync,
 {
+    sweep_schemes_sharded(schemes, params, 1, f)
+}
+
+/// [`sweep_schemes`] for jobs that each run the sharded engine with
+/// `shards` worker threads: the sweep pool is capped at
+/// [`sweep_cap`]`(shards)` so `sweep workers × shards` never exceeds the
+/// machine's available parallelism. `shards = 1` is exactly
+/// [`sweep_schemes`].
+pub fn sweep_schemes_sharded<P, T, F>(
+    schemes: &[SchemeSpec],
+    params: &[P],
+    shards: usize,
+    f: F,
+) -> Vec<Vec<T>>
+where
+    P: Clone + Send + Sync,
+    T: Send,
+    F: Fn(&SchemeSpec, &P) -> T + Sync,
+{
     let jobs: Vec<(SchemeSpec, P)> = params
         .iter()
         .flat_map(|p| schemes.iter().map(|s| (s.clone(), p.clone())))
         .collect();
-    let flat = parallel_map(jobs, |(s, p)| f(&s, &p));
+    let flat = parallel_map_capped(jobs, sweep_cap(shards), |(s, p)| f(&s, &p));
     let mut flat = flat.into_iter();
     params
         .iter()
@@ -972,6 +1015,50 @@ mod tests {
         assert!(msg.contains("input 7"), "names index 7: {msg}");
         assert!(msg.contains("input 11"), "names index 11: {msg}");
         assert!(msg.contains("scenario 7 exploded"), "keeps cause: {msg}");
+    }
+
+    #[test]
+    fn parallel_map_capped_bounds_concurrency_and_preserves_order() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let out = parallel_map_capped((0..64).collect::<Vec<_>>(), 2, |i| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            live.fetch_sub(1, Ordering::SeqCst);
+            i * 3
+        });
+        assert_eq!(out, (0..64).map(|i| i * 3).collect::<Vec<_>>());
+        assert!(
+            peak.load(Ordering::SeqCst) <= 2,
+            "cap=2 exceeded: peak {}",
+            peak.load(Ordering::SeqCst)
+        );
+        // A zero cap is clamped to one worker, never a deadlock.
+        let out = parallel_map_capped(vec![1, 2, 3], 0, |i| i);
+        assert_eq!(out, [1, 2, 3]);
+    }
+
+    #[test]
+    fn sweep_cap_divides_the_machine_between_sweep_and_shards() {
+        let avail = std::thread::available_parallelism().map_or(1, |p| p.get());
+        assert_eq!(sweep_cap(1), avail.max(1));
+        assert!(sweep_cap(avail * 2) >= 1, "never starves the sweep");
+        assert!(
+            sweep_cap(2).saturating_mul(2) <= avail.max(2),
+            "cap x shards stays within the machine"
+        );
+        assert_eq!(sweep_cap(0), sweep_cap(1), "0 shards treated as 1");
+    }
+
+    #[test]
+    fn sweep_schemes_sharded_matches_the_unsharded_sweep() {
+        let schemes = vec![schemes::ecmp(), schemes::rps()];
+        let f = |s: &SchemeSpec, p: &u64| format!("{}@{p}", s.name());
+        let a = sweep_schemes(&schemes, &[10u64, 20u64], f);
+        let b = sweep_schemes_sharded(&schemes, &[10u64, 20u64], 4, f);
+        assert_eq!(a, b, "the cap changes scheduling, never results");
     }
 
     #[test]

@@ -16,18 +16,24 @@
 //! | Flowlet(gap) | switch flowlet tables | DCTCP |
 //! | Flowcut(gap) | 5-tuple+V hash | DCTCP + host-side gap switching |
 //! | RepFlow | 5-tuple+V hash | DCTCP; short flows sent twice |
+//! | Bender-INT | 5-tuple+V hash + INT stamping | DCTCP + bend away from blamed hop |
+//! | FastCC | 5-tuple+V hash + early CN | DCTCP cutting cwnd on CN arrival |
 
 mod bender;
+mod bender_int;
 mod detail;
 mod ecmp;
+mod fastcc;
 mod flowcut;
 mod flowlet;
 mod repflow;
 mod rps;
 
 pub use bender::flowbender;
+pub use bender_int::bender_int;
 pub use detail::detail;
 pub use ecmp::ecmp;
+pub use fastcc::fastcc;
 pub use flowcut::flowcut;
 pub use flowlet::flowlet;
 pub use repflow::repflow;
@@ -174,6 +180,8 @@ pub fn registry() -> Vec<SchemeSpec> {
         flowlet(netsim::SimTime::from_us(100)),
         flowcut(netsim::SimTime::from_us(100)),
         repflow(),
+        bender_int(),
+        fastcc(),
     ]
 }
 
@@ -230,6 +238,9 @@ mod tests {
         assert_eq!(find("flowlet").unwrap().name(), "Flowlet(100us)");
         assert_eq!(find("flowlet_100us").unwrap().name(), "Flowlet(100us)");
         assert_eq!(find("repflow").unwrap().name(), "RepFlow");
+        assert_eq!(find("bender-int").unwrap().name(), "Bender-INT");
+        assert_eq!(find("bender_int").unwrap().name(), "Bender-INT");
+        assert_eq!(find("fastcc").unwrap().name(), "FastCC");
         assert!(find("vlb").is_none());
     }
 
@@ -288,6 +299,26 @@ mod tests {
             }
             if s.name() == "ECMP" || s.name() == "RPS" || s.name() == "DeTail" {
                 assert!(tcp.path.is_none());
+            }
+            match s.name() {
+                "Bender-INT" => {
+                    let fb = sw.feedback.expect("Bender-INT needs INT stamping");
+                    assert!(fb.int_stamp);
+                    assert!(fb.cn_threshold.is_none(), "Bender-INT is INT-only");
+                    assert!(!tcp.path.is_none());
+                    assert!(!tcp.cn_fast_cc);
+                }
+                "FastCC" => {
+                    let fb = sw.feedback.expect("FastCC needs CN feedback");
+                    assert!(!fb.int_stamp);
+                    assert_eq!(fb.cn_threshold, Some(90_000));
+                    assert!(tcp.path.is_none());
+                    assert!(tcp.cn_fast_cc);
+                }
+                _ => {
+                    assert!(sw.feedback.is_none(), "{}: unexpected feedback", s.name());
+                    assert!(!tcp.cn_fast_cc, "{}: unexpected FastCC", s.name());
+                }
             }
         }
     }

@@ -74,8 +74,8 @@ pub use faults::{DirectedFault, FaultAction, FaultPlan};
 pub use flow::{register_flows, FlowSpec};
 pub use hashing::{DetHashMap, EcmpHasher, FxBuildHasher, FxHasher, HashConfig};
 pub use packet::{
-    Flags, FlowId, FlowKey, HostId, NodeId, Packet, PortId, Proto, ACK_BYTES, HEADER_BYTES, MSS,
-    MTU,
+    Flags, FlowId, FlowKey, HostId, IntHop, IntStack, NodeId, Packet, PortId, Proto, ACK_BYTES,
+    HEADER_BYTES, MSS, MTU,
 };
 pub use queue::{EcnQueue, EnqueueResult, QueueStats};
 pub use record::{
@@ -84,7 +84,9 @@ pub use record::{
 pub use rng::DetRng;
 pub use sim::{Conservation, Handoff, LinkSpec, PortStats, QueueSpec, Simulator, SwitchConfig};
 pub use slab::{PacketId, PacketSlab};
-pub use switch::{FlowletState, ForwardingScheme, PfcConfig, RoutingTable};
+pub use switch::{
+    CnLimiter, FeedbackConfig, FlowletState, ForwardingScheme, PfcConfig, RoutingTable,
+};
 pub use telemetry::{ProbeKind, Series, SeriesKey, Telemetry, TelemetryConfig};
 pub use time::SimTime;
 pub use trace::{FlowTimeline, Trace, TraceConfig, TraceEvent};

@@ -86,11 +86,27 @@ pub enum Counter {
     FastRetransmits,
     /// DSACKs received by senders (spurious retransmissions detected).
     DsacksRcvd,
+    /// Switch-generated congestion notifications emitted.
+    CnSent,
+    /// Congestion notifications delivered back to their senders.
+    CnDelivered,
+    /// Congestion notifications suppressed by the per-(port, flow) rate
+    /// limiter.
+    CnSuppressed,
+    /// INT per-hop telemetry records stamped into forwarded packets.
+    IntStamps,
+    /// Summed lead time (picoseconds) by which a CN beat the end-to-end
+    /// ECN echo for the same congestion window. Divide by
+    /// [`Counter::FeedbackLeadSamples`] for the mean.
+    FeedbackLeadPs,
+    /// Number of CN-vs-ECN-echo lead samples in
+    /// [`Counter::FeedbackLeadPs`].
+    FeedbackLeadSamples,
 }
 
 impl Counter {
     /// Number of counter variants.
-    pub const COUNT: usize = 15;
+    pub const COUNT: usize = 21;
 
     /// Human-readable name for report rendering.
     pub fn name(self) -> &'static str {
@@ -110,7 +126,28 @@ impl Counter {
             Counter::DupAcks => "dup_acks",
             Counter::FastRetransmits => "fast_retransmits",
             Counter::DsacksRcvd => "dsacks_rcvd",
+            Counter::CnSent => "cn_sent",
+            Counter::CnDelivered => "cn_delivered",
+            Counter::CnSuppressed => "cn_suppressed",
+            Counter::IntStamps => "int_stamps",
+            Counter::FeedbackLeadPs => "feedback_lead_ps",
+            Counter::FeedbackLeadSamples => "feedback_lead_samples",
         }
+    }
+
+    /// Counters that only the switch-assisted feedback layer (INT / CN)
+    /// can move. Report layers omit these when zero so runs with feedback
+    /// disabled keep their historical JSON byte layout.
+    pub fn feedback_only(self) -> bool {
+        matches!(
+            self,
+            Counter::CnSent
+                | Counter::CnDelivered
+                | Counter::CnSuppressed
+                | Counter::IntStamps
+                | Counter::FeedbackLeadPs
+                | Counter::FeedbackLeadSamples
+        )
     }
 
     /// All variants, for iteration in reports.
@@ -131,6 +168,12 @@ impl Counter {
             Counter::DupAcks,
             Counter::FastRetransmits,
             Counter::DsacksRcvd,
+            Counter::CnSent,
+            Counter::CnDelivered,
+            Counter::CnSuppressed,
+            Counter::IntStamps,
+            Counter::FeedbackLeadPs,
+            Counter::FeedbackLeadSamples,
         ]
     }
 }
@@ -918,5 +961,29 @@ mod tests {
         assert_eq!(all.len(), Counter::COUNT);
         let names: std::collections::HashSet<_> = all.iter().map(|c| c.name()).collect();
         assert_eq!(names.len(), Counter::COUNT);
+    }
+
+    #[test]
+    fn feedback_only_covers_exactly_the_feedback_counters() {
+        let feedback: Vec<_> = Counter::all()
+            .iter()
+            .copied()
+            .filter(|c| c.feedback_only())
+            .collect();
+        assert_eq!(
+            feedback,
+            vec![
+                Counter::CnSent,
+                Counter::CnDelivered,
+                Counter::CnSuppressed,
+                Counter::IntStamps,
+                Counter::FeedbackLeadPs,
+                Counter::FeedbackLeadSamples,
+            ]
+        );
+        // The legacy counters (everything a feedback-free run can move)
+        // must never be filtered, or existing JSON layouts would change.
+        assert!(!Counter::Reroutes.feedback_only());
+        assert!(!Counter::MarkedAcksRcvd.feedback_only());
     }
 }

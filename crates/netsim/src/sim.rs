@@ -27,13 +27,14 @@ use crate::agent::{Agent, Ctx, NullAgent};
 use crate::event::{EventKind, Scheduler};
 use crate::faults::{DirectedFault, FaultAction, FaultPlan};
 use crate::hashing::{EcmpHasher, HashConfig};
-use crate::packet::{Flags, NodeId, Packet, PortId, Proto, INGRESS_NONE};
+use crate::packet::{Flags, IntHop, NodeId, Packet, PortId, Proto, INGRESS_NONE};
 use crate::queue::{EcnQueue, EnqueueResult, QueueStats};
 use crate::record::{Counter, DropReason, Recorder, RunResults, SloConfig};
 use crate::rng::DetRng;
 use crate::slab::{PacketId, PacketSlab};
 use crate::switch::{
-    select_port, FlowletState, ForwardingScheme, PfcAction, PfcConfig, PfcState, RoutingTable,
+    select_port, CnLimiter, FeedbackConfig, FlowletState, ForwardingScheme, PfcAction, PfcConfig,
+    PfcState, RoutingTable,
 };
 use crate::telemetry::{ProbeKind, SeriesKey, TelemetryConfig};
 use crate::time::SimTime;
@@ -188,8 +189,17 @@ struct SwitchMeta {
     pfc: Option<PfcState>,
     flowlets: FlowletState,
     rng: DetRng,
+    /// Switch-assisted feedback (INT stamping / CN emission); `None` (the
+    /// default) keeps the forwarding hot path on a single branch.
+    feedback: Option<FeedbackConfig>,
+    /// Per-(port, flow) CN pacing state; empty unless CN is enabled.
+    cn_limiter: CnLimiter,
 }
 
+// Hosts waste `SwitchMeta`-sized slots, but boxing the variant would put a
+// pointer chase on every packet forward; a few hundred bytes per host is
+// the cheaper side of that trade even on 8192-host fabrics.
+#[allow(clippy::large_enum_variant)]
 enum NodeKind {
     Host(HostMeta),
     Switch(SwitchMeta),
@@ -214,6 +224,10 @@ pub struct SwitchConfig {
     pub proc_delay: SimTime,
     /// PFC configuration, if this switch generates pause frames.
     pub pfc: Option<PfcConfig>,
+    /// Switch-assisted feedback (INT per-hop stamping and/or early CN
+    /// emission); `None` (the default everywhere) is byte-identical to a
+    /// switch that never heard of the feedback layer.
+    pub feedback: Option<FeedbackConfig>,
 }
 
 impl SwitchConfig {
@@ -225,6 +239,7 @@ impl SwitchConfig {
             hash,
             proc_delay: SimTime::from_us(1),
             pfc: None,
+            feedback: None,
         }
     }
 
@@ -235,6 +250,7 @@ impl SwitchConfig {
             hash: HashConfig::FiveTuple,
             proc_delay: SimTime::from_us(1),
             pfc: None,
+            feedback: None,
         }
     }
 
@@ -246,6 +262,7 @@ impl SwitchConfig {
             hash: HashConfig::FiveTuple,
             proc_delay: SimTime::from_us(1),
             pfc: Some(PfcConfig::detail_defaults()),
+            feedback: None,
         }
     }
 
@@ -259,7 +276,17 @@ impl SwitchConfig {
             hash: HashConfig::FiveTuple,
             proc_delay: SimTime::from_us(1),
             pfc: None,
+            feedback: None,
         }
+    }
+
+    /// Enable the switch-assisted feedback layer (INT stamping / early
+    /// CN) on this switch. Validates `cfg` eagerly so misconfigured
+    /// thresholds fail at build time, not mid-run.
+    pub fn with_feedback(mut self, cfg: FeedbackConfig) -> Self {
+        cfg.validate();
+        self.feedback = Some(cfg);
+        self
     }
 }
 
@@ -317,13 +344,30 @@ pub enum Handoff {
         /// destination the coordinator routes on.
         fault: DirectedFault,
     },
+    /// A switch-generated congestion notification towards a non-owned
+    /// sender host. CNs skip the fabric (delivered a fixed `cn_delay`
+    /// after emission, see [`crate::switch::FeedbackConfig`]), so they
+    /// carry their own variant: the owner re-inserts the packet into its
+    /// slab and schedules a direct arrival at the host — exactly what the
+    /// emitting shard would have done locally, keeping every shard count
+    /// byte-identical.
+    Cn {
+        /// Delivery time (emission + `cn_delay`).
+        at: SimTime,
+        /// The sender host the CN targets.
+        node: NodeId,
+        /// The CN packet itself (blamed hop in its INT stack).
+        pkt: Packet,
+    },
 }
 
 impl Handoff {
     /// The destination node — what the coordinator routes on.
     pub fn node(&self) -> NodeId {
         match self {
-            Handoff::Arrive { node, .. } | Handoff::Pfc { node, .. } => *node,
+            Handoff::Arrive { node, .. } | Handoff::Pfc { node, .. } | Handoff::Cn { node, .. } => {
+                *node
+            }
             Handoff::Fault { fault, .. } => fault.node(),
         }
     }
@@ -331,7 +375,10 @@ impl Handoff {
     /// Scheduled arrival time at the destination shard.
     pub fn at(&self) -> SimTime {
         match self {
-            Handoff::Arrive { at, .. } | Handoff::Pfc { at, .. } | Handoff::Fault { at, .. } => *at,
+            Handoff::Arrive { at, .. }
+            | Handoff::Pfc { at, .. }
+            | Handoff::Fault { at, .. }
+            | Handoff::Cn { at, .. } => *at,
         }
     }
 }
@@ -511,6 +558,8 @@ impl Simulator {
                 pfc: cfg.pfc.map(|p| PfcState::new(p, 0)),
                 flowlets: FlowletState::new(),
                 rng: self.master_rng.split(0x5311_0000 | id as u64),
+                feedback: cfg.feedback,
+                cn_limiter: CnLimiter::new(),
             }),
             ports: Vec::new(),
             proc_delay: cfg.proc_delay,
@@ -975,6 +1024,22 @@ impl Simulator {
                 }
             }
         }
+        // Switch-generated CNs skip the fabric entirely: one emitted by a
+        // non-owned switch lands on an owned host exactly `cn_delay` after
+        // emission, so it bounds the crossing latency alongside the link
+        // terms above.
+        for (i, n) in self.nodes.iter().enumerate() {
+            if owned[i] {
+                continue;
+            }
+            if let NodeKind::Switch(m) = &n.kind {
+                if let Some(fb) = m.feedback {
+                    if fb.cn_threshold.is_some() && best.is_none_or(|b| fb.cn_delay < b) {
+                        best = Some(fb.cn_delay);
+                    }
+                }
+            }
+        }
         best
     }
 
@@ -1040,6 +1105,21 @@ impl Simulator {
             // (those two terms count packets only, and must stay equal
             // across shards at quiesce).
             Handoff::Fault { at, fault } => self.schedule_directed_fault(at, fault),
+            // A CN skips the fabric: deliver it straight to the target
+            // host (port 0 is cosmetic — hosts have one NIC and the
+            // arrival handler ignores the port for host nodes).
+            Handoff::Cn { at, node, pkt } => {
+                let id = self.packets.insert(pkt);
+                self.imported += 1;
+                self.sched.schedule(
+                    at,
+                    EventKind::Arrive {
+                        node,
+                        port: 0,
+                        pkt: id,
+                    },
+                );
+            }
         }
     }
 
@@ -1182,6 +1262,22 @@ impl Simulator {
                 let pkt = self.packets.remove(id);
                 self.delivered += 1;
                 self.recorder.slo_delivery(self.now, pkt.flow, pkt.payload);
+                if pkt.flags.has(Flags::CN) {
+                    self.recorder.bump(Counter::CnDelivered);
+                    if self.recorder.trace_wants(pkt.flow) {
+                        let (bn, bp) = pkt
+                            .int
+                            .as_ref()
+                            .and_then(|s| s.blamed_hop())
+                            .map(|h| (h.node, h.port))
+                            .unwrap_or((node, port));
+                        self.recorder.trace_event(
+                            self.now,
+                            pkt.flow,
+                            TraceEvent::CnArrive { node: bn, port: bp },
+                        );
+                    }
+                }
                 self.with_agent(node, |agent, ctx| agent.on_packet(pkt, ctx));
             }
             NodeKind::Switch(_) => self.forward(node, port, id),
@@ -1194,7 +1290,7 @@ impl Simulator {
         // Phase 1: pick egress and enqueue, collecting any PFC action.
         // The slab and the node table are disjoint fields, so the packet
         // can be read while the switch is mutably borrowed.
-        let (enq, egress, pfc_send, qbytes, flow) = {
+        let (enq, egress, pfc_send, qbytes, flow, int_stamped, cn_send, cn_suppressed) = {
             let pkt = self.packets.get_mut(id);
             let size = pkt.size as u64;
             let node = &mut self.nodes[sw as usize];
@@ -1231,6 +1327,41 @@ impl Simulator {
                 pkt.flags.set(Flags::CE);
             }
             let qbytes = node.ports[egress as usize].queue.bytes();
+            // Feedback layer: INT stamping and the CN decision both look
+            // at the post-enqueue occupancy of the chosen egress. The CN
+            // packet itself is built after this borrow block (it needs
+            // the slab), so phase 1 only collects what it will carry.
+            let mut int_stamped = false;
+            let mut cn_send = None;
+            let mut cn_suppressed = false;
+            if let EnqueueResult::Queued { marked } = enq {
+                if let NodeKind::Switch(meta) = &mut node.kind {
+                    if let Some(fb) = meta.feedback {
+                        let hop = IntHop {
+                            node: sw,
+                            port: egress,
+                            qbytes,
+                            marked,
+                        };
+                        if fb.int_stamp {
+                            pkt.int.get_or_insert_with(Default::default).hops.push(hop);
+                            int_stamped = true;
+                        }
+                        if let Some(threshold) = fb.cn_threshold {
+                            if qbytes > threshold {
+                                if meta
+                                    .cn_limiter
+                                    .allow(self.now, fb.cn_min_gap, egress, pkt.flow)
+                                {
+                                    cn_send = Some((pkt.key, pkt.vfield, hop, fb.cn_delay));
+                                } else {
+                                    cn_suppressed = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
             // PFC: account the buffered packet against its ingress.
             let mut pfc_send = None;
             if matches!(enq, EnqueueResult::Queued { .. }) {
@@ -1243,7 +1374,16 @@ impl Simulator {
                     }
                 }
             }
-            (enq, egress, pfc_send, qbytes, pkt.flow)
+            (
+                enq,
+                egress,
+                pfc_send,
+                qbytes,
+                pkt.flow,
+                int_stamped,
+                cn_send,
+                cn_suppressed,
+            )
         };
         if self.recorder.trace_wants(flow) {
             self.recorder.trace_event(
@@ -1288,6 +1428,63 @@ impl Simulator {
                         },
                     );
                 }
+            }
+            if int_stamped {
+                self.recorder.trace_event(
+                    self.now,
+                    flow,
+                    TraceEvent::IntStamp {
+                        node: sw,
+                        port: egress,
+                        qbytes,
+                    },
+                );
+            }
+            if cn_send.is_some() {
+                self.recorder.trace_event(
+                    self.now,
+                    flow,
+                    TraceEvent::CnEmit {
+                        node: sw,
+                        port: egress,
+                        qbytes,
+                    },
+                );
+            }
+        }
+        if int_stamped {
+            self.recorder.bump(Counter::IntStamps);
+        }
+        if cn_suppressed {
+            self.recorder.bump(Counter::CnSuppressed);
+        }
+        if let Some((data_key, vfield, blame, cn_delay)) = cn_send {
+            // Emit the back-to-sender CN: a first-class slab packet (the
+            // conservation ledger counts it as injected here) delivered
+            // straight to the sender host `cn_delay` later — no queues,
+            // no fabric, so every shard count reproduces it identically.
+            self.recorder.bump(Counter::CnSent);
+            let cn = Packet::cn(flow, data_key, vfield, blame, self.now);
+            let sender = cn.dst();
+            let at = self.now + cn_delay;
+            let cn_id = self.packets.insert(cn);
+            if self.is_owned(sender) {
+                self.sched.schedule(
+                    at,
+                    EventKind::Arrive {
+                        node: sender,
+                        port: 0,
+                        pkt: cn_id,
+                    },
+                );
+            } else {
+                let pkt = self.packets.remove(cn_id);
+                self.exported += 1;
+                self.outbox.push(Handoff::Cn {
+                    at,
+                    node: sender,
+                    pkt,
+                });
             }
         }
         match enq {
@@ -1951,5 +2148,124 @@ mod tests {
         let mut sim = Simulator::new(1);
         let sw = sim.add_switch(SwitchConfig::rps());
         sim.set_agent(sw, Box::new(NullAgent));
+    }
+
+    /// Three hosts on one switch with feedback `fb`; h0 and h1 send
+    /// towards h2 (convergecast, so the egress queue actually builds).
+    fn feedback_world(fb: FeedbackConfig) -> (Simulator, NodeId, NodeId, NodeId) {
+        let mut sim = Simulator::new(7);
+        let h0 = sim.add_host_default();
+        let h1 = sim.add_host_default();
+        let h2 = sim.add_host_default();
+        let sw = sim
+            .add_switch(SwitchConfig::commodity(HashConfig::FiveTupleAndVField).with_feedback(fb));
+        sim.connect(h0, sw, LinkSpec::host_10g());
+        sim.connect(h1, sw, LinkSpec::host_10g());
+        sim.connect(h2, sw, LinkSpec::host_10g());
+        let mut rt = RoutingTable::new(3);
+        rt.set(h0, vec![0]);
+        rt.set(h1, vec![1]);
+        rt.set(h2, vec![2]);
+        sim.set_routes(sw, rt);
+        (sim, h0, h1, h2)
+    }
+
+    /// Counts delivered packets that carry an INT stack.
+    struct IntProbe {
+        stamped: std::rc::Rc<std::cell::Cell<u32>>,
+    }
+
+    impl Agent for IntProbe {
+        fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+        fn on_packet(&mut self, pkt: Packet, _ctx: &mut Ctx<'_>) {
+            if let Some(stack) = &pkt.int {
+                assert_eq!(stack.hops.len(), 1, "one switch on this path");
+                assert!(stack.hops[0].qbytes > 0, "post-enqueue occupancy");
+                self.stamped.set(self.stamped.get() + 1);
+            }
+        }
+        fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_>) {}
+    }
+
+    #[test]
+    fn int_stamps_every_forwarded_packet() {
+        let (mut sim, h0, _h1, h2) = feedback_world(FeedbackConfig::int_only());
+        sim.set_agent(
+            h0,
+            Box::new(Blaster {
+                dst: h2,
+                count: 5,
+                received: std::rc::Rc::new(std::cell::Cell::new(0)),
+                echo: false,
+            }),
+        );
+        let stamped = std::rc::Rc::new(std::cell::Cell::new(0));
+        sim.set_agent(
+            h2,
+            Box::new(IntProbe {
+                stamped: stamped.clone(),
+            }),
+        );
+        sim.run_to_quiescence();
+        assert_eq!(stamped.get(), 5, "every data packet carries its hop");
+        assert_eq!(sim.recorder().get(Counter::IntStamps), 5);
+        assert_eq!(sim.recorder().get(Counter::CnSent), 0, "CN disabled");
+        sim.assert_conservation();
+    }
+
+    #[test]
+    fn cn_emitted_on_congested_queue_and_delivered_to_senders() {
+        // Two line-rate senders into one egress: the queue crosses 3000 B
+        // (two packets deep) almost immediately.
+        let (mut sim, h0, h1, h2) = feedback_world(FeedbackConfig::cn(3000));
+        let cn_at_h0 = std::rc::Rc::new(std::cell::Cell::new(0));
+        let cn_at_h1 = std::rc::Rc::new(std::cell::Cell::new(0));
+        sim.set_agent(
+            h0,
+            Box::new(Blaster {
+                dst: h2,
+                count: 30,
+                received: cn_at_h0.clone(),
+                echo: false,
+            }),
+        );
+        sim.set_agent(
+            h1,
+            Box::new(Blaster {
+                dst: h2,
+                count: 30,
+                received: cn_at_h1.clone(),
+                echo: false,
+            }),
+        );
+        let sink = std::rc::Rc::new(std::cell::Cell::new(0));
+        sim.set_agent(
+            h2,
+            Box::new(Blaster {
+                dst: h2,
+                count: 0,
+                received: sink.clone(),
+                echo: false,
+            }),
+        );
+        sim.run_to_quiescence();
+        assert_eq!(sink.get(), 60, "all data still delivered");
+        let sent = sim.recorder().get(Counter::CnSent);
+        assert!(sent > 0, "congested queue must emit CNs");
+        assert_eq!(
+            sim.recorder().get(Counter::CnDelivered),
+            sent,
+            "every CN reaches its sender"
+        );
+        // h2 sent nothing, so everything h0/h1 received is a CN.
+        assert_eq!(u64::from(cn_at_h0.get() + cn_at_h1.get()), sent);
+        // The per-(port, flow) limiter paces emission: with a 100 µs gap
+        // and a run much shorter than 2 x 100 µs, at most one CN per flow
+        // escaped suppression beyond the first.
+        assert!(
+            sent <= 2 * 2,
+            "rate limiter must pace per (port, flow): {sent}"
+        );
+        sim.assert_conservation();
     }
 }

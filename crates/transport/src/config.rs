@@ -159,6 +159,12 @@ pub struct TcpConfig {
     /// in-flight data bounded even when no congestion signal arrives
     /// (e.g. a PFC-paused lossless fabric never marks).
     pub max_cwnd: u64,
+    /// React to switch-generated congestion notifications (CN packets,
+    /// [`netsim::FeedbackConfig`]) with an immediate DCTCP-style cwnd cut
+    /// instead of waiting for the ECN echo to travel receiver-to-sender —
+    /// the "FastCC" stack. The cut shares the once-per-window gate with
+    /// the ordinary ECE reduction, so a CN followed by its echo cuts once.
+    pub cn_fast_cc: bool,
 }
 
 impl Default for TcpConfig {
@@ -175,6 +181,7 @@ impl Default for TcpConfig {
             path: PathSpec::none(),
             delack: None,
             max_cwnd: 1_000_000,
+            cn_fast_cc: false,
         }
     }
 }
@@ -249,6 +256,7 @@ mod tests {
         let d = c.dctcp.unwrap();
         assert!((d.g - 0.0625).abs() < 1e-12);
         assert!(c.path.is_none());
+        assert!(!c.cn_fast_cc, "FastCC is strictly opt-in");
         c.validate();
     }
 

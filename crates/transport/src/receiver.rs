@@ -150,9 +150,16 @@ impl Receiver {
 
         let ce = pkt.flags.has(Flags::CE);
         let Some(cfg) = self.delack else {
-            // Per-packet mode: ACK now, echoing this segment's CE bit.
+            // Per-packet mode: ACK now, echoing this segment's CE bit and
+            // — when the fabric stamps INT — the segment's per-hop
+            // telemetry, so the sender's controller can blame a hop.
+            // (Delayed-ACK mode coalesces segments and drops the stacks;
+            // INT-driven schemes run per-packet ACKs.)
             let up_to = self.expected;
-            self.emit_ack(pkt.key, pkt.vfield, pkt.tstamp, ce, duplicate, up_to, ctx);
+            let int = pkt.int.clone();
+            self.emit_ack(
+                pkt.key, pkt.vfield, pkt.tstamp, ce, duplicate, up_to, int, ctx,
+            );
             return None;
         };
 
@@ -165,7 +172,7 @@ impl Receiver {
             if self.pending > 0 {
                 let old = self.ce_state;
                 if let Some((key, v, ts, ds)) = self.pending_ack.take() {
-                    self.emit_ack(key, v, ts, old, ds, expected_before, ctx);
+                    self.emit_ack(key, v, ts, old, ds, expected_before, None, ctx);
                 }
                 self.pending = 0;
             }
@@ -202,12 +209,13 @@ impl Receiver {
         if let Some((key, v, ts, dsack)) = self.pending_ack.take() {
             let ce = self.ce_state;
             let up_to = self.expected;
-            self.emit_ack(key, v, ts, ce, dsack, up_to, ctx);
+            self.emit_ack(key, v, ts, ce, dsack, up_to, None, ctx);
         }
         self.pending = 0;
     }
 
-    /// Build and send one cumulative ACK at `ack_num`.
+    /// Build and send one cumulative ACK at `ack_num`. `int` is the INT
+    /// stack to echo back to the sender (per-packet mode only).
     #[allow(clippy::too_many_arguments)]
     fn emit_ack(
         &mut self,
@@ -217,6 +225,7 @@ impl Receiver {
         ece: bool,
         dsack: bool,
         ack_num: u64,
+        int: Option<Box<netsim::IntStack>>,
         ctx: &mut Ctx<'_>,
     ) {
         // The ACK mirrors the data packet's V-field; ACK paths are
@@ -229,6 +238,7 @@ impl Receiver {
             ack.flags.set(Flags::DSACK);
         }
         ack.rcv_high = self.max_seen;
+        ack.int = int;
         ctx.send(ack);
     }
 

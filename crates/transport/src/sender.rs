@@ -19,7 +19,7 @@
 //!   baselines run the no-op static controller, which never draws from
 //!   the RNG and never reroutes.
 
-use flowbender::{Decision, FlowBender, PathController};
+use flowbender::{Decision, Feedback, FlowBender, PathController};
 use netsim::{
     Counter, Ctx, Flags, FlowId, FlowKey, Packet, ProbeKind, SeriesKey, SimTime, TraceEvent,
 };
@@ -80,6 +80,11 @@ pub struct TcpSender {
     window_end: u64,
     /// cwnd already reduced in this window.
     cwr: bool,
+    /// When the first switch CN of the current window landed, before any
+    /// ECN echo did. The first ECE ACK of the same window closes the
+    /// measurement: `now - cn_at` is the lead time the switch feedback
+    /// bought over the end-to-end echo ([`Counter::FeedbackLeadPs`]).
+    cn_at: Option<SimTime>,
 
     // --- Path control ---
     ctrl: Box<dyn PathController>,
@@ -150,6 +155,7 @@ impl TcpSender {
             win_bytes_marked: 0,
             window_end: 0,
             cwr: false,
+            cn_at: None,
             ctrl,
             skip_until: 0,
             retransmits: 0,
@@ -316,6 +322,45 @@ impl TcpSender {
         }
     }
 
+    /// Handle switch-originated feedback (a CN packet, routed here by the
+    /// host agent) mid-RTT, without waiting for the ACK clock.
+    ///
+    /// Two independent reactions:
+    ///
+    /// * with [`TcpConfig::cn_fast_cc`], a DCTCP-style cwnd cut *now*,
+    ///   sharing the once-per-window `cwr` gate with the ordinary ECN
+    ///   echo — whichever signal arrives first cuts, the other is a no-op;
+    /// * the path controller's [`PathController::on_feedback`] hook, so
+    ///   feedback-aware controllers (Bender-INT) can reroute mid-window.
+    pub fn on_feedback(&mut self, fb: Feedback, ctx: &mut Ctx<'_>) {
+        if self.is_complete() {
+            return;
+        }
+        if matches!(fb, Feedback::Cn { .. }) {
+            // Open the lead-time measurement only if the echo for this
+            // window hasn't already arrived (then the CN pre-empted
+            // nothing) and no earlier CN opened it.
+            if !self.cwr && self.cn_at.is_none() {
+                self.cn_at = Some(ctx.now());
+            }
+            if self.cfg.cn_fast_cc && !self.cwr {
+                if self.cfg.dctcp.is_some() {
+                    self.cwnd *= 1.0 - self.alpha / 2.0;
+                    self.cwnd = self.cwnd.max(self.cfg.mss as f64);
+                    self.ssthresh = self.ssthresh.min(self.cwnd);
+                    self.trace_cwnd(ctx);
+                }
+                self.cwr = true;
+            }
+        }
+        let now_ps = ctx.now().as_ps();
+        let d = self.ctrl.on_feedback(fb, now_ps, ctx.rng());
+        if d.rerouted() {
+            self.note_reroute(Counter::Reroutes, ctx);
+            self.trace_decision(d, ctx);
+        }
+    }
+
     /// Handle an incoming cumulative ACK. Returns a timer deadline to arm,
     /// if the retransmit timer needs (re)scheduling.
     pub fn on_ack(&mut self, pkt: &Packet, ctx: &mut Ctx<'_>) -> Option<SimTime> {
@@ -337,6 +382,23 @@ impl TcpSender {
                 self.note_reroute(Counter::Reroutes, ctx);
                 self.trace_decision(d, ctx);
             }
+            // INT echo: the receiver mirrored the data packet's per-hop
+            // telemetry onto this ACK. Hand the deepest-queue hop to the
+            // controller so it can bend away from the blamed port
+            // (Bender-INT); oblivious controllers ignore it.
+            if let Some(hop) = pkt.int.as_ref().and_then(|s| s.blamed_hop()) {
+                let fb = Feedback::IntEcho {
+                    node: hop.node,
+                    port: hop.port,
+                    qbytes: hop.qbytes,
+                    marked: hop.marked,
+                };
+                let d = self.ctrl.on_feedback(fb, now_ps, ctx.rng());
+                if d.rerouted() {
+                    self.note_reroute(Counter::Reroutes, ctx);
+                    self.trace_decision(d, ctx);
+                }
+            }
         }
         self.peer_high = self.peer_high.max(pkt.rcv_high);
 
@@ -349,6 +411,16 @@ impl TcpSender {
         if pkt.flags.has(Flags::DSACK) {
             ctx.recorder().bump(Counter::DsacksRcvd);
             self.on_reordering_detected();
+        }
+
+        // Close the feedback-lead measurement: this is the first ECN echo
+        // since a CN landed for the same window — the CN beat it by `lead`.
+        if ece {
+            if let Some(cn_time) = self.cn_at.take() {
+                let lead = ctx.now().saturating_sub(cn_time);
+                ctx.recorder().add(Counter::FeedbackLeadPs, lead.as_ps());
+                ctx.recorder().bump(Counter::FeedbackLeadSamples);
+            }
         }
 
         // DCTCP reduction: at most once per window, on the first ECN echo
@@ -419,6 +491,8 @@ impl TcpSender {
             self.win_bytes_acked = 0;
             self.win_bytes_marked = 0;
             self.cwr = false;
+            // A CN whose window ended without any echo measured nothing.
+            self.cn_at = None;
             self.window_end = self.snd_nxt;
             let d = self.ctrl.on_rtt_end(ctx.rng());
             if d.rerouted() {
@@ -563,6 +637,7 @@ impl TcpSender {
         self.win_bytes_acked = 0;
         self.win_bytes_marked = 0;
         self.cwr = false;
+        self.cn_at = None;
         self.window_end = self.snd_una;
         self.retransmits += 1;
         ctx.recorder().bump(Counter::Retransmits);
