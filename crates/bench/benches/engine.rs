@@ -182,6 +182,43 @@ fn bench_int_stamp(h: &Harness) {
     );
 }
 
+/// Flowcut pin-table overhead on the same 5 000-packet blast:
+/// `simulator/blast_5k_packets_through_switch` above is the stateless-hash
+/// baseline; here the switch runs flowcut switching
+/// ([`netsim::SwitchConfig::flowcut_sw`]), so every forwarded packet pays
+/// the pin-table lookup, idle-gap comparison, and last-seen update. The
+/// blast never goes idle for 100 µs, so no boundary fires — this prices
+/// the steady-state (pinned) path, the one every packet of a long flow
+/// takes.
+fn bench_flowcut_pin(h: &Harness) {
+    h.bench_with_setup(
+        "flowcut/pin_overhead",
+        5_000,
+        || {
+            let mut sim = Simulator::new(1);
+            let h0 = sim.add_host(SimTime::ZERO, SimTime::ZERO);
+            let h1 = sim.add_host(SimTime::ZERO, SimTime::ZERO);
+            let sw = sim.add_switch(SwitchConfig::flowcut_sw(netsim::FlowcutConfig::new(
+                SimTime::from_us(100),
+            )));
+            sim.connect(h0, sw, LinkSpec::host_10g());
+            sim.connect(h1, sw, LinkSpec::host_10g());
+            let mut rt = RoutingTable::new(2);
+            rt.set(0, vec![0]);
+            rt.set(1, vec![1]);
+            sim.set_routes(sw, rt);
+            let log = RxLog::shared();
+            sim.set_agent(h0, Box::new(Blaster::new(1, 5_000, log.clone())));
+            sim.set_agent(h1, Box::new(CountingSink { log }));
+            sim
+        },
+        |mut sim| {
+            sim.run_to_quiescence();
+            black_box(sim.events_processed())
+        },
+    );
+}
+
 /// Workload-engine throughput: the trace-scale generation+aggregation
 /// curve. Each iteration streams `flows` websearch-CDF flows out of the
 /// registry workload, scores them with the analytic FCT model, and feeds
@@ -308,6 +345,7 @@ fn main() {
     bench_forwarding(&h);
     bench_forwarding_traced(&h);
     bench_int_stamp(&h);
+    bench_flowcut_pin(&h);
     bench_workload_engine(&h);
     bench_sharding(&h);
     bench_chaos(&h);

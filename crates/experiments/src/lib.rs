@@ -26,6 +26,7 @@
 //! | [`fabric_scale`] | extension: 1024-host all-to-all on the sharded multi-core engine |
 //! | [`chaos`] | extension: incident-timeline chaos drill with reconvergence SLOs |
 //! | [`feedback`] | extension: switch-assisted feedback — INT telemetry + early CN |
+//! | [`reordering`] | extension: reordering cost by routing locus, incl. switch-side flowcuts |
 //!
 //! Which load-balancing designs exist — and how a new one is added in a
 //! single file — is owned by the [`schemes`] registry; which traffic
@@ -50,6 +51,7 @@ pub mod gray_failure;
 pub mod hotspot;
 pub mod link_failure;
 pub mod registry;
+pub mod reordering;
 pub mod repflow;
 pub mod report;
 pub mod scenario;

@@ -170,8 +170,14 @@ experiment!(
     "extension: switch-assisted feedback — INT telemetry + early CN vs the ECN echo",
     |opts: &Opts| vec![crate::feedback::run(opts)]
 );
+experiment!(
+    Reordering,
+    "reordering",
+    "extension: reordering cost by routing locus — spraying vs switch-side flowcuts",
+    |opts: &Opts| vec![crate::reordering::run(opts)]
+);
 
-static REGISTRY: [&dyn Experiment; 21] = [
+static REGISTRY: [&dyn Experiment; 22] = [
     &Table1,
     &Fig3,
     &Fig4,
@@ -193,6 +199,7 @@ static REGISTRY: [&dyn Experiment; 21] = [
     &FabricScale,
     &Chaos,
     &Feedback,
+    &Reordering,
 ];
 
 /// All experiments, in the paper's presentation order.
@@ -225,7 +232,7 @@ mod tests {
             let found = find(e.name()).expect("registered name must resolve");
             assert_eq!(found.name(), e.name());
         }
-        assert_eq!(registry().len(), 21);
+        assert_eq!(registry().len(), 22);
         assert!(find("no-such-experiment").is_none());
     }
 

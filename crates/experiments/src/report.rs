@@ -318,13 +318,14 @@ impl RunSummary {
         seed: u64,
         out: &RunOutput,
     ) -> Self {
-        // Feedback counters (INT/CN) are omitted while zero so the
-        // summaries of feedback-free runs stay byte-identical to the
-        // layouts pinned before the feedback layer existed (same
-        // None-when-empty contract as the `drops` section).
+        // Feedback counters (INT/CN) and the reordering metric suite are
+        // omitted while zero so the summaries of runs that never exercise
+        // them stay byte-identical to the layouts pinned before those
+        // layers existed (same None-when-empty contract as the `drops`
+        // section).
         let counters = Counter::all()
             .iter()
-            .filter(|&&c| !(c.feedback_only() && out.get(c) == 0))
+            .filter(|&&c| !((c.feedback_only() || c.reordering_metric()) && out.get(c) == 0))
             .map(|&c| (c.name().to_string(), out.get(c)))
             .collect();
         let fcts: Vec<f64> = out
@@ -724,7 +725,7 @@ fn trace_event_json(at: netsim::SimTime, ev: &TraceEvent) -> Json {
             o.set("port", Json::U64(port as u64));
             o.set("qbytes", Json::U64(qbytes));
         }
-        TraceEvent::CnArrive { node, port } => {
+        TraceEvent::CnArrive { node, port } | TraceEvent::FlowcutReroute { node, port } => {
             o.set("node", Json::U64(node as u64));
             o.set("port", Json::U64(port as u64));
         }

@@ -1,0 +1,25 @@
+//! Switch-side flowcut switching (Bonato et al.): the fabric pins each
+//! flow to one egress and re-routes adaptively, but only at flowcut
+//! boundaries — instants where the flow's in-flight data has provably
+//! drained — so delivery stays in order without any host cooperation.
+
+use super::SchemeSpec;
+use netsim::{FlowcutConfig, SimTime, SwitchConfig};
+use transport::TcpConfig;
+
+/// Switch-side flowcuts with the given idle-gap boundary. A flowcut ends
+/// when the flow has been idle at the switch longer than `gap`; at that
+/// boundary the switch re-picks the least-queued live egress (the same
+/// pick DeTail makes per packet), unless the pinned port is uncongested —
+/// then it holds, avoiding gratuitous path churn. Mid-flowcut packets
+/// never move, so the receiver sees every byte in order.
+pub fn flowcut_sw(gap: SimTime) -> SchemeSpec {
+    SchemeSpec::new(
+        format!("Flowcut-SW({})", super::fmt_gap(gap)),
+        SwitchConfig::flowcut_sw(FlowcutConfig::new(gap)),
+        TcpConfig::default(),
+    )
+    .fabric("switch flowcut tables, least-queued port at boundaries only")
+    .host("DCTCP")
+    .brief("adaptive re-routing with in-order delivery: move only when the pipe is empty")
+}

@@ -15,6 +15,7 @@
 //! | DeTail | per-packet adaptive + PFC | DCTCP, no fast retransmit |
 //! | Flowlet(gap) | switch flowlet tables | DCTCP |
 //! | Flowcut(gap) | 5-tuple+V hash | DCTCP + host-side gap switching |
+//! | Flowcut-SW(gap) | switch flowcut tables, boundary-only re-route | DCTCP |
 //! | RepFlow | 5-tuple+V hash | DCTCP; short flows sent twice |
 //! | Bender-INT | 5-tuple+V hash + INT stamping | DCTCP + bend away from blamed hop |
 //! | FastCC | 5-tuple+V hash + early CN | DCTCP cutting cwnd on CN arrival |
@@ -25,6 +26,7 @@ mod detail;
 mod ecmp;
 mod fastcc;
 mod flowcut;
+mod flowcut_sw;
 mod flowlet;
 mod repflow;
 mod rps;
@@ -35,6 +37,7 @@ pub use detail::detail;
 pub use ecmp::ecmp;
 pub use fastcc::fastcc;
 pub use flowcut::flowcut;
+pub use flowcut_sw::flowcut_sw;
 pub use flowlet::flowlet;
 pub use repflow::repflow;
 pub use rps::rps;
@@ -179,6 +182,7 @@ pub fn registry() -> Vec<SchemeSpec> {
         detail(),
         flowlet(netsim::SimTime::from_us(100)),
         flowcut(netsim::SimTime::from_us(100)),
+        flowcut_sw(netsim::SimTime::from_us(100)),
         repflow(),
         bender_int(),
         fastcc(),
@@ -237,6 +241,12 @@ mod tests {
         assert_eq!(find("Flowlet(100us)").unwrap().name(), "Flowlet(100us)");
         assert_eq!(find("flowlet").unwrap().name(), "Flowlet(100us)");
         assert_eq!(find("flowlet_100us").unwrap().name(), "Flowlet(100us)");
+        assert_eq!(find("flowcut-sw").unwrap().name(), "Flowcut-SW(100us)");
+        assert_eq!(
+            find("flowcut_sw_100us").unwrap().name(),
+            "Flowcut-SW(100us)"
+        );
+        assert_eq!(find("flowcut").unwrap().name(), "Flowcut(100us)");
         assert_eq!(find("repflow").unwrap().name(), "RepFlow");
         assert_eq!(find("bender-int").unwrap().name(), "Bender-INT");
         assert_eq!(find("bender_int").unwrap().name(), "Bender-INT");
@@ -288,6 +298,13 @@ mod tests {
                         sw.scheme,
                         netsim::ForwardingScheme::Flowlet { .. }
                     ))
+                }
+                name if name.starts_with("Flowcut-SW") => {
+                    assert!(matches!(
+                        sw.scheme,
+                        netsim::ForwardingScheme::Flowcut { .. }
+                    ));
+                    assert!(tcp.path.is_none(), "switch flowcuts need no host help");
                 }
                 _ => {
                     assert_eq!(sw.scheme, netsim::ForwardingScheme::EcmpHash);

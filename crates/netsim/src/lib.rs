@@ -85,7 +85,8 @@ pub use rng::DetRng;
 pub use sim::{Conservation, Handoff, LinkSpec, PortStats, QueueSpec, Simulator, SwitchConfig};
 pub use slab::{PacketId, PacketSlab};
 pub use switch::{
-    CnLimiter, FeedbackConfig, FlowletState, ForwardingScheme, PfcConfig, RoutingTable,
+    CnLimiter, FeedbackConfig, FlowcutConfig, FlowcutDecision, FlowcutState, FlowletState,
+    ForwardingScheme, PfcConfig, RoutingTable,
 };
 pub use telemetry::{ProbeKind, Series, SeriesKey, Telemetry, TelemetryConfig};
 pub use time::SimTime;

@@ -102,11 +102,31 @@ pub enum Counter {
     /// Number of CN-vs-ECN-echo lead samples in
     /// [`Counter::FeedbackLeadPs`].
     FeedbackLeadSamples,
+    /// Retransmissions proven spurious by a DSACK: the "lost" segment's
+    /// original copy arrived after all (the reordering tax of spraying).
+    SpuriousRetransmits,
+    /// Congestion-state undos driven by DSACKs: the sender restored the
+    /// cwnd/ssthresh it cut on entering a recovery that turned out to be
+    /// spurious.
+    DsackUndos,
+    /// Payload bytes delivered more than once to receivers (segments the
+    /// reassembly buffer already held in full).
+    DupBytes,
+    /// High-water mark, in bytes, of any single receiver's out-of-order
+    /// reassembly buffer. Merges by maximum, not sum (see
+    /// [`RunResults::merge`]).
+    OooBytesMax,
+    /// Flowcut boundaries at which a switch actually re-routed a pinned
+    /// flow to a different egress (switch-side flowcut switching).
+    FlowcutReroutes,
+    /// Packets forwarded on an already-pinned flowcut egress (the sticky
+    /// fast path of switch-side flowcut switching).
+    FlowcutPinned,
 }
 
 impl Counter {
     /// Number of counter variants.
-    pub const COUNT: usize = 21;
+    pub const COUNT: usize = 27;
 
     /// Human-readable name for report rendering.
     pub fn name(self) -> &'static str {
@@ -132,6 +152,12 @@ impl Counter {
             Counter::IntStamps => "int_stamps",
             Counter::FeedbackLeadPs => "feedback_lead_ps",
             Counter::FeedbackLeadSamples => "feedback_lead_samples",
+            Counter::SpuriousRetransmits => "spurious_retransmits",
+            Counter::DsackUndos => "dsack_undos",
+            Counter::DupBytes => "dup_bytes",
+            Counter::OooBytesMax => "ooo_bytes_max",
+            Counter::FlowcutReroutes => "flowcut_reroutes",
+            Counter::FlowcutPinned => "flowcut_pinned",
         }
     }
 
@@ -148,6 +174,28 @@ impl Counter {
                 | Counter::FeedbackLeadPs
                 | Counter::FeedbackLeadSamples
         )
+    }
+
+    /// Counters added by the reordering metric suite (PR 10). Like
+    /// [`Counter::feedback_only`], report layers omit these when zero so
+    /// historical runs — which never move them — keep their exact JSON
+    /// byte layout.
+    pub fn reordering_metric(self) -> bool {
+        matches!(
+            self,
+            Counter::SpuriousRetransmits
+                | Counter::DsackUndos
+                | Counter::DupBytes
+                | Counter::OooBytesMax
+                | Counter::FlowcutReroutes
+                | Counter::FlowcutPinned
+        )
+    }
+
+    /// Counters that record a high-water mark rather than an event count:
+    /// shard merges take the maximum instead of the sum.
+    pub fn merges_by_max(self) -> bool {
+        matches!(self, Counter::OooBytesMax)
     }
 
     /// All variants, for iteration in reports.
@@ -174,6 +222,12 @@ impl Counter {
             Counter::IntStamps,
             Counter::FeedbackLeadPs,
             Counter::FeedbackLeadSamples,
+            Counter::SpuriousRetransmits,
+            Counter::DsackUndos,
+            Counter::DupBytes,
+            Counter::OooBytesMax,
+            Counter::FlowcutReroutes,
+            Counter::FlowcutPinned,
         ]
     }
 }
@@ -477,6 +531,16 @@ impl Recorder {
         self.counters[c as usize] += 1;
     }
 
+    /// Raise `c` to `v` if `v` exceeds its current value (high-water-mark
+    /// counters, e.g. [`Counter::OooBytesMax`]).
+    #[inline]
+    pub fn record_max(&mut self, c: Counter, v: u64) {
+        let slot = &mut self.counters[c as usize];
+        if v > *slot {
+            *slot = v;
+        }
+    }
+
     /// Read counter `c`.
     pub fn get(&self, c: Counter) -> u64 {
         self.counters[c as usize]
@@ -701,8 +765,15 @@ impl RunResults {
                 a.end = b.end;
             }
         }
-        for (a, b) in self.counters.iter_mut().zip(other.counters) {
-            *a += b;
+        for (c, (a, b)) in Counter::all()
+            .iter()
+            .zip(self.counters.iter_mut().zip(other.counters))
+        {
+            if c.merges_by_max() {
+                *a = (*a).max(b);
+            } else {
+                *a += b;
+            }
         }
         self.drops.merge(&other.drops);
         self.series.extend(other.series);
@@ -985,5 +1056,58 @@ mod tests {
         // must never be filtered, or existing JSON layouts would change.
         assert!(!Counter::Reroutes.feedback_only());
         assert!(!Counter::MarkedAcksRcvd.feedback_only());
+    }
+
+    #[test]
+    fn reordering_metric_covers_exactly_the_new_counters() {
+        let new: Vec<_> = Counter::all()
+            .iter()
+            .copied()
+            .filter(|c| c.reordering_metric())
+            .collect();
+        assert_eq!(
+            new,
+            vec![
+                Counter::SpuriousRetransmits,
+                Counter::DsackUndos,
+                Counter::DupBytes,
+                Counter::OooBytesMax,
+                Counter::FlowcutReroutes,
+                Counter::FlowcutPinned,
+            ]
+        );
+        // The two omission predicates must never overlap or cover legacy
+        // counters — each guards its own JSON-layout invariant.
+        for c in Counter::all() {
+            assert!(!(c.feedback_only() && c.reordering_metric()));
+        }
+        assert!(!Counter::OooPktsRcvd.reordering_metric());
+        assert!(!Counter::DsacksRcvd.reordering_metric());
+    }
+
+    #[test]
+    fn record_max_keeps_the_high_water_mark() {
+        let mut r = Recorder::new();
+        r.record_max(Counter::OooBytesMax, 1460);
+        r.record_max(Counter::OooBytesMax, 400);
+        r.record_max(Counter::OooBytesMax, 2920);
+        r.record_max(Counter::OooBytesMax, 2000);
+        assert_eq!(r.get(Counter::OooBytesMax), 2920);
+    }
+
+    #[test]
+    fn merge_sums_counts_but_maxes_high_water_marks() {
+        assert!(Counter::OooBytesMax.merges_by_max());
+        assert!(!Counter::DupBytes.merges_by_max());
+        let mut a = Recorder::new();
+        a.add(Counter::DupBytes, 100);
+        a.record_max(Counter::OooBytesMax, 5000);
+        let mut b = Recorder::new();
+        b.add(Counter::DupBytes, 50);
+        b.record_max(Counter::OooBytesMax, 3000);
+        let mut out = a.finish();
+        out.merge(b.finish());
+        assert_eq!(out.get(Counter::DupBytes), 150, "event counts sum");
+        assert_eq!(out.get(Counter::OooBytesMax), 5000, "high-water maxes");
     }
 }

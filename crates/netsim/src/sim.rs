@@ -33,8 +33,8 @@ use crate::record::{Counter, DropReason, Recorder, RunResults, SloConfig};
 use crate::rng::DetRng;
 use crate::slab::{PacketId, PacketSlab};
 use crate::switch::{
-    select_port, CnLimiter, FeedbackConfig, FlowletState, ForwardingScheme, PfcAction, PfcConfig,
-    PfcState, RoutingTable,
+    select_port, CnLimiter, FeedbackConfig, FlowcutConfig, FlowcutDecision, FlowcutState,
+    FlowletState, ForwardingScheme, PfcAction, PfcConfig, PfcState, RoutingTable,
 };
 use crate::telemetry::{ProbeKind, SeriesKey, TelemetryConfig};
 use crate::time::SimTime;
@@ -188,6 +188,7 @@ struct SwitchMeta {
     routes: RoutingTable,
     pfc: Option<PfcState>,
     flowlets: FlowletState,
+    flowcuts: FlowcutState,
     rng: DetRng,
     /// Switch-assisted feedback (INT stamping / CN emission); `None` (the
     /// default) keeps the forwarding hot path on a single branch.
@@ -273,6 +274,21 @@ impl SwitchConfig {
     pub fn flowlet(gap: SimTime) -> Self {
         SwitchConfig {
             scheme: ForwardingScheme::Flowlet { gap },
+            hash: HashConfig::FiveTuple,
+            proc_delay: SimTime::from_us(1),
+            pfc: None,
+            feedback: None,
+        }
+    }
+
+    /// Flowcut-switching switch (Bonato et al.): flows pin to one egress
+    /// until an idle gap proves their in-flight packets drained, and only
+    /// such boundaries may re-route — adaptively, to the least-queued
+    /// port. Validates `cfg` eagerly so a zero gap fails at build time.
+    pub fn flowcut_sw(cfg: FlowcutConfig) -> Self {
+        cfg.validate();
+        SwitchConfig {
+            scheme: ForwardingScheme::Flowcut { cfg },
             hash: HashConfig::FiveTuple,
             proc_delay: SimTime::from_us(1),
             pfc: None,
@@ -557,6 +573,7 @@ impl Simulator {
                 routes: RoutingTable::default(),
                 pfc: cfg.pfc.map(|p| PfcState::new(p, 0)),
                 flowlets: FlowletState::new(),
+                flowcuts: FlowcutState::new(),
                 rng: self.master_rng.split(0x5311_0000 | id as u64),
                 feedback: cfg.feedback,
                 cn_limiter: CnLimiter::new(),
@@ -1290,7 +1307,7 @@ impl Simulator {
         // Phase 1: pick egress and enqueue, collecting any PFC action.
         // The slab and the node table are disjoint fields, so the packet
         // can be read while the switch is mutably borrowed.
-        let (enq, egress, pfc_send, qbytes, flow, int_stamped, cn_send, cn_suppressed) = {
+        let (enq, egress, pfc_send, qbytes, flow, int_stamped, cn_send, cn_suppressed, flowcut) = {
             let pkt = self.packets.get_mut(id);
             let size = pkt.size as u64;
             let node = &mut self.nodes[sw as usize];
@@ -1300,6 +1317,7 @@ impl Simulator {
             let ports = &node.ports;
             let eligible = meta.routes.eligible(pkt.dst());
             let weights = meta.routes.weights(pkt.dst());
+            let mut flowcut = None;
             let egress = match meta.scheme {
                 ForwardingScheme::Flowlet { gap } => meta.flowlets.select(
                     self.now,
@@ -1308,6 +1326,19 @@ impl Simulator {
                     eligible,
                     &mut meta.rng,
                 ),
+                ForwardingScheme::Flowcut { cfg } => {
+                    let (port, decision) = meta.flowcuts.select(
+                        self.now,
+                        cfg,
+                        meta.hasher.hash(pkt),
+                        eligible,
+                        &mut meta.rng,
+                        |p| ports[p as usize].queue.bytes(),
+                        |p| ports[p as usize].up,
+                    );
+                    flowcut = Some(decision);
+                    port
+                }
                 scheme => select_port(
                     scheme,
                     &meta.hasher,
@@ -1383,8 +1414,26 @@ impl Simulator {
                 int_stamped,
                 cn_send,
                 cn_suppressed,
+                flowcut,
             )
         };
+        match flowcut {
+            Some(FlowcutDecision::Pinned) => self.recorder.bump(Counter::FlowcutPinned),
+            Some(FlowcutDecision::Rerouted) => {
+                self.recorder.bump(Counter::FlowcutReroutes);
+                if self.recorder.trace_wants(flow) {
+                    self.recorder.trace_event(
+                        self.now,
+                        flow,
+                        TraceEvent::FlowcutReroute {
+                            node: sw,
+                            port: egress,
+                        },
+                    );
+                }
+            }
+            _ => {}
+        }
         if self.recorder.trace_wants(flow) {
             self.recorder.trace_event(
                 self.now,

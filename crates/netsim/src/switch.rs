@@ -43,6 +43,158 @@ pub enum ForwardingScheme {
         /// Inactivity gap that ends a flowlet.
         gap: SimTime,
     },
+    /// Flowcut switching (Bonato et al.): a flow is pinned to one egress
+    /// until a *flowcut boundary* — an idle gap long enough that every
+    /// in-flight packet of the flow has drained ahead — and only at a
+    /// boundary may the switch re-route, adaptively, to the least-queued
+    /// eligible port. Unlike [`ForwardingScheme::Flowlet`], the boundary
+    /// re-route is load-triggered (an uncongested pinned egress holds its
+    /// path) and adaptive rather than random, so the scheme combines
+    /// in-order delivery with congestion-aware path selection.
+    Flowcut {
+        /// Detection and re-route parameters.
+        cfg: FlowcutConfig,
+    },
+}
+
+/// Parameters of switch-side flowcut switching
+/// ([`ForwardingScheme::Flowcut`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowcutConfig {
+    /// Idle gap that ends a flowcut. Re-routing is only permitted after
+    /// the flow has been silent this long at the switch, which is the
+    /// in-order safety condition: choose it larger than the fabric's
+    /// path-delay skew and every packet of the previous flowcut has
+    /// drained before the next one can take a different path.
+    pub gap: SimTime,
+    /// Load trigger: at a boundary, re-route only if the pinned egress
+    /// queue holds more than this many bytes. `None` re-evaluates the
+    /// path at every boundary regardless of load.
+    pub load_threshold: Option<u64>,
+}
+
+impl FlowcutConfig {
+    /// Flowcut detection with idle gap `gap` and the default load trigger
+    /// (re-route at a boundary only when the pinned egress queue exceeds
+    /// one MTU — a quiet path is never abandoned).
+    pub fn new(gap: SimTime) -> Self {
+        FlowcutConfig {
+            gap,
+            load_threshold: Some(crate::packet::MTU as u64),
+        }
+    }
+
+    /// Override the load trigger (`None` = re-evaluate at every boundary).
+    pub fn with_load_threshold(mut self, threshold: Option<u64>) -> Self {
+        self.load_threshold = threshold;
+        self
+    }
+
+    /// Validate invariants.
+    ///
+    /// # Panics
+    /// On out-of-range values.
+    pub fn validate(&self) {
+        assert!(self.gap.as_ps() > 0, "flowcut gap must be positive");
+    }
+}
+
+/// What [`FlowcutState::select`] decided for one packet (the simulator
+/// turns these into counters and trace events).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowcutDecision {
+    /// First packet of a flow at this switch: a new flowcut started.
+    Start,
+    /// Mid-flowcut: the packet followed the pinned egress.
+    Pinned,
+    /// Boundary reached, but the pinned egress was kept (load below the
+    /// trigger, or it was still the best choice).
+    Held,
+    /// Boundary reached and the flowcut moved to a different egress.
+    Rerouted,
+}
+
+/// Per-switch flowcut table: flow hash → (last packet seen, pinned port).
+///
+/// Like [`FlowletState`], entries are never evicted and the table is
+/// driven purely by the switch's local arrival order — which sharding
+/// does not change — so flowcut runs are byte-identical across shard
+/// counts by construction.
+#[derive(Debug, Default)]
+pub struct FlowcutState {
+    table: DetHashMap<u64, (SimTime, PortId)>,
+}
+
+impl FlowcutState {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pick the egress port for a packet of flow `flow_hash` arriving at
+    /// `now`. Within a flowcut the pinned port is authoritative; at a
+    /// boundary (idle gap exceeded, pinned port unusable, or first
+    /// packet) the least-queued live eligible port is chosen, with the
+    /// load trigger able to veto a move off an uncongested pinned egress.
+    #[allow(clippy::too_many_arguments)]
+    pub fn select(
+        &mut self,
+        now: SimTime,
+        cfg: FlowcutConfig,
+        flow_hash: u64,
+        eligible: &[PortId],
+        rng: &mut DetRng,
+        queue_bytes: impl Fn(PortId) -> u64,
+        link_up: impl Fn(PortId) -> bool,
+    ) -> (PortId, FlowcutDecision) {
+        debug_assert!(!eligible.is_empty());
+        match self.table.get_mut(&flow_hash) {
+            Some((last, port)) if eligible.contains(port) && link_up(*port) => {
+                let idle = now.saturating_sub(*last);
+                *last = now;
+                if idle <= cfg.gap {
+                    // Mid-flowcut: packets of this flowcut may still be in
+                    // flight on the pinned path; moving now could overtake
+                    // them. Stay pinned unconditionally.
+                    (*port, FlowcutDecision::Pinned)
+                } else if cfg.load_threshold.is_some_and(|t| queue_bytes(*port) <= t) {
+                    // Boundary, but the pinned egress is uncongested: the
+                    // load trigger holds the path.
+                    (*port, FlowcutDecision::Held)
+                } else {
+                    let next = adaptive_pick(eligible, rng, &queue_bytes, &link_up);
+                    let moved = next != *port;
+                    *port = next;
+                    (
+                        next,
+                        if moved {
+                            FlowcutDecision::Rerouted
+                        } else {
+                            FlowcutDecision::Held
+                        },
+                    )
+                }
+            }
+            _ => {
+                // First packet of the flow here, or the pinned port became
+                // unusable (routing change / local link death): start a
+                // fresh flowcut on the best live port.
+                let port = adaptive_pick(eligible, rng, &queue_bytes, &link_up);
+                self.table.insert(flow_hash, (now, port));
+                (port, FlowcutDecision::Start)
+            }
+        }
+    }
+
+    /// Number of tracked flows (diagnostics).
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True if no flow is tracked yet.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
 }
 
 /// Per-switch flowlet table: flow hash → (last packet seen, chosen port).
@@ -403,36 +555,46 @@ pub fn select_port(
         }
         ForwardingScheme::EcmpHash => eligible[hasher.select(pkt, eligible.len())],
         ForwardingScheme::Rps => eligible[rng.gen_index(eligible.len())],
-        ForwardingScheme::Adaptive => {
-            // Least-occupied among live local links; random tie-break.
-            let mut best: Option<PortId> = None;
-            let mut best_bytes = u64::MAX;
-            let mut ties = 0u32;
-            for &p in eligible {
-                if !link_up(p) {
-                    continue;
-                }
-                let b = queue_bytes(p);
-                if b < best_bytes {
-                    best = Some(p);
-                    best_bytes = b;
-                    ties = 1;
-                } else if b == best_bytes {
-                    // Reservoir-sample among ties for an unbiased pick.
-                    ties += 1;
-                    if rng.gen_range(ties) == 0 {
-                        best = Some(p);
-                    }
-                }
-            }
-            // If every local link is down, fall back to the first eligible
-            // port (the packet will be black-holed, as it would in reality).
-            best.unwrap_or(eligible[0])
-        }
-        ForwardingScheme::Flowlet { .. } => {
-            unreachable!("flowlet selection is stateful; the simulator handles it")
+        ForwardingScheme::Adaptive => adaptive_pick(eligible, rng, &queue_bytes, &link_up),
+        ForwardingScheme::Flowlet { .. } | ForwardingScheme::Flowcut { .. } => {
+            unreachable!("flowlet/flowcut selection is stateful; the simulator handles it")
         }
     }
+}
+
+/// Least-occupied among live local links, with an unbiased
+/// (reservoir-sampled) random tie-break. Shared by the DeTail-style
+/// [`ForwardingScheme::Adaptive`] per-packet path and the boundary
+/// re-route of [`FlowcutState`]. If every local link is down, falls back
+/// to the first eligible port (the packet will be black-holed, as it
+/// would in reality).
+fn adaptive_pick(
+    eligible: &[PortId],
+    rng: &mut DetRng,
+    queue_bytes: &impl Fn(PortId) -> u64,
+    link_up: &impl Fn(PortId) -> bool,
+) -> PortId {
+    let mut best: Option<PortId> = None;
+    let mut best_bytes = u64::MAX;
+    let mut ties = 0u32;
+    for &p in eligible {
+        if !link_up(p) {
+            continue;
+        }
+        let b = queue_bytes(p);
+        if b < best_bytes {
+            best = Some(p);
+            best_bytes = b;
+            ties = 1;
+        } else if b == best_bytes {
+            // Reservoir-sample among ties for an unbiased pick.
+            ties += 1;
+            if rng.gen_range(ties) == 0 {
+                best = Some(p);
+            }
+        }
+    }
+    best.unwrap_or(eligible[0])
 }
 
 #[cfg(test)]
@@ -675,6 +837,122 @@ mod tests {
         let only = if p == 5 { vec![6u16] } else { vec![5u16] };
         let np = fl.select(SimTime::from_us(1), gap, 7, &only, &mut rng);
         assert_eq!(np, only[0]);
+    }
+
+    #[test]
+    fn flowcut_pins_within_gap_even_under_congestion() {
+        let mut fc = FlowcutState::new();
+        let mut rng = DetRng::new(3, 3);
+        let cfg = FlowcutConfig::new(SimTime::from_us(100));
+        let elig = vec![0u16, 1, 2, 3];
+        // The pinned port becomes the most congested one — mid-flowcut the
+        // flow must stay anyway (moving could overtake in-flight packets).
+        let (p0, d0) = fc.select(SimTime::ZERO, cfg, 7, &elig, &mut rng, |_| 0, |_| true);
+        assert_eq!(d0, FlowcutDecision::Start);
+        for t in [10u64, 60, 150, 240] {
+            let (p, d) = fc.select(
+                SimTime::from_us(t),
+                cfg,
+                7,
+                &elig,
+                &mut rng,
+                |q| if q == p0 { 1_000_000 } else { 0 },
+                |_| true,
+            );
+            assert_eq!((p, d), (p0, FlowcutDecision::Pinned));
+        }
+        assert_eq!(fc.len(), 1);
+    }
+
+    #[test]
+    fn flowcut_boundary_reroutes_to_least_queued_only_when_loaded() {
+        let mut fc = FlowcutState::new();
+        let mut rng = DetRng::new(5, 5);
+        let cfg = FlowcutConfig::new(SimTime::from_us(100));
+        let elig = vec![0u16, 1, 2];
+        let (p0, _) = fc.select(SimTime::ZERO, cfg, 9, &elig, &mut rng, |_| 0, |_| true);
+        // Boundary (idle 1 ms > gap) but the pinned egress is empty: the
+        // load trigger holds the path.
+        let (p1, d1) = fc.select(
+            SimTime::from_ms(1),
+            cfg,
+            9,
+            &elig,
+            &mut rng,
+            |_| 0,
+            |_| true,
+        );
+        assert_eq!((p1, d1), (p0, FlowcutDecision::Held));
+        // Next boundary with the pinned egress congested: move to the
+        // least-queued alternative.
+        let free = if p0 == 0 { 1 } else { 0 };
+        let (p2, d2) = fc.select(
+            SimTime::from_ms(2),
+            cfg,
+            9,
+            &elig,
+            &mut rng,
+            |q| if q == free { 0 } else { 1_000_000 },
+            |_| true,
+        );
+        assert_eq!((p2, d2), (free, FlowcutDecision::Rerouted));
+    }
+
+    #[test]
+    fn flowcut_always_reevaluates_without_load_trigger() {
+        let mut fc = FlowcutState::new();
+        let mut rng = DetRng::new(6, 6);
+        let cfg = FlowcutConfig::new(SimTime::from_us(100)).with_load_threshold(None);
+        let elig = vec![0u16, 1];
+        let (p0, _) = fc.select(SimTime::ZERO, cfg, 1, &elig, &mut rng, |_| 0, |_| true);
+        // Boundary with equal queues: re-evaluation may keep the port, in
+        // which case the decision is Held, not Rerouted.
+        let other = 1 - p0;
+        let (p1, d1) = fc.select(
+            SimTime::from_ms(1),
+            cfg,
+            1,
+            &elig,
+            &mut rng,
+            |q| if q == p0 { 1 } else { 0 },
+            |_| true,
+        );
+        assert_eq!((p1, d1), (other, FlowcutDecision::Rerouted));
+    }
+
+    #[test]
+    fn flowcut_restarts_when_pinned_port_dies() {
+        let mut fc = FlowcutState::new();
+        let mut rng = DetRng::new(8, 8);
+        let cfg = FlowcutConfig::new(SimTime::from_us(100));
+        let (p0, _) = fc.select(SimTime::ZERO, cfg, 4, &[5, 6], &mut rng, |_| 0, |_| true);
+        // Mid-flowcut, but the pinned link died locally: a fresh flowcut
+        // starts on the surviving port.
+        let other = if p0 == 5 { 6 } else { 5 };
+        let (p1, d1) = fc.select(
+            SimTime::from_us(1),
+            cfg,
+            4,
+            &[5, 6],
+            &mut rng,
+            |_| 0,
+            |q| q != p0,
+        );
+        assert_eq!((p1, d1), (other, FlowcutDecision::Start));
+    }
+
+    #[test]
+    fn flowcut_config_defaults_and_validation() {
+        let cfg = FlowcutConfig::new(SimTime::from_us(100));
+        assert_eq!(cfg.gap, SimTime::from_us(100));
+        assert_eq!(cfg.load_threshold, Some(crate::packet::MTU as u64));
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn flowcut_config_rejects_zero_gap() {
+        FlowcutConfig::new(SimTime::ZERO).validate();
     }
 
     #[test]

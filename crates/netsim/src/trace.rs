@@ -197,6 +197,15 @@ pub enum TraceEvent {
         /// Blamed egress port.
         port: PortId,
     },
+    /// A switch re-routed this flow's flowcut at a detected boundary
+    /// (idle gap exceeded and the load trigger fired): subsequent packets
+    /// pin to the new egress.
+    FlowcutReroute {
+        /// The re-routing switch.
+        node: NodeId,
+        /// The newly pinned egress port.
+        port: PortId,
+    },
 }
 
 impl TraceEvent {
@@ -217,6 +226,7 @@ impl TraceEvent {
             TraceEvent::IntStamp { .. } => "int_stamp",
             TraceEvent::CnEmit { .. } => "cn_emit",
             TraceEvent::CnArrive { .. } => "cn_arrive",
+            TraceEvent::FlowcutReroute { .. } => "flowcut_reroute",
         }
     }
 }
@@ -467,6 +477,7 @@ mod tests {
                 qbytes: 0,
             },
             TraceEvent::CnArrive { node: 0, port: 0 },
+            TraceEvent::FlowcutReroute { node: 0, port: 0 },
         ];
         let kinds: std::collections::HashSet<_> = evs.iter().map(|e| e.kind()).collect();
         assert_eq!(kinds.len(), evs.len());

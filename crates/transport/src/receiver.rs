@@ -60,6 +60,8 @@ pub struct Receiver {
     ooo_rcvd: u64,
     /// Bytes received that were already present (spurious retransmits).
     dup_bytes: u64,
+    /// Bytes currently buffered out of order (sum over `ooo` ranges).
+    ooo_bytes: u64,
     /// Delayed-ACK mode, if enabled.
     delack: Option<DelAckConfig>,
     /// DCTCP receiver CE state (only meaningful with delayed ACKs).
@@ -83,6 +85,7 @@ impl Receiver {
             pkts_rcvd: 0,
             ooo_rcvd: 0,
             dup_bytes: 0,
+            ooo_bytes: 0,
             delack: None,
             ce_state: false,
             pending: 0,
@@ -137,10 +140,20 @@ impl Receiver {
         let duplicate = end <= self.expected || self.holds(pkt.seq, end);
 
         let expected_before = self.expected;
+        let dup_before = self.dup_bytes;
         self.insert_range(pkt.seq, end);
         // A hole was filled if the cumulative point jumped past this
         // segment's own contribution.
         let filled_hole = self.expected > end.max(expected_before);
+
+        // Reordering cost telemetry: wasted wire bytes and the reassembly
+        // buffer's high-water mark (how much memory spraying costs the NIC).
+        let dup_delta = self.dup_bytes - dup_before;
+        if dup_delta > 0 {
+            ctx.recorder().add(Counter::DupBytes, dup_delta);
+        }
+        ctx.recorder()
+            .record_max(Counter::OooBytesMax, self.ooo_bytes);
 
         if !self.complete && self.expected >= self.size {
             self.complete = true;
@@ -270,10 +283,12 @@ impl Receiver {
                 .collect();
             for s in overlapping {
                 let e = self.ooo.remove(&s).expect("key just seen");
+                self.ooo_bytes -= e - s;
                 new_lo = new_lo.min(s);
                 new_hi = new_hi.max(e);
             }
             self.ooo.insert(new_lo, new_hi);
+            self.ooo_bytes += new_hi - new_lo;
             return;
         }
         // In-order: advance, then drain any now-contiguous stashed ranges.
@@ -283,6 +298,7 @@ impl Receiver {
                 break;
             }
             self.ooo.remove(&s);
+            self.ooo_bytes -= e - s;
             if e > self.expected {
                 self.expected = e;
             }
@@ -355,6 +371,27 @@ mod tests {
         r.insert_range(3000, 4000);
         assert_eq!(r.ooo.len(), 1);
         assert_eq!(r.ooo.get(&2000), Some(&4000));
+    }
+
+    #[test]
+    fn ooo_occupancy_tracks_stash_coalesce_and_drain() {
+        let mut r = rx(10_000);
+        r.insert_range(2000, 4000);
+        assert_eq!(r.ooo_bytes, 2000);
+        r.insert_range(3000, 5000); // coalesces with 2000..4000
+        assert_eq!(r.ooo_bytes, 3000);
+        r.insert_range(7000, 8000);
+        assert_eq!(r.ooo_bytes, 4000);
+        r.insert_range(0, 2000); // fills the hole; 2000..5000 drains
+        assert_eq!(r.expected(), 5000);
+        assert_eq!(r.ooo_bytes, 1000);
+        r.insert_range(5000, 7000);
+        assert_eq!(r.expected(), 8000);
+        assert_eq!(r.ooo_bytes, 0);
+        // Fully-stale retransmit: counted as dup, no occupancy change.
+        r.insert_range(0, 1000);
+        assert_eq!(r.dup_bytes, 1000);
+        assert_eq!(r.ooo_bytes, 0);
     }
 
     #[test]

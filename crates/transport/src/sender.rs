@@ -410,7 +410,10 @@ impl TcpSender {
         // cover the observed extent, and undo the recovery's cwnd damage.
         if pkt.flags.has(Flags::DSACK) {
             ctx.recorder().bump(Counter::DsacksRcvd);
-            self.on_reordering_detected();
+            // Each DSACK names one retransmission of ours whose original
+            // copy arrived after all.
+            ctx.recorder().bump(Counter::SpuriousRetransmits);
+            self.on_reordering_detected(ctx);
         }
 
         // Close the feedback-lead measurement: this is the first ECN echo
@@ -536,7 +539,7 @@ impl TcpSender {
     /// Reordering proven (DSACK): grow the dupack threshold to the extent
     /// the receiver has demonstrably seen past the hole, and undo the
     /// spurious recovery if one is in progress (Linux `tcp_undo_cwnd`).
-    fn on_reordering_detected(&mut self) {
+    fn on_reordering_detected(&mut self, ctx: &mut Ctx<'_>) {
         if self.cfg.dupack_threshold.is_none() {
             return;
         }
@@ -555,6 +558,8 @@ impl TcpSender {
             if let Some((cwnd, ssthresh)) = self.undo.take() {
                 self.cwnd = cwnd;
                 self.ssthresh = ssthresh;
+                ctx.recorder().bump(Counter::DsackUndos);
+                self.trace_cwnd(ctx);
             }
             self.recover = None;
             self.dup_acks = 0;

@@ -2,7 +2,7 @@
 //! through a [`netsim::testutil::CtxHarness`].
 
 use netsim::testutil::CtxHarness;
-use netsim::{Flags, FlowKey, FlowRecord, Packet, Proto, SimTime, MSS};
+use netsim::{Counter, Flags, FlowKey, FlowRecord, Packet, Proto, SimTime, MSS};
 use transport::{DelAckConfig, Receiver};
 
 fn key() -> FlowKey {
@@ -162,6 +162,90 @@ fn completion_is_recorded_once_regardless_of_mode() {
         assert_eq!(h.recorder().completed_count(), 1);
         assert_eq!(h.recorder().flows()[0].end, SimTime::from_us(50));
     }
+}
+
+#[test]
+fn dsack_survives_delayed_ack_coalescing() {
+    // A deferred delayed-ACK is already pending when the duplicate lands:
+    // the duplicate coalesces into that ACK, and the single emitted ACK
+    // must still carry DSACK — it is the sender's only evidence that its
+    // retransmission was spurious.
+    let mut h = CtxHarness::new(1);
+    register(&mut h, 100 * MSS as u64);
+    let mut rx = Receiver::new(0, 100 * MSS as u64).with_delack(DelAckConfig {
+        every: 4,
+        ..DelAckConfig::default()
+    });
+    {
+        let mut ctx = h.ctx();
+        let r = rx.on_data(&data(0, false), &mut ctx);
+        assert!(r.is_some(), "first of a quad must defer (timer armed)");
+        let r = rx.on_data(&data(0, false), &mut ctx); // exact duplicate
+        assert!(r.is_none(), "a duplicate must flush immediately");
+    }
+    let (pkts, _) = h.drain();
+    assert_eq!(pkts.len(), 1, "duplicate coalesces into one ACK");
+    assert!(
+        pkts[0].flags.has(Flags::DSACK),
+        "DSACK lost in delayed-ACK coalescing"
+    );
+    assert_eq!(pkts[0].ack, MSS as u64);
+}
+
+#[test]
+fn dsack_survives_ce_flip_double_emit() {
+    // The duplicate arrives with the CE bit flipped: the receiver first
+    // flushes the old-state coverage, then acks the new state. The DSACK
+    // must ride one of the two ACKs, not vanish between them.
+    let mut h = CtxHarness::new(1);
+    register(&mut h, 100 * MSS as u64);
+    let mut rx = Receiver::new(0, 100 * MSS as u64).with_delack(DelAckConfig {
+        every: 4,
+        ..DelAckConfig::default()
+    });
+    {
+        let mut ctx = h.ctx();
+        rx.on_data(&data(0, false), &mut ctx);
+        rx.on_data(&data(0, true), &mut ctx); // duplicate + CE flip
+    }
+    let (pkts, _) = h.drain();
+    assert_eq!(pkts.len(), 2, "CE flip emits old state then new");
+    assert!(
+        pkts.iter().any(|p| p.flags.has(Flags::DSACK)),
+        "DSACK lost across the CE-flip double emit"
+    );
+}
+
+#[test]
+fn reordering_telemetry_tracks_dup_bytes_and_buffer_high_water() {
+    let mut h = CtxHarness::new(1);
+    register(&mut h, 100 * MSS as u64);
+    let mut rx = Receiver::new(0, 100 * MSS as u64);
+    {
+        let mut ctx = h.ctx();
+        // Two out-of-order segments stash in the reassembly buffer.
+        rx.on_data(&data(2 * MSS as u64, false), &mut ctx);
+        rx.on_data(&data(3 * MSS as u64, false), &mut ctx);
+    }
+    assert_eq!(h.recorder().get(Counter::OooBytesMax), 2 * MSS as u64);
+    assert_eq!(h.recorder().get(Counter::DupBytes), 0);
+    {
+        let mut ctx = h.ctx();
+        // Fill the hole: the buffer drains, but the high-water mark sticks.
+        rx.on_data(&data(0, false), &mut ctx);
+        rx.on_data(&data(MSS as u64, false), &mut ctx);
+    }
+    assert_eq!(
+        h.recorder().get(Counter::OooBytesMax),
+        2 * MSS as u64,
+        "high-water mark must not decay when the buffer drains"
+    );
+    {
+        let mut ctx = h.ctx();
+        // A stale retransmit: pure duplicate wire bytes.
+        rx.on_data(&data(0, false), &mut ctx);
+    }
+    assert_eq!(h.recorder().get(Counter::DupBytes), MSS as u64);
 }
 
 #[test]

@@ -4,7 +4,7 @@
 //! undo, go-back-N timeouts, and FlowBender V-field stamping.
 
 use netsim::testutil::CtxHarness;
-use netsim::{Flags, FlowKey, Packet, Proto, SimTime, MSS};
+use netsim::{Counter, Flags, FlowKey, Packet, Proto, SimTime, MSS};
 use transport::{TcpConfig, TcpSender, TimerOutcome};
 
 fn key() -> FlowKey {
@@ -159,6 +159,72 @@ fn dsack_undoes_spurious_recovery_and_raises_threshold() {
         s.cwnd(),
         w0
     );
+}
+
+#[test]
+fn dsack_bumps_spurious_retransmit_and_undo_counters() {
+    let mut h = CtxHarness::new(1);
+    let (mut s, _) = mk_sender(&mut h, 100_000_000, TcpConfig::default());
+    h.drain();
+    h.now = SimTime::from_us(100);
+    // Enter fast retransmit on a reordered (not lost) segment.
+    for d in 1..=3u64 {
+        let mut ctx = h.ctx();
+        s.on_ack(&ack(0, false, d * MSS as u64, SimTime::ZERO), &mut ctx);
+    }
+    assert_eq!(s.retransmit_count(), 1);
+    assert_eq!(h.recorder().get(Counter::SpuriousRetransmits), 0);
+    assert_eq!(h.recorder().get(Counter::DsackUndos), 0);
+    // The receiver reports the retransmission as a duplicate: one spurious
+    // retransmit, one undo.
+    {
+        let mut ctx = h.ctx();
+        s.on_ack(
+            &dsack(4 * MSS as u64, 4 * MSS as u64, SimTime::ZERO),
+            &mut ctx,
+        );
+    }
+    assert_eq!(h.recorder().get(Counter::DsacksRcvd), 1);
+    assert_eq!(h.recorder().get(Counter::SpuriousRetransmits), 1);
+    assert_eq!(h.recorder().get(Counter::DsackUndos), 1);
+    // A further DSACK outside recovery is still a spurious retransmit but
+    // has nothing to undo.
+    {
+        let mut ctx = h.ctx();
+        s.on_ack(
+            &dsack(5 * MSS as u64, 5 * MSS as u64, SimTime::ZERO),
+            &mut ctx,
+        );
+    }
+    assert_eq!(h.recorder().get(Counter::SpuriousRetransmits), 2);
+    assert_eq!(h.recorder().get(Counter::DsackUndos), 1);
+}
+
+#[test]
+fn reorder_threshold_adaptation_caps_at_300() {
+    // Pathological spray: every ACK is a DSACK and the receiver's reported
+    // extent is enormous. The Linux-style adaptation must converge to the
+    // sysctl cap and stay there, never overshooting.
+    let mut h = CtxHarness::new(7);
+    let (mut s, _) = mk_sender(&mut h, 1_000_000_000, TcpConfig::default());
+    h.drain();
+    h.now = SimTime::from_us(100);
+    let mut ack_num = 0u64;
+    for round in 1..=20u64 {
+        {
+            let mut ctx = h.ctx();
+            ack_num += MSS as u64;
+            let high = round * 1000 * MSS as u64;
+            s.on_ack(&dsack(ack_num, high, SimTime::ZERO), &mut ctx);
+        }
+        h.drain();
+        assert!(
+            s.reorder_threshold() <= 300,
+            "threshold overshot the cap at round {round}: {}",
+            s.reorder_threshold()
+        );
+    }
+    assert_eq!(s.reorder_threshold(), 300, "cap must be reached and held");
 }
 
 #[test]
